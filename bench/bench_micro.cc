@@ -1,0 +1,115 @@
+// Google-benchmark micro benchmarks of the hot primitives: overlay routing decisions,
+// SHA-1 id derivation, KL-UCB index computation, MLP training steps, FedAvg merging.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/bandit/kl_ucb.h"
+#include "src/fl/aggregation.h"
+#include "src/ml/serialize.h"
+
+namespace totoro {
+namespace {
+
+void BM_Sha1AppId(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeAppId("application-name", "creator-key",
+                                       std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_Sha1AppId);
+
+void BM_RoutingNextHop(benchmark::State& state) {
+  static bench::Stack* stack = new bench::Stack(10000, 77, PastryConfig{}, ScribeConfig{},
+                                                /*model_bandwidth=*/false);
+  Rng rng(78);
+  for (auto _ : state) {
+    const NodeId key = RandomNodeId(rng);
+    const size_t origin = rng.NextBelow(stack->pastry->size());
+    benchmark::DoNotOptimize(stack->pastry->node(origin).ComputeNextHop(key));
+  }
+}
+BENCHMARK(BM_RoutingNextHop);
+
+void BM_FullRoute10k(benchmark::State& state) {
+  static bench::Stack* stack = new bench::Stack(10000, 79, PastryConfig{}, ScribeConfig{},
+                                                /*model_bandwidth=*/false);
+  static bool wired = false;
+  if (!wired) {
+    for (size_t i = 0; i < stack->pastry->size(); ++i) {
+      stack->pastry->node(i).SetDeliverHandler(950,
+                                               [](const NodeId&, const Message&, int) {});
+    }
+    wired = true;
+  }
+  Rng rng(80);
+  for (auto _ : state) {
+    Message m;
+    m.type = 950;
+    stack->pastry->node(rng.NextBelow(stack->pastry->size()))
+        .Route(RandomNodeId(rng), std::move(m));
+    stack->sim.Run();
+  }
+}
+BENCHMARK(BM_FullRoute10k);
+
+void BM_KlUcbIndex(benchmark::State& state) {
+  double theta = 0.0;
+  for (auto _ : state) {
+    theta = theta >= 0.97 ? 0.01 : theta + 0.013;
+    benchmark::DoNotOptimize(KlUcbLinkCost(theta, 137, 5000.0));
+  }
+}
+BENCHMARK(BM_KlUcbIndex);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  SyntheticTask task(SyntheticTask::SpeechCommandsLike(1));
+  Rng rng(2);
+  Dataset shard = task.Generate(200, rng);
+  auto model = MakeResNet34Proxy(64, 35, 3);
+  TrainConfig config;
+  config.local_steps = 1;
+  config.batch_size = 20;
+  Rng train_rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->TrainLocal(shard, config, train_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * config.batch_size);
+}
+BENCHMARK(BM_MlpTrainStep);
+
+void BM_FedAvgMerge(benchmark::State& state) {
+  const size_t dim = 25000;
+  std::vector<WeightedUpdate> updates(16);
+  Rng rng(5);
+  for (auto& u : updates) {
+    u.weights.resize(dim);
+    for (auto& w : u.weights) {
+      w = static_cast<float>(rng.Gaussian());
+    }
+    u.sample_weight = 1.0 + rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FederatedAverage(updates));
+  }
+}
+BENCHMARK(BM_FedAvgMerge);
+
+void BM_SerializeInt8(benchmark::State& state) {
+  std::vector<float> weights(25000);
+  Rng rng(6);
+  for (auto& w : weights) {
+    w = static_cast<float>(rng.Gaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeInt8(weights));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(weights.size() * 4));
+}
+BENCHMARK(BM_SerializeInt8);
+
+}  // namespace
+}  // namespace totoro
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces Table 3: time-to-accuracy speedup of Totoro over OpenFL-like and
+// FedScale-like centralized baselines.
+//
+// Tasks: speech recognition (35 classes, ResNet-34 proxy, 53% target) and image
+// classification (62 classes, ShuffleNet V2 proxy, 75.5% target); 5/10/20 concurrent
+// applications; Totoro tree fanouts 8/16/32. Speedup = baseline's last-app
+// time-to-target / Totoro's. The paper reports 1.2x-14.0x with the gap growing in the
+// number of concurrent applications.
+#include <set>
+
+#include "bench/tta_common.h"
+
+namespace totoro {
+namespace {
+
+void RunTask(const bench::TaskProfile& profile) {
+  bench::PrintHeader("Table 3: " + profile.name + " (target " +
+                     AsciiTable::Num(profile.target_accuracy * 100, 1) + "% top-1)");
+  AsciiTable table({"#apps", "fanout", "Totoro TTT (s)", "OpenFL-like TTT (s)",
+                    "FedScale-like TTT (s)", "speedup vs OpenFL", "speedup vs FedScale"});
+  for (int apps : {5, 10, 20}) {
+    const auto openfl = bench::RunCentralTta(profile, apps, bench::OpenFlConfig(), 1000);
+    const auto fedscale =
+        bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 1000);
+    for (int b : {3, 4, 5}) {
+      const auto totoro_run = bench::RunTotoroTta(profile, apps, b, 2000 + b);
+      const double speed_openfl = openfl.last_target_ms / totoro_run.last_target_ms;
+      const double speed_fedscale = fedscale.last_target_ms / totoro_run.last_target_ms;
+      std::string flags;
+      if (!totoro_run.all_reached || !openfl.all_reached || !fedscale.all_reached) {
+        flags = " (*)";
+      }
+      table.AddRow({AsciiTable::Int(apps), AsciiTable::Int(1 << b),
+                    AsciiTable::Num(totoro_run.last_target_ms / 1000.0, 2),
+                    AsciiTable::Num(openfl.last_target_ms / 1000.0, 2),
+                    AsciiTable::Num(fedscale.last_target_ms / 1000.0, 2),
+                    AsciiTable::Num(speed_openfl, 1) + "x" + flags,
+                    AsciiTable::Num(speed_fedscale, 1) + "x" + flags});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf("(*) = at least one app hit the round cap before its target\n");
+}
+
+}  // namespace
+}  // namespace totoro
+
+int main() {
+  totoro::RunTask(totoro::bench::SpeechProfile());
+  totoro::RunTask(totoro::bench::FemnistProfile());
+  std::printf("\npaper: speedups 1.2x-14.0x, growing with the number of concurrent apps\n");
+  return 0;
+}

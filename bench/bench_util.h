@@ -1,0 +1,70 @@
+// Shared scaffolding for bench binaries: overlay construction and app-launch helpers.
+//
+// Every bench binary reproduces one table or figure of the paper and prints its rows as
+// an ASCII table; EXPERIMENTS.md records paper-vs-measured values.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/central_engine.h"
+#include "src/common/table.h"
+#include "src/core/engine.h"
+#include "src/core/eua_topology.h"
+#include "src/pubsub/forest.h"
+
+namespace totoro {
+namespace bench {
+
+// A complete Totoro stack on a uniform-latency WAN.
+struct Stack {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<PastryNetwork> pastry;
+  std::unique_ptr<Forest> forest;
+  Rng rng;
+
+  Stack(size_t nodes, uint64_t seed, PastryConfig pastry_config = {},
+        ScribeConfig scribe_config = {}, bool model_bandwidth = true,
+        double latency_lo = 2.0, double latency_hi = 40.0)
+      : rng(seed) {
+    NetworkConfig net_config;
+    net_config.model_bandwidth = model_bandwidth;
+    net = std::make_unique<Network>(
+        &sim, std::make_unique<PairwiseUniformLatency>(latency_lo, latency_hi, seed ^ 0xFEED),
+        net_config);
+    pastry = std::make_unique<PastryNetwork>(net.get(), pastry_config);
+    for (size_t i = 0; i < nodes; ++i) {
+      pastry->AddRandomNode(rng);
+    }
+    pastry->BuildOracle(rng);
+    forest = std::make_unique<Forest>(pastry.get(), scribe_config);
+  }
+
+  std::vector<size_t> AllNodes() const {
+    std::vector<size_t> out(pastry->size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = i;
+    }
+    return out;
+  }
+
+  std::vector<size_t> RandomNodes(size_t count, Rng& pick) {
+    std::vector<size_t> all = AllNodes();
+    pick.Shuffle(all);
+    all.resize(count);
+    return all;
+  }
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench
+}  // namespace totoro
+
+#endif  // BENCH_BENCH_UTIL_H_

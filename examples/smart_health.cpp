@@ -1,0 +1,139 @@
+// Smart Health (the paper's Fig. 1 use case): many FL applications training
+// concurrently on the same edge fleet, each with its own policies.
+//
+// Three applications run simultaneously over one 150-node overlay:
+//   - activity-recognition : ResNet-style model, plain FedAvg
+//   - fitness-tracking     : small model, FedProx (heterogeneous wearables)
+//   - abnormal-health      : differential privacy (clip + Gaussian noise) on updates
+//
+// Each gets its own dataflow tree and master; the run prints per-app accuracy curves and
+// the master placement, demonstrating the "many masters / many workers" architecture.
+//
+//   build/examples/smart_health
+#include <cstdio>
+#include <set>
+
+#include "src/core/engine.h"
+#include "src/pubsub/forest.h"
+
+int main() {
+  using namespace totoro;
+
+  Simulator sim;
+  Network net(&sim, std::make_unique<PairwiseUniformLatency>(2.0, 30.0, 21), NetworkConfig{});
+  PastryNetwork pastry(&net, PastryConfig{});
+  Rng rng(22);
+  for (int i = 0; i < 150; ++i) {
+    pastry.AddRandomNode(rng);
+  }
+  pastry.BuildOracle(rng);
+  Forest forest(&pastry, ScribeConfig{});
+  TotoroEngine engine(&forest, ComputeModel{}, 23);
+
+  // Wearables are heterogeneous: a third of the fleet is 4x slower.
+  std::vector<double> speeds(150, 1.0);
+  for (size_t i = 0; i < speeds.size(); i += 3) {
+    speeds[i] = 0.25;
+  }
+  engine.SetSpeedFactors(speeds);
+
+  struct AppSpec {
+    FlAppConfig config;
+    SyntheticSpec data;
+  };
+  std::vector<AppSpec> apps;
+
+  {
+    AppSpec activity;
+    activity.config.name = "activity-recognition";
+    activity.config.model_factory = [](uint64_t seed) {
+      return MakeResNet34Proxy(32, 6, seed);  // 6 activity classes.
+    };
+    activity.config.train.learning_rate = 0.05f;
+    activity.config.target_accuracy = 0.85;
+    activity.config.max_rounds = 12;
+    activity.data.dim = 32;
+    activity.data.num_classes = 6;
+    activity.data.class_separation = 1.0;
+    activity.data.noise_stddev = 1.6;
+    activity.data.seed = 31;
+    apps.push_back(std::move(activity));
+  }
+  {
+    AppSpec fitness;
+    fitness.config.name = "fitness-tracking";
+    fitness.config.model_factory = [](uint64_t seed) {
+      return MakeTextClassifierProxy(32, 4, seed);
+    };
+    fitness.config.train.learning_rate = 0.1f;
+    fitness.config.train.fedprox_mu = 0.1f;  // FedProx for heterogeneous wearables.
+    fitness.config.target_accuracy = 0.9;
+    fitness.config.max_rounds = 12;
+    fitness.data.dim = 32;
+    fitness.data.num_classes = 4;
+    fitness.data.class_separation = 0.9;
+    fitness.data.noise_stddev = 1.7;
+    fitness.data.seed = 32;
+    apps.push_back(std::move(fitness));
+  }
+  {
+    AppSpec abnormal;
+    abnormal.config.name = "abnormal-health-detection";
+    abnormal.config.model_factory = [](uint64_t seed) {
+      return MakeShuffleNetV2Proxy(32, 3, seed);  // healthy / at-risk / emergency.
+    };
+    abnormal.config.train.learning_rate = 0.1f;
+    abnormal.config.dp = DpConfig{4.0, 0.05};  // Per-app privacy policy.
+    abnormal.config.target_accuracy = 0.9;
+    abnormal.config.max_rounds = 12;
+    abnormal.data.dim = 32;
+    abnormal.data.num_classes = 3;
+    abnormal.data.class_separation = 0.8;
+    abnormal.data.noise_stddev = 1.8;
+    abnormal.data.seed = 33;
+    apps.push_back(std::move(abnormal));
+  }
+
+  Rng pick(24);
+  std::vector<NodeId> topics;
+  for (auto& spec : apps) {
+    SyntheticTask task(spec.data);
+    Rng data_rng(spec.data.seed + 100);
+    // Each app samples its own cohort of 20 wearables with non-IID shards.
+    std::vector<size_t> workers;
+    std::set<size_t> used;
+    while (used.size() < 20) {
+      used.insert(pick.NextBelow(150));
+    }
+    workers.assign(used.begin(), used.end());
+    const Dataset full = task.Generate(2400, data_rng);
+    auto shards = PartitionDirichlet(full, workers.size(), 0.5, data_rng);
+    for (auto& shard : shards) {
+      if (shard.size() == 0) {
+        shard.Add(full.example(0));
+      }
+    }
+    topics.push_back(engine.LaunchApp(spec.config, workers, std::move(shards),
+                                      task.Generate(400, data_rng)));
+  }
+
+  engine.StartAll();
+  engine.RunToCompletion();
+
+  std::printf("three Smart Health apps trained concurrently on one 150-node overlay:\n\n");
+  for (size_t a = 0; a < topics.size(); ++a) {
+    const AppResult& result = engine.result(topics[a]);
+    std::printf("%-28s master=node %zu rounds=%llu final acc=%.1f%% time=%.1fs\n",
+                result.name.c_str(), forest.RootOf(topics[a]),
+                static_cast<unsigned long long>(result.rounds_completed),
+                result.final_accuracy * 100.0, result.total_time_ms / 1000.0);
+    std::printf("   curve:");
+    for (const auto& point : result.curve) {
+      std::printf(" %.0f%%", point.accuracy * 100.0);
+    }
+    std::printf("\n");
+  }
+  std::printf("\neach app has its own master (dedicated parameter server per app) — no\n"
+              "single node coordinates all three\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "src/bandit/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+LinkGraph::LinkGraph(int num_nodes) : num_nodes_(num_nodes) {
+  CHECK_GT(num_nodes, 0);
+  out_links_.resize(static_cast<size_t>(num_nodes));
+}
+
+LinkId LinkGraph::AddLink(BanditNode from, BanditNode to, double theta) {
+  CHECK_GE(from, 0);
+  CHECK_LT(from, num_nodes_);
+  CHECK_GE(to, 0);
+  CHECK_LT(to, num_nodes_);
+  CHECK_NE(from, to);
+  CHECK_GT(theta, 0.0);
+  CHECK_LE(theta, 1.0);
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(BanditLink{id, from, to, theta});
+  out_links_[static_cast<size_t>(from)].push_back(id);
+  return id;
+}
+
+std::vector<double> LinkGraph::CostToGo(BanditNode to,
+                                        const std::vector<double>& link_weights) const {
+  CHECK_EQ(link_weights.size(), links_.size());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<size_t>(num_nodes_), kInf);
+  // Dijkstra on the reverse graph from `to`.
+  std::vector<std::vector<LinkId>> in_links(static_cast<size_t>(num_nodes_));
+  for (const auto& l : links_) {
+    in_links[static_cast<size_t>(l.to)].push_back(l.id);
+  }
+  using Item = std::pair<double, BanditNode>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<size_t>(to)] = 0.0;
+  heap.emplace(0.0, to);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(v)]) {
+      continue;
+    }
+    for (LinkId id : in_links[static_cast<size_t>(v)]) {
+      const auto& l = links_[static_cast<size_t>(id)];
+      const double w = link_weights[static_cast<size_t>(id)];
+      CHECK_GE(w, 0.0);
+      const double nd = d + w;
+      if (nd < dist[static_cast<size_t>(l.from)]) {
+        dist[static_cast<size_t>(l.from)] = nd;
+        heap.emplace(nd, l.from);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<LinkId> LinkGraph::TrueShortestPath(BanditNode from, BanditNode to) const {
+  std::vector<double> weights(links_.size());
+  for (size_t i = 0; i < links_.size(); ++i) {
+    weights[i] = 1.0 / links_[i].theta;
+  }
+  const std::vector<double> cost = CostToGo(to, weights);
+  if (!std::isfinite(cost[static_cast<size_t>(from)])) {
+    return {};
+  }
+  // Greedy descent along optimal cost-to-go.
+  std::vector<LinkId> path;
+  BanditNode v = from;
+  while (v != to) {
+    LinkId best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (LinkId id : OutLinks(v)) {
+      const auto& l = links_[static_cast<size_t>(id)];
+      const double c = weights[static_cast<size_t>(id)] + cost[static_cast<size_t>(l.to)];
+      if (c < best_cost) {
+        best_cost = c;
+        best = id;
+      }
+    }
+    CHECK_GE(best, 0);
+    path.push_back(best);
+    v = links_[static_cast<size_t>(best)].to;
+    CHECK_LE(path.size(), links_.size());
+  }
+  return path;
+}
+
+double LinkGraph::TruePathDelay(const std::vector<LinkId>& path) const {
+  double delay = 0.0;
+  for (LinkId id : path) {
+    delay += 1.0 / links_[static_cast<size_t>(id)].theta;
+  }
+  return delay;
+}
+
+std::vector<std::vector<LinkId>> LinkGraph::EnumeratePaths(BanditNode from, BanditNode to,
+                                                           size_t max_paths) const {
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<LinkId> current;
+  std::vector<bool> visited(static_cast<size_t>(num_nodes_), false);
+  std::function<void(BanditNode)> dfs = [&](BanditNode v) {
+    if (v == to) {
+      paths.push_back(current);
+      CHECK_LE(paths.size(), max_paths);
+      return;
+    }
+    visited[static_cast<size_t>(v)] = true;
+    for (LinkId id : OutLinks(v)) {
+      const auto& l = links_[static_cast<size_t>(id)];
+      if (visited[static_cast<size_t>(l.to)]) {
+        continue;
+      }
+      current.push_back(id);
+      dfs(l.to);
+      current.pop_back();
+    }
+    visited[static_cast<size_t>(v)] = false;
+  };
+  dfs(from);
+  return paths;
+}
+
+LinkGraph LinkGraph::MakeLayered(int layers, int width, double theta_lo, double theta_hi,
+                                 Rng& rng) {
+  CHECK_GE(layers, 1);
+  CHECK_GE(width, 1);
+  const int num_nodes = 2 + layers * width;
+  LinkGraph g(num_nodes);
+  const BanditNode source = 0;
+  const BanditNode dest = num_nodes - 1;
+  auto node_at = [&](int layer, int slot) { return 1 + layer * width + slot; };
+  for (int slot = 0; slot < width; ++slot) {
+    g.AddLink(source, node_at(0, slot), rng.Uniform(theta_lo, theta_hi));
+  }
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int a = 0; a < width; ++a) {
+      for (int b = 0; b < width; ++b) {
+        g.AddLink(node_at(layer, a), node_at(layer + 1, b), rng.Uniform(theta_lo, theta_hi));
+      }
+    }
+  }
+  for (int slot = 0; slot < width; ++slot) {
+    g.AddLink(node_at(layers - 1, slot), dest, rng.Uniform(theta_lo, theta_hi));
+  }
+  return g;
+}
+
+}  // namespace totoro

@@ -1,0 +1,67 @@
+// Directed link graph with Bernoulli link-success probabilities (§5.1 model).
+//
+// A transmission on link i succeeds with unknown probability theta_i; retransmitting
+// until success makes the per-link delay geometric with mean 1/theta_i. The planner's
+// job is to route K packets from s to d minimizing cumulative expected delay.
+#ifndef SRC_BANDIT_GRAPH_H_
+#define SRC_BANDIT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace totoro {
+
+using BanditNode = int;
+using LinkId = int;
+
+struct BanditLink {
+  LinkId id = -1;
+  BanditNode from = -1;
+  BanditNode to = -1;
+  double theta = 1.0;  // True success probability (hidden from policies).
+};
+
+class LinkGraph {
+ public:
+  explicit LinkGraph(int num_nodes);
+
+  LinkId AddLink(BanditNode from, BanditNode to, double theta);
+
+  int num_nodes() const { return num_nodes_; }
+  int num_links() const { return static_cast<int>(links_.size()); }
+  const BanditLink& link(LinkId id) const { return links_.at(static_cast<size_t>(id)); }
+  const std::vector<LinkId>& OutLinks(BanditNode v) const {
+    return out_links_.at(static_cast<size_t>(v));
+  }
+
+  // Expected-delay (sum of 1/theta) shortest path from `from` to `to` using the true
+  // thetas; empty when unreachable. Used as the oracle and for regret baselines.
+  std::vector<LinkId> TrueShortestPath(BanditNode from, BanditNode to) const;
+  double TruePathDelay(const std::vector<LinkId>& path) const;
+
+  // Dijkstra over arbitrary per-link weights (all weights must be >= 0); returns the
+  // cost-to-go from every node to `to`, with unreachable nodes at +infinity.
+  std::vector<double> CostToGo(BanditNode to, const std::vector<double>& link_weights) const;
+
+  // All loop-free paths from `from` to `to` (for path-level policies and Fig. 11's path
+  // ranking). Intended for small experiment graphs; asserts if the count explodes.
+  std::vector<std::vector<LinkId>> EnumeratePaths(BanditNode from, BanditNode to,
+                                                  size_t max_paths = 4096) const;
+
+  // Builds the layered random graph used by the adaptivity experiments: `layers` ranks
+  // of `width` nodes between a source (node 0) and destination (last node), fully
+  // connected rank-to-rank, with link thetas drawn uniformly from [theta_lo, theta_hi].
+  static LinkGraph MakeLayered(int layers, int width, double theta_lo, double theta_hi,
+                               Rng& rng);
+
+ private:
+  int num_nodes_;
+  std::vector<BanditLink> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_BANDIT_GRAPH_H_

@@ -1,0 +1,61 @@
+#include "src/bandit/kl_ucb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+double BernoulliKl(double p, double q) {
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 1.0);
+  CHECK_GE(q, 0.0);
+  CHECK_LE(q, 1.0);
+  constexpr double kEps = 1e-15;
+  if (p <= kEps) {
+    // KL(0, q) = -log(1-q).
+    return q >= 1.0 - kEps ? std::numeric_limits<double>::infinity() : -std::log1p(-q);
+  }
+  if (p >= 1.0 - kEps) {
+    // KL(1, q) = -log(q).
+    return q <= kEps ? std::numeric_limits<double>::infinity() : -std::log(q);
+  }
+  if (q <= kEps || q >= 1.0 - kEps) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return p * std::log(p / q) + (1.0 - p) * std::log((1.0 - p) / (1.0 - q));
+}
+
+double KlUcbUpperBound(double theta_hat, uint64_t trials, double budget, double tol) {
+  CHECK_GE(budget, 0.0);
+  if (trials == 0) {
+    return 1.0;
+  }
+  const double per_trial = budget / static_cast<double>(trials);
+  double lo = std::clamp(theta_hat, 0.0, 1.0);
+  double hi = 1.0;
+  if (BernoulliKl(theta_hat, hi) <= per_trial) {
+    return 1.0;
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (BernoulliKl(theta_hat, mid) <= per_trial) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double KlUcbLinkCost(double theta_hat, uint64_t trials, double tau) {
+  CHECK_GE(tau, 1.0);
+  const double u = KlUcbUpperBound(theta_hat, trials, std::log(std::max(tau, 1.0)));
+  // u can be 0 only when theta_hat == 0 and the budget is 0, which trials==0 already
+  // short-circuits; clamp defensively anyway.
+  return 1.0 / std::max(u, 1e-12);
+}
+
+}  // namespace totoro

@@ -1,0 +1,29 @@
+// KL-UCB confidence indices for Bernoulli link-success estimation (§5.2).
+//
+// The empirical transmission cost with exploration adjustment is
+//   omega_tau = min{ 1/u : u in [theta_hat, 1], t' * KL(theta_hat, u) <= log(tau) }
+// i.e. 1 over the KL-UCB upper confidence bound on the link's success probability. KL
+// confidence intervals are tight at the [0,1] boundaries, which is what lets the policy
+// stop exploring hopeless links quickly (UCB1's sqrt-intervals cannot).
+#ifndef SRC_BANDIT_KL_UCB_H_
+#define SRC_BANDIT_KL_UCB_H_
+
+#include <cstdint>
+
+namespace totoro {
+
+// KL divergence between Bernoulli(p) and Bernoulli(q), with the usual conventions at the
+// boundaries (0*log0 = 0; divergence is +inf when q in {0,1} disagrees with p).
+double BernoulliKl(double p, double q);
+
+// Largest u in [theta_hat, 1] with trials * KL(theta_hat, u) <= budget; bisection to
+// `tol`. trials == 0 returns 1 (fully optimistic).
+double KlUcbUpperBound(double theta_hat, uint64_t trials, double budget, double tol = 1e-9);
+
+// The paper's omega: optimistic expected delay of one link, 1 / KlUcbUpperBound, with
+// log(tau) as the exploration budget (tau >= 1).
+double KlUcbLinkCost(double theta_hat, uint64_t trials, double tau);
+
+}  // namespace totoro
+
+#endif  // SRC_BANDIT_KL_UCB_H_

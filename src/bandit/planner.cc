@@ -1,0 +1,55 @@
+#include "src/bandit/planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode dest,
+                         PathPolicy& policy, uint64_t packets, Rng& rng, bool rank_paths) {
+  EpisodeResult result;
+  const std::vector<LinkId> optimal = graph.TrueShortestPath(source, dest);
+  CHECK(!optimal.empty());
+  result.optimal_expected_delay = graph.TruePathDelay(optimal);
+
+  // Path ranking table for Fig. 11: all loop-free paths ordered by true expected delay.
+  std::map<std::vector<LinkId>, int> rank_of;
+  if (rank_paths) {
+    auto paths = graph.EnumeratePaths(source, dest);
+    std::sort(paths.begin(), paths.end(),
+              [&](const std::vector<LinkId>& a, const std::vector<LinkId>& b) {
+                return graph.TruePathDelay(a) < graph.TruePathDelay(b);
+              });
+    for (size_t i = 0; i < paths.size(); ++i) {
+      rank_of[paths[i]] = static_cast<int>(i);
+    }
+  }
+
+  double cumulative = 0.0;
+  for (uint64_t k = 1; k <= packets; ++k) {
+    const std::vector<LinkId> path = policy.ChoosePath(k);
+    CHECK(!path.empty());
+    PacketFeedback feedback;
+    feedback.path = path;
+    feedback.attempts.reserve(path.size());
+    for (LinkId id : path) {
+      const uint64_t attempts = rng.Geometric(graph.link(id).theta);
+      feedback.attempts.push_back(attempts);
+      feedback.total_delay += static_cast<double>(attempts);
+    }
+    policy.Observe(feedback);
+
+    cumulative += feedback.total_delay - result.optimal_expected_delay;
+    result.per_packet_delay.push_back(feedback.total_delay);
+    result.cumulative_regret.push_back(cumulative);
+    if (rank_paths) {
+      auto it = rank_of.find(path);
+      result.chosen_path_rank.push_back(it == rank_of.end() ? -1 : it->second);
+    }
+  }
+  return result;
+}
+
+}  // namespace totoro

@@ -1,0 +1,32 @@
+// Episode runner for path-planning experiments: routes K packets under a policy,
+// sampling geometric per-link delays, and accounts regret against the optimal path.
+#ifndef SRC_BANDIT_PLANNER_H_
+#define SRC_BANDIT_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/bandit/policies.h"
+
+namespace totoro {
+
+struct EpisodeResult {
+  std::vector<double> per_packet_delay;       // Observed delay of each packet.
+  std::vector<double> cumulative_regret;      // Sum of delays minus k * optimal expected.
+  std::vector<int> chosen_path_rank;          // 0 = optimal path, by expected delay.
+  double optimal_expected_delay = 0.0;
+  double FinalRegret() const {
+    return cumulative_regret.empty() ? 0.0 : cumulative_regret.back();
+  }
+};
+
+// Routes `packets` packets from source to dest under `policy`. Link transmissions
+// succeed i.i.d. with the hidden thetas; a link crossing costs Geometric(theta) slots.
+// `rank_paths` enables Fig. 11's per-packet path rank (requires enumerable paths).
+EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode dest,
+                         PathPolicy& policy, uint64_t packets, Rng& rng,
+                         bool rank_paths = false);
+
+}  // namespace totoro
+
+#endif  // SRC_BANDIT_PLANNER_H_

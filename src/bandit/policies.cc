@@ -1,0 +1,295 @@
+#include "src/bandit/policies.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/bandit/kl_ucb.h"
+#include "src/common/check.h"
+
+namespace totoro {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shared scaffolding: per-link stats + greedy path extraction over a cost table.
+class HopByHopBase : public PathPolicy {
+ public:
+  HopByHopBase(std::string name, const LinkGraph* graph, BanditNode source, BanditNode dest)
+      : name_(std::move(name)),
+        graph_(graph),
+        source_(source),
+        dest_(dest),
+        stats_(static_cast<size_t>(graph->num_links())) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<LinkId> ChoosePath(uint64_t packet_index) override {
+    const std::vector<double> omega = LinkCosts(packet_index);
+    // J_tau(w): optimistic cost-to-go under the current omegas.
+    const std::vector<double> cost_to_go = graph_->CostToGo(dest_, omega);
+    std::vector<LinkId> path;
+    BanditNode v = source_;
+    std::vector<bool> visited(static_cast<size_t>(graph_->num_nodes()), false);
+    while (v != dest_) {
+      visited[static_cast<size_t>(v)] = true;
+      LinkId best = -1;
+      double best_cost = kInf;
+      for (LinkId id : graph_->OutLinks(v)) {
+        const auto& l = graph_->link(id);
+        if (visited[static_cast<size_t>(l.to)]) {
+          continue;  // Loop-free constraint.
+        }
+        const double c = omega[static_cast<size_t>(id)] + cost_to_go[static_cast<size_t>(l.to)];
+        if (c < best_cost) {
+          best_cost = c;
+          best = id;
+        }
+      }
+      CHECK_GE(best, 0);  // Experiment graphs always keep the destination reachable.
+      path.push_back(best);
+      v = graph_->link(best).to;
+      CHECK_LE(path.size(), static_cast<size_t>(graph_->num_links()));
+    }
+    return path;
+  }
+
+  void Observe(const PacketFeedback& feedback) override {
+    // Semi-bandit: every crossed link reveals its attempt count (one success, the rest
+    // failures).
+    for (size_t i = 0; i < feedback.path.size(); ++i) {
+      auto& s = stats_[static_cast<size_t>(feedback.path[i])];
+      s.attempts += feedback.attempts[i];
+      s.successes += 1;
+    }
+  }
+
+ protected:
+  // Per-link optimistic expected delays for this packet.
+  virtual std::vector<double> LinkCosts(uint64_t packet_index) = 0;
+
+  std::string name_;
+  const LinkGraph* graph_;
+  BanditNode source_;
+  BanditNode dest_;
+  std::vector<LinkStats> stats_;
+};
+
+class TotoroHopByHop : public HopByHopBase {
+ public:
+  using HopByHopBase::HopByHopBase;
+
+ protected:
+  std::vector<double> LinkCosts(uint64_t packet_index) override {
+    const double tau = std::max<double>(2.0, static_cast<double>(packet_index));
+    std::vector<double> omega(stats_.size());
+    for (size_t i = 0; i < stats_.size(); ++i) {
+      omega[i] = KlUcbLinkCost(stats_[i].ThetaHat(), stats_[i].attempts, tau);
+    }
+    return omega;
+  }
+};
+
+class Ucb1HopByHop : public HopByHopBase {
+ public:
+  using HopByHopBase::HopByHopBase;
+
+ protected:
+  std::vector<double> LinkCosts(uint64_t packet_index) override {
+    const double log_tau = std::log(std::max<double>(2.0, static_cast<double>(packet_index)));
+    std::vector<double> omega(stats_.size());
+    for (size_t i = 0; i < stats_.size(); ++i) {
+      if (stats_[i].attempts == 0) {
+        omega[i] = 1.0;
+        continue;
+      }
+      const double bonus =
+          std::sqrt(1.5 * log_tau / static_cast<double>(stats_[i].attempts));
+      const double u = std::clamp(stats_[i].ThetaHat() + bonus, 1e-12, 1.0);
+      omega[i] = 1.0 / u;
+    }
+    return omega;
+  }
+};
+
+class EpsGreedyHopByHop : public HopByHopBase {
+ public:
+  EpsGreedyHopByHop(const LinkGraph* graph, BanditNode source, BanditNode dest, double epsilon,
+                    uint64_t seed)
+      : HopByHopBase("eps-greedy", graph, source, dest), epsilon_(epsilon), rng_(seed) {}
+
+ protected:
+  std::vector<double> LinkCosts(uint64_t packet_index) override {
+    (void)packet_index;
+    std::vector<double> omega(stats_.size());
+    for (size_t i = 0; i < stats_.size(); ++i) {
+      if (stats_[i].attempts == 0 || rng_.Bernoulli(epsilon_)) {
+        // Exploration: pretend the link is perfect, with tiny noise to break ties.
+        omega[i] = 1.0 + rng_.NextDouble() * 1e-6;
+      } else {
+        omega[i] = 1.0 / std::max(stats_[i].ThetaHat(), 1e-12);
+      }
+    }
+    return omega;
+  }
+
+ private:
+  double epsilon_;
+  Rng rng_;
+};
+
+// Next-hop greedy: only the immediate link's empirical delay matters; downstream links
+// are costed purely by hop count. Finds locally attractive but globally mediocre paths.
+class NextHopGreedy : public HopByHopBase {
+ public:
+  NextHopGreedy(const LinkGraph* graph, BanditNode source, BanditNode dest)
+      : HopByHopBase("next-hop", graph, source, dest) {
+    // Precompute hop counts to destination (unit weights).
+    std::vector<double> unit(static_cast<size_t>(graph->num_links()), 1.0);
+    hops_to_dest_ = graph->CostToGo(dest, unit);
+  }
+
+  std::vector<LinkId> ChoosePath(uint64_t packet_index) override {
+    (void)packet_index;
+    std::vector<LinkId> path;
+    BanditNode v = source_;
+    std::vector<bool> visited(static_cast<size_t>(graph_->num_nodes()), false);
+    while (v != dest_) {
+      visited[static_cast<size_t>(v)] = true;
+      LinkId best = -1;
+      double best_cost = kInf;
+      for (LinkId id : graph_->OutLinks(v)) {
+        const auto& l = graph_->link(id);
+        if (visited[static_cast<size_t>(l.to)] ||
+            !std::isfinite(hops_to_dest_[static_cast<size_t>(l.to)])) {
+          continue;
+        }
+        const auto& s = stats_[static_cast<size_t>(id)];
+        // Optimistic 1.0 for never-tried links; otherwise the raw empirical delay.
+        const double local = s.attempts == 0 ? 1.0 : 1.0 / std::max(s.ThetaHat(), 1e-12);
+        // Hop-count tiebreak keeps the packet moving toward the destination without
+        // using any downstream quality information.
+        const double c = local + 1e-3 * hops_to_dest_[static_cast<size_t>(l.to)];
+        if (c < best_cost) {
+          best_cost = c;
+          best = id;
+        }
+      }
+      CHECK_GE(best, 0);
+      path.push_back(best);
+      v = graph_->link(best).to;
+      CHECK_LE(path.size(), static_cast<size_t>(graph_->num_links()));
+    }
+    return path;
+  }
+
+ protected:
+  std::vector<double> LinkCosts(uint64_t) override { return {}; }  // Unused.
+
+ private:
+  std::vector<double> hops_to_dest_;
+};
+
+// End-to-end LCB: each loop-free path is an arm; only total delay is observed.
+class EndToEndLcb : public PathPolicy {
+ public:
+  EndToEndLcb(const LinkGraph* graph, BanditNode source, BanditNode dest)
+      : name_("end-to-end"), graph_(graph) {
+    paths_ = graph->EnumeratePaths(source, dest);
+    CHECK(!paths_.empty());
+    pulls_.assign(paths_.size(), 0);
+    delay_sum_.assign(paths_.size(), 0.0);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<LinkId> ChoosePath(uint64_t packet_index) override {
+    // Play every arm once, then pick by LCB of mean delay.
+    for (size_t i = 0; i < paths_.size(); ++i) {
+      if (pulls_[i] == 0) {
+        last_chosen_ = i;
+        return paths_[i];
+      }
+    }
+    const double log_tau = std::log(std::max<double>(2.0, static_cast<double>(packet_index)));
+    size_t best = 0;
+    double best_lcb = kInf;
+    for (size_t i = 0; i < paths_.size(); ++i) {
+      const double mean = delay_sum_[i] / static_cast<double>(pulls_[i]);
+      // Delay scale for the confidence radius: path length (min possible delay is one
+      // slot per hop).
+      const double scale = static_cast<double>(paths_[i].size());
+      const double lcb =
+          mean - scale * std::sqrt(1.5 * log_tau / static_cast<double>(pulls_[i]));
+      if (lcb < best_lcb) {
+        best_lcb = lcb;
+        best = i;
+      }
+    }
+    last_chosen_ = best;
+    return paths_[best];
+  }
+
+  void Observe(const PacketFeedback& feedback) override {
+    ++pulls_[last_chosen_];
+    delay_sum_[last_chosen_] += feedback.total_delay;
+  }
+
+ private:
+  std::string name_;
+  const LinkGraph* graph_;
+  std::vector<std::vector<LinkId>> paths_;
+  std::vector<uint64_t> pulls_;
+  std::vector<double> delay_sum_;
+  size_t last_chosen_ = 0;
+};
+
+class OptimalOracle : public PathPolicy {
+ public:
+  OptimalOracle(const LinkGraph* graph, BanditNode source, BanditNode dest) : name_("optimal") {
+    path_ = graph->TrueShortestPath(source, dest);
+    CHECK(!path_.empty());
+  }
+  const std::string& name() const override { return name_; }
+  std::vector<LinkId> ChoosePath(uint64_t) override { return path_; }
+  void Observe(const PacketFeedback&) override {}
+
+ private:
+  std::string name_;
+  std::vector<LinkId> path_;
+};
+
+}  // namespace
+
+std::unique_ptr<PathPolicy> MakeTotoroHopByHop(const LinkGraph* graph, BanditNode source,
+                                               BanditNode dest) {
+  return std::make_unique<TotoroHopByHop>("totoro", graph, source, dest);
+}
+
+std::unique_ptr<PathPolicy> MakeEndToEndLcb(const LinkGraph* graph, BanditNode source,
+                                            BanditNode dest) {
+  return std::make_unique<EndToEndLcb>(graph, source, dest);
+}
+
+std::unique_ptr<PathPolicy> MakeNextHopGreedy(const LinkGraph* graph, BanditNode source,
+                                              BanditNode dest) {
+  return std::make_unique<NextHopGreedy>(graph, source, dest);
+}
+
+std::unique_ptr<PathPolicy> MakeOptimalOracle(const LinkGraph* graph, BanditNode source,
+                                              BanditNode dest) {
+  return std::make_unique<OptimalOracle>(graph, source, dest);
+}
+
+std::unique_ptr<PathPolicy> MakeUcb1HopByHop(const LinkGraph* graph, BanditNode source,
+                                             BanditNode dest) {
+  return std::make_unique<Ucb1HopByHop>("ucb1", graph, source, dest);
+}
+
+std::unique_ptr<PathPolicy> MakeEpsGreedyHopByHop(const LinkGraph* graph, BanditNode source,
+                                                  BanditNode dest, double epsilon,
+                                                  uint64_t seed) {
+  return std::make_unique<EpsGreedyHopByHop>(graph, source, dest, epsilon, seed);
+}
+
+}  // namespace totoro

@@ -1,0 +1,72 @@
+// Path-planning policies compared in Fig. 10 / Fig. 11.
+//
+// All policies share per-link statistics with semi-bandit feedback where applicable:
+// routing a packet reveals, for every link it crossed, the number of transmission
+// attempts that link needed. The end-to-end baseline deliberately uses only the total
+// path delay (that is its handicap).
+#ifndef SRC_BANDIT_POLICIES_H_
+#define SRC_BANDIT_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bandit/graph.h"
+
+namespace totoro {
+
+// Per-link semi-bandit statistics: attempts and successes.
+struct LinkStats {
+  uint64_t attempts = 0;
+  uint64_t successes = 0;
+  double ThetaHat() const {
+    return attempts == 0 ? 0.0 : static_cast<double>(successes) / static_cast<double>(attempts);
+  }
+};
+
+// Feedback for one routed packet.
+struct PacketFeedback {
+  std::vector<LinkId> path;           // Links crossed, in order.
+  std::vector<uint64_t> attempts;     // Attempts per crossed link (parallel to path).
+  double total_delay = 0.0;           // Sum of attempts (one time slot per attempt).
+};
+
+class PathPolicy {
+ public:
+  virtual ~PathPolicy() = default;
+  virtual const std::string& name() const = 0;
+  // Chooses the full path for packet number `packet_index` (1-based).
+  virtual std::vector<LinkId> ChoosePath(uint64_t packet_index) = 0;
+  virtual void Observe(const PacketFeedback& feedback) = 0;
+};
+
+// The paper's Algorithm 1: at each hop minimize omega_tau(v,w) + J_tau(w), where omega
+// is the KL-UCB optimistic link delay and J is the optimistic cost-to-go (computed by
+// value iteration over the current omegas — the distributed DP's fixed point).
+std::unique_ptr<PathPolicy> MakeTotoroHopByHop(const LinkGraph* graph, BanditNode source,
+                                               BanditNode dest);
+
+// End-to-end baseline [Gai et al. 2012-style]: treats each loop-free path as one arm,
+// observes only total path delay, selects by lower confidence bound on path delay.
+std::unique_ptr<PathPolicy> MakeEndToEndLcb(const LinkGraph* graph, BanditNode source,
+                                            BanditNode dest);
+
+// Next-hop baseline [Bhorkar et al. 2012-style]: greedy on the empirical delay of the
+// immediate link only (ties toward fewer remaining hops), ignoring downstream quality.
+std::unique_ptr<PathPolicy> MakeNextHopGreedy(const LinkGraph* graph, BanditNode source,
+                                              BanditNode dest);
+
+// Oracle: knows the true thetas and always plays the optimal path.
+std::unique_ptr<PathPolicy> MakeOptimalOracle(const LinkGraph* graph, BanditNode source,
+                                              BanditNode dest);
+
+// Ablation policies for the exploration rule inside the hop-by-hop planner.
+std::unique_ptr<PathPolicy> MakeUcb1HopByHop(const LinkGraph* graph, BanditNode source,
+                                             BanditNode dest);
+std::unique_ptr<PathPolicy> MakeEpsGreedyHopByHop(const LinkGraph* graph, BanditNode source,
+                                                  BanditNode dest, double epsilon,
+                                                  uint64_t seed);
+
+}  // namespace totoro
+
+#endif  // SRC_BANDIT_POLICIES_H_

@@ -1,0 +1,293 @@
+#include "src/baselines/central_engine.h"
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace totoro {
+
+// Payload of both directions: weights + addressing metadata.
+struct CentralPayload {
+  NodeId topic;
+  uint64_t round = 0;
+  std::vector<float> weights;
+  double sample_weight = 0.0;
+  size_t client_index = 0;
+};
+
+struct CentralizedEngine::AppRuntime {
+  FlAppConfig config;
+  NodeId topic;
+  std::unique_ptr<Model> global_model;
+  std::vector<float> global_weights;
+  Dataset test_set{1, 2};
+  std::vector<size_t> clients;
+  std::unordered_map<size_t, std::unique_ptr<LocalTrainer>> trainers;
+  uint64_t round = 0;
+  size_t pending_updates = 0;
+  std::vector<WeightedUpdate> received;
+  double launch_time_ms = 0.0;
+  bool started = false;
+  bool done = false;
+  AppResult result;
+};
+
+class CentralizedEngine::ServerHost : public Host {
+ public:
+  explicit ServerHost(CentralizedEngine* engine) : engine_(engine) {}
+  void HandleMessage(const Message& msg) override {
+    CHECK_EQ(msg.type, kCentralUpdate);
+    engine_->OnClientUpdate(msg);
+  }
+
+ private:
+  CentralizedEngine* engine_;
+};
+
+class CentralizedEngine::ClientHost : public Host {
+ public:
+  ClientHost(CentralizedEngine* engine, size_t index) : engine_(engine), index_(index) {}
+  void HandleMessage(const Message& msg) override {
+    CHECK_EQ(msg.type, kCentralModel);
+    engine_->OnModelAtClient(index_, msg);
+  }
+
+ private:
+  CentralizedEngine* engine_;
+  size_t index_;
+};
+
+CentralizedEngine::CentralizedEngine(Simulator* sim, CentralConfig config, size_t num_clients,
+                                     uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {
+  NetworkConfig net_config;
+  net_config.default_bandwidth_bytes_per_ms = config_.client_bandwidth_bytes_per_ms;
+  network_ = std::make_unique<Network>(
+      sim_,
+      std::make_unique<PairwiseUniformLatency>(config_.latency_lo_ms, config_.latency_hi_ms,
+                                               seed ^ 0xBA5E),
+      net_config);
+  server_ = std::make_unique<ServerHost>(this);
+  server_host_ = network_->AddHost(server_.get());
+  network_->SetHostBandwidth(server_host_, config_.server_bandwidth_bytes_per_ms);
+  clients_.reserve(num_clients);
+  for (size_t i = 0; i < num_clients; ++i) {
+    clients_.push_back(std::make_unique<ClientHost>(this, i));
+    network_->AddHost(clients_.back().get());
+  }
+}
+
+CentralizedEngine::~CentralizedEngine() = default;
+
+NodeId CentralizedEngine::LaunchApp(const FlAppConfig& config,
+                                    const std::vector<size_t>& clients,
+                                    std::vector<Dataset> shards, Dataset test_set) {
+  CHECK(config.model_factory != nullptr);
+  CHECK_EQ(clients.size(), shards.size());
+  CHECK(!clients.empty());
+  const NodeId topic = MakeAppId(config.name, config.creator_key, config.salt);
+  CHECK(apps_.find(topic) == apps_.end());
+  auto app = std::make_unique<AppRuntime>();
+  app->config = config;
+  app->topic = topic;
+  app->global_model = config.model_factory(rng_.Next());
+  app->global_weights = app->global_model->GetWeights();
+  app->test_set = std::move(test_set);
+  app->clients = clients;
+  app->result.name = config.name;
+  app->result.topic = topic;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    CHECK_LT(clients[i], clients_.size());
+    app->trainers[clients[i]] = std::make_unique<LocalTrainer>(
+        config.model_factory(rng_.Next()), std::move(shards[i]), 1.0, rng_.Next());
+  }
+  apps_[topic] = std::move(app);
+  return topic;
+}
+
+void CentralizedEngine::StartAll() {
+  for (auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->started) {
+      app->started = true;
+      app->launch_time_ms = sim_->Now();
+      StartRound(*app);
+    }
+  }
+}
+
+void CentralizedEngine::EnqueueCoordinatorWork(double service_ms, std::function<void()> fn) {
+  // One logical coordinator thread: work is served FCFS, which is exactly the queueing
+  // delay §7.4 attributes the baselines' slowdown to.
+  const SimTime start = std::max(coordinator_free_at_, sim_->Now());
+  coordinator_free_at_ = start + service_ms;
+  // Charge in the same work-unit scale as client training (units per ms of compute).
+  network_->metrics().ChargeWork(server_host_, WorkKind::kFlTask,
+                                 service_ms * config_.compute.work_units_per_ms);
+  sim_->ScheduleAt(coordinator_free_at_, std::move(fn));
+}
+
+void CentralizedEngine::StartRound(AppRuntime& app) {
+  app.round += 1;
+  app.pending_updates = app.clients.size();
+  app.received.clear();
+  const double kparams = static_cast<double>(app.global_weights.size()) / 1000.0;
+  EnqueueCoordinatorWork(config_.setup_ms_const + config_.setup_ms_per_kparam * kparams,
+                         [this, topic = app.topic]() {
+                           auto it = apps_.find(topic);
+                           if (it != apps_.end() && !it->second->done) {
+                             BroadcastModel(*it->second);
+                           }
+                         });
+}
+
+void CentralizedEngine::BroadcastModel(AppRuntime& app) {
+  // Hub-and-spoke: one unicast per client, all squeezed through the server uplink.
+  for (size_t client : app.clients) {
+    Message m;
+    m.type = kCentralModel;
+    m.src = server_host_;
+    m.dst = static_cast<HostId>(client + 1);  // Clients registered after the server.
+    m.size_bytes = app.global_weights.size() * sizeof(float);
+    m.traffic = TrafficClass::kModel;
+    m.transport = Transport::kTcp;
+    CentralPayload payload;
+    payload.topic = app.topic;
+    payload.round = app.round;
+    payload.weights = app.global_weights;
+    m.SetPayload(std::move(payload));
+    network_->Send(std::move(m));
+  }
+}
+
+void CentralizedEngine::OnModelAtClient(size_t client_index, const Message& msg) {
+  const auto& payload = msg.As<CentralPayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  auto trainer_it = app.trainers.find(client_index);
+  if (trainer_it == app.trainers.end()) {
+    return;
+  }
+  LocalTrainer& trainer = *trainer_it->second;
+  LocalUpdate update = trainer.Train(payload.weights, app.config.train, config_.compute,
+                                     app.config.dp, app.config.compression);
+  const HostId client_host = static_cast<HostId>(client_index + 1);
+  network_->metrics().ChargeWork(
+      client_host, WorkKind::kFlTask,
+      static_cast<double>(trainer.model().NumParams()) *
+          static_cast<double>(app.config.train.batch_size * app.config.train.local_steps));
+  CentralPayload reply;
+  reply.topic = app.topic;
+  reply.round = payload.round;
+  reply.weights = std::move(update.weights);
+  reply.sample_weight = update.sample_weight;
+  reply.client_index = client_index;
+  const uint64_t wire_bytes = update.wire_bytes;
+  sim_->Schedule(update.compute_time_ms,
+                 [this, client_host, reply = std::move(reply), wire_bytes]() mutable {
+                   Message m;
+                   m.type = kCentralUpdate;
+                   m.src = client_host;
+                   m.dst = server_host_;
+                   m.size_bytes = wire_bytes;
+                   m.traffic = TrafficClass::kGradient;
+                   m.transport = Transport::kTcp;
+                   m.SetPayload(std::move(reply));
+                   network_->Send(std::move(m));
+                 });
+}
+
+void CentralizedEngine::OnClientUpdate(const Message& msg) {
+  const auto& payload = msg.As<CentralPayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  if (payload.round != app.round) {
+    return;  // Stale.
+  }
+  // Each update's aggregation is one serial coordinator task.
+  const double kparams = static_cast<double>(app.global_weights.size()) / 1000.0;
+  // Copy the pieces the coordinator needs; the message dies after this handler.
+  WeightedUpdate update{payload.weights, payload.sample_weight};
+  EnqueueCoordinatorWork(
+      config_.aggregate_ms_const + config_.aggregate_ms_per_kparam * kparams,
+      [this, topic = app.topic, update = std::move(update)]() mutable {
+        auto it2 = apps_.find(topic);
+        if (it2 == apps_.end() || it2->second->done) {
+          return;
+        }
+        AppRuntime& app2 = *it2->second;
+        app2.received.push_back(std::move(update));
+        CHECK_GT(app2.pending_updates, 0u);
+        app2.pending_updates -= 1;
+        if (app2.pending_updates == 0) {
+          FinishRound(app2);
+        }
+      });
+}
+
+void CentralizedEngine::FinishRound(AppRuntime& app) {
+  app.global_weights = FederatedAverage(app.received);
+  app.received.clear();
+  app.global_model->SetWeights(app.global_weights);
+  network_->metrics().ChargeWork(server_host_, WorkKind::kFlTask,
+                                 static_cast<double>(app.global_model->NumParams()) *
+                                     static_cast<double>(app.test_set.size()));
+  const double accuracy = app.global_model->Accuracy(app.test_set);
+  const double now = sim_->Now();
+  app.result.curve.push_back(AccuracyPoint{now - app.launch_time_ms, app.round, accuracy});
+  app.result.rounds_completed = app.round;
+  app.result.final_accuracy = accuracy;
+  TLOG_INFO("central app %s round %llu accuracy %.4f at t=%.1fms", app.config.name.c_str(),
+            static_cast<unsigned long long>(app.round), accuracy, now);
+  if (!app.result.reached_target && accuracy >= app.config.target_accuracy) {
+    app.result.reached_target = true;
+    app.result.time_to_target_ms = now - app.launch_time_ms;
+  }
+  if (app.result.reached_target || app.round >= app.config.max_rounds) {
+    app.done = true;
+    app.result.total_time_ms = now - app.launch_time_ms;
+    return;
+  }
+  StartRound(app);
+}
+
+bool CentralizedEngine::AllDone() const {
+  for (const auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CentralizedEngine::RunToCompletion(double max_virtual_ms) {
+  const double deadline = sim_->Now() + max_virtual_ms;
+  while (!AllDone() && !sim_->Idle() && sim_->Now() < deadline) {
+    sim_->Run(20000);
+  }
+  return AllDone();
+}
+
+std::vector<AppResult> CentralizedEngine::AllResults() const {
+  std::vector<AppResult> out;
+  out.reserve(apps_.size());
+  for (const auto& [topic, app] : apps_) {
+    (void)topic;
+    out.push_back(app->result);
+  }
+  return out;
+}
+
+const AppResult& CentralizedEngine::result(const NodeId& topic) const {
+  auto it = apps_.find(topic);
+  CHECK(it != apps_.end());
+  return it->second->result;
+}
+
+}  // namespace totoro

@@ -1,0 +1,87 @@
+// Centralized FL baseline modelled after OpenFL / FedScale's server-client design.
+//
+// One parameter-server host runs the Coordinator, Selector and Aggregators of Fig. 2.
+// Every application shares that single server: model broadcast is k unicasts through the
+// server's uplink, every client update crosses the server's downlink, and — the paper's
+// key observation (§7.4) — the logically central coordinator serializes per-application
+// work (round setup, each update's aggregation) on one queue, first-come first-served.
+// With many concurrent applications that queue is what makes total training time grow,
+// which Totoro's per-application masters avoid.
+#ifndef SRC_BASELINES_CENTRAL_ENGINE_H_
+#define SRC_BASELINES_CENTRAL_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/app.h"
+#include "src/fl/aggregation.h"
+#include "src/sim/network.h"
+
+namespace totoro {
+
+enum CentralMsgType : int {
+  kCentralModel = 300,   // Server -> client: global weights for a round.
+  kCentralUpdate = 301,  // Client -> server: local update.
+};
+
+struct CentralConfig {
+  // Serial coordinator service times: a constant part (RPC handling, selection,
+  // checkpointing — paid per operation regardless of model size) plus a per-1k-parameter
+  // part (serialization and averaging work).
+  double setup_ms_const = 30.0;           // Round setup / dissemination handling.
+  double setup_ms_per_kparam = 0.4;
+  double aggregate_ms_const = 5.0;        // Per client update folded in.
+  double aggregate_ms_per_kparam = 0.15;
+  // The server is provisioned better than an edge node but is still one box.
+  double server_bandwidth_bytes_per_ms = 125000.0;  // 1 Gbit/s.
+  double client_bandwidth_bytes_per_ms = 12500.0;   // 100 Mbit/s.
+  double latency_lo_ms = 2.0;
+  double latency_hi_ms = 40.0;
+  ComputeModel compute;
+};
+
+class CentralizedEngine {
+ public:
+  CentralizedEngine(Simulator* sim, CentralConfig config, size_t num_clients, uint64_t seed);
+  ~CentralizedEngine();
+
+  // Launches an application on the given client indices (parallel to shards).
+  NodeId LaunchApp(const FlAppConfig& config, const std::vector<size_t>& clients,
+                   std::vector<Dataset> shards, Dataset test_set);
+
+  void StartAll();
+  bool RunToCompletion(double max_virtual_ms = 1e12);
+  bool AllDone() const;
+  std::vector<AppResult> AllResults() const;
+  const AppResult& result(const NodeId& topic) const;
+
+  Network& network() { return *network_; }
+
+ private:
+  class ServerHost;
+  class ClientHost;
+  struct AppRuntime;
+
+  void StartRound(AppRuntime& app);
+  void BroadcastModel(AppRuntime& app);
+  void OnClientUpdate(const Message& msg);
+  void OnModelAtClient(size_t client_index, const Message& msg);
+  void FinishRound(AppRuntime& app);
+  // Enqueues serial coordinator work; `fn` runs when the coordinator reaches it.
+  void EnqueueCoordinatorWork(double service_ms, std::function<void()> fn);
+
+  Simulator* sim_;
+  CentralConfig config_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<ServerHost> server_;
+  std::vector<std::unique_ptr<ClientHost>> clients_;
+  HostId server_host_ = kInvalidHost;
+  SimTime coordinator_free_at_ = 0.0;
+  std::unordered_map<U128, std::unique_ptr<AppRuntime>, U128Hash> apps_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_BASELINES_CENTRAL_ENGINE_H_

@@ -1,0 +1,376 @@
+#include "src/baselines/hierarchical_engine.h"
+
+#include "src/common/check.h"
+#include "src/fl/client.h"
+
+namespace totoro {
+namespace {
+
+struct HierPayload {
+  NodeId topic;
+  uint64_t round = 0;
+  std::vector<float> weights;
+  double sample_weight = 0.0;
+  uint64_t contributors = 0;
+};
+
+}  // namespace
+
+struct HierarchicalEngine::AppRuntime {
+  FlAppConfig config;
+  NodeId topic;
+  std::unique_ptr<Model> global_model;
+  std::vector<float> global_weights;
+  Dataset test_set{1, 2};
+  std::vector<size_t> clients;
+  std::unordered_map<size_t, std::unique_ptr<LocalTrainer>> trainers;
+  // Per-edge round bookkeeping: how many of this app's clients hang off each edge, and
+  // the partial updates each edge has buffered this round.
+  std::unordered_map<size_t, size_t> clients_per_edge;
+  std::unordered_map<size_t, std::vector<WeightedUpdate>> edge_buffers;
+  size_t edges_pending = 0;
+  std::vector<WeightedUpdate> cloud_buffer;
+  uint64_t round = 0;
+  double launch_time_ms = 0.0;
+  bool started = false;
+  bool done = false;
+  AppResult result;
+};
+
+class HierarchicalEngine::CloudHost : public Host {
+ public:
+  explicit CloudHost(HierarchicalEngine* engine) : engine_(engine) {}
+  void HandleMessage(const Message& msg) override {
+    CHECK_EQ(msg.type, kHierEdgeUpdate);
+    engine_->OnEdgeUpdateAtCloud(msg);
+  }
+
+ private:
+  HierarchicalEngine* engine_;
+};
+
+class HierarchicalEngine::EdgeHost : public Host {
+ public:
+  EdgeHost(HierarchicalEngine* engine, size_t index) : engine_(engine), index_(index) {}
+  void HandleMessage(const Message& msg) override {
+    if (msg.type == kHierModelToEdge) {
+      engine_->OnModelAtEdge(index_, msg);
+    } else {
+      CHECK_EQ(msg.type, kHierClientUpdate);
+      engine_->OnClientUpdateAtEdge(index_, msg);
+    }
+  }
+
+ private:
+  HierarchicalEngine* engine_;
+  size_t index_;
+};
+
+class HierarchicalEngine::ClientHost : public Host {
+ public:
+  ClientHost(HierarchicalEngine* engine, size_t index) : engine_(engine), index_(index) {}
+  void HandleMessage(const Message& msg) override {
+    CHECK_EQ(msg.type, kHierModelToClient);
+    engine_->OnModelAtClient(index_, msg);
+  }
+
+ private:
+  HierarchicalEngine* engine_;
+  size_t index_;
+};
+
+HierarchicalEngine::HierarchicalEngine(Simulator* sim, HierarchicalConfig config,
+                                       size_t num_clients, uint64_t seed)
+    : sim_(sim), config_(config), rng_(seed) {
+  CHECK_GT(config_.num_edge_servers, 0u);
+  NetworkConfig net_config;
+  net_config.default_bandwidth_bytes_per_ms = config_.client_bandwidth_bytes_per_ms;
+  network_ = std::make_unique<Network>(
+      sim_,
+      std::make_unique<PairwiseUniformLatency>(config_.latency_lo_ms, config_.latency_hi_ms,
+                                               seed ^ 0x41ED6E),
+      net_config);
+  cloud_ = std::make_unique<CloudHost>(this);
+  CHECK_EQ(network_->AddHost(cloud_.get()), CloudHostId());
+  network_->SetHostBandwidth(CloudHostId(), config_.cloud_bandwidth_bytes_per_ms);
+  for (size_t e = 0; e < config_.num_edge_servers; ++e) {
+    edges_.push_back(std::make_unique<EdgeHost>(this, e));
+    CHECK_EQ(network_->AddHost(edges_.back().get()), EdgeHostId(e));
+    network_->SetHostBandwidth(EdgeHostId(e), config_.edge_bandwidth_bytes_per_ms);
+  }
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients_.push_back(std::make_unique<ClientHost>(this, c));
+    CHECK_EQ(network_->AddHost(clients_.back().get()), ClientHostId(c));
+  }
+}
+
+HierarchicalEngine::~HierarchicalEngine() = default;
+
+NodeId HierarchicalEngine::LaunchApp(const FlAppConfig& config,
+                                     const std::vector<size_t>& clients,
+                                     std::vector<Dataset> shards, Dataset test_set) {
+  CHECK(config.model_factory != nullptr);
+  CHECK_EQ(clients.size(), shards.size());
+  CHECK(!clients.empty());
+  const NodeId topic = MakeAppId(config.name, config.creator_key, config.salt);
+  CHECK(apps_.find(topic) == apps_.end());
+  auto app = std::make_unique<AppRuntime>();
+  app->config = config;
+  app->topic = topic;
+  app->global_model = config.model_factory(rng_.Next());
+  app->global_weights = app->global_model->GetWeights();
+  app->test_set = std::move(test_set);
+  app->clients = clients;
+  app->result.name = config.name;
+  app->result.topic = topic;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    CHECK_LT(clients[i], clients_.size());
+    app->trainers[clients[i]] = std::make_unique<LocalTrainer>(
+        config.model_factory(rng_.Next()), std::move(shards[i]), 1.0, rng_.Next());
+    ++app->clients_per_edge[EdgeOfClient(clients[i])];
+  }
+  apps_[topic] = std::move(app);
+  return topic;
+}
+
+void HierarchicalEngine::StartAll() {
+  for (auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->started) {
+      app->started = true;
+      app->launch_time_ms = sim_->Now();
+      StartRound(*app);
+    }
+  }
+}
+
+void HierarchicalEngine::EnqueueCloudWork(double service_ms, std::function<void()> fn) {
+  const SimTime start = std::max(cloud_free_at_, sim_->Now());
+  cloud_free_at_ = start + service_ms;
+  network_->metrics().ChargeWork(CloudHostId(), WorkKind::kFlTask,
+                                 service_ms * config_.compute.work_units_per_ms);
+  sim_->ScheduleAt(cloud_free_at_, std::move(fn));
+}
+
+void HierarchicalEngine::StartRound(AppRuntime& app) {
+  app.round += 1;
+  app.edge_buffers.clear();
+  app.cloud_buffer.clear();
+  app.edges_pending = app.clients_per_edge.size();
+  EnqueueCloudWork(config_.cloud_setup_ms_const, [this, topic = app.topic]() {
+    auto it = apps_.find(topic);
+    if (it == apps_.end() || it->second->done) {
+      return;
+    }
+    AppRuntime& app2 = *it->second;
+    // Cloud sends the model once per participating edge server.
+    for (const auto& [edge, count] : app2.clients_per_edge) {
+      (void)count;
+      Message m;
+      m.type = kHierModelToEdge;
+      m.src = CloudHostId();
+      m.dst = EdgeHostId(edge);
+      m.size_bytes = app2.global_weights.size() * sizeof(float);
+      m.traffic = TrafficClass::kModel;
+      m.transport = Transport::kTcp;
+      HierPayload payload;
+      payload.topic = app2.topic;
+      payload.round = app2.round;
+      payload.weights = app2.global_weights;
+      m.SetPayload(std::move(payload));
+      network_->Send(std::move(m));
+    }
+  });
+}
+
+void HierarchicalEngine::OnModelAtEdge(size_t edge, const Message& msg) {
+  const auto& payload = msg.As<HierPayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  // Edge relays the model to its clients of this app.
+  for (size_t client : app.clients) {
+    if (EdgeOfClient(client) != edge) {
+      continue;
+    }
+    Message m;
+    m.type = kHierModelToClient;
+    m.src = EdgeHostId(edge);
+    m.dst = ClientHostId(client);
+    m.size_bytes = msg.size_bytes;
+    m.traffic = TrafficClass::kModel;
+    m.transport = Transport::kTcp;
+    m.SetPayload(payload);
+    network_->Send(std::move(m));
+  }
+}
+
+void HierarchicalEngine::OnModelAtClient(size_t client, const Message& msg) {
+  const auto& payload = msg.As<HierPayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  auto trainer_it = app.trainers.find(client);
+  if (trainer_it == app.trainers.end()) {
+    return;
+  }
+  LocalUpdate update = trainer_it->second->Train(payload.weights, app.config.train,
+                                                 config_.compute, app.config.dp,
+                                                 app.config.compression);
+  network_->metrics().ChargeWork(
+      ClientHostId(client), WorkKind::kFlTask,
+      static_cast<double>(trainer_it->second->model().NumParams()) *
+          static_cast<double>(app.config.train.batch_size * app.config.train.local_steps));
+  HierPayload reply;
+  reply.topic = app.topic;
+  reply.round = payload.round;
+  reply.weights = std::move(update.weights);
+  reply.sample_weight = update.sample_weight;
+  const uint64_t wire_bytes = update.wire_bytes;
+  const HostId src = ClientHostId(client);
+  const HostId dst = EdgeHostId(EdgeOfClient(client));
+  sim_->Schedule(update.compute_time_ms,
+                 [this, src, dst, wire_bytes, reply = std::move(reply)]() mutable {
+                   Message m;
+                   m.type = kHierClientUpdate;
+                   m.src = src;
+                   m.dst = dst;
+                   m.size_bytes = wire_bytes;
+                   m.traffic = TrafficClass::kGradient;
+                   m.transport = Transport::kTcp;
+                   m.SetPayload(std::move(reply));
+                   network_->Send(std::move(m));
+                 });
+}
+
+void HierarchicalEngine::OnClientUpdateAtEdge(size_t edge, const Message& msg) {
+  const auto& payload = msg.As<HierPayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  if (payload.round != app.round) {
+    return;
+  }
+  network_->metrics().ChargeWork(EdgeHostId(edge), WorkKind::kFlTask,
+                                 config_.edge_aggregate_ms_const *
+                                     config_.compute.work_units_per_ms);
+  auto& buffer = app.edge_buffers[edge];
+  buffer.push_back(WeightedUpdate{payload.weights, payload.sample_weight});
+  if (buffer.size() < app.clients_per_edge.at(edge)) {
+    return;
+  }
+  // Partial aggregation at the edge, then one update up to the cloud.
+  HierPayload up;
+  up.topic = app.topic;
+  up.round = app.round;
+  up.weights = FederatedAverage(buffer);
+  for (const auto& u : buffer) {
+    up.sample_weight += u.sample_weight;
+  }
+  up.contributors = buffer.size();
+  buffer.clear();
+  Message m;
+  m.type = kHierEdgeUpdate;
+  m.src = EdgeHostId(edge);
+  m.dst = CloudHostId();
+  m.size_bytes = up.weights.size() * sizeof(float);
+  m.traffic = TrafficClass::kGradient;
+  m.transport = Transport::kTcp;
+  m.SetPayload(std::move(up));
+  network_->Send(std::move(m));
+}
+
+void HierarchicalEngine::OnEdgeUpdateAtCloud(const Message& msg) {
+  const auto& payload = msg.As<HierPayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  if (payload.round != app.round) {
+    return;
+  }
+  WeightedUpdate update{payload.weights, payload.sample_weight};
+  EnqueueCloudWork(config_.cloud_aggregate_ms_const,
+                   [this, topic = app.topic, update = std::move(update)]() mutable {
+                     auto it2 = apps_.find(topic);
+                     if (it2 == apps_.end() || it2->second->done) {
+                       return;
+                     }
+                     AppRuntime& app2 = *it2->second;
+                     app2.cloud_buffer.push_back(std::move(update));
+                     CHECK_GT(app2.edges_pending, 0u);
+                     app2.edges_pending -= 1;
+                     if (app2.edges_pending == 0) {
+                       FinishRound(app2);
+                     }
+                   });
+}
+
+void HierarchicalEngine::FinishRound(AppRuntime& app) {
+  app.global_weights = FederatedAverage(app.cloud_buffer);
+  app.cloud_buffer.clear();
+  app.global_model->SetWeights(app.global_weights);
+  const double accuracy = app.global_model->Accuracy(app.test_set);
+  const double now = sim_->Now();
+  app.result.curve.push_back(AccuracyPoint{now - app.launch_time_ms, app.round, accuracy});
+  app.result.rounds_completed = app.round;
+  app.result.final_accuracy = accuracy;
+  if (!app.result.reached_target && accuracy >= app.config.target_accuracy) {
+    app.result.reached_target = true;
+    app.result.time_to_target_ms = now - app.launch_time_ms;
+  }
+  if (app.result.reached_target || app.round >= app.config.max_rounds) {
+    app.done = true;
+    app.result.total_time_ms = now - app.launch_time_ms;
+    return;
+  }
+  StartRound(app);
+}
+
+void HierarchicalEngine::FailEdgeServer(size_t edge_index) {
+  CHECK_LT(edge_index, edges_.size());
+  network_->SetHostUp(EdgeHostId(edge_index), false);
+}
+
+bool HierarchicalEngine::AllDone() const {
+  for (const auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HierarchicalEngine::RunToCompletion(double max_virtual_ms) {
+  const double deadline = sim_->Now() + max_virtual_ms;
+  while (!AllDone() && !sim_->Idle() && sim_->Now() < deadline) {
+    sim_->Run(20000);
+  }
+  return AllDone();
+}
+
+const AppResult& HierarchicalEngine::result(const NodeId& topic) const {
+  auto it = apps_.find(topic);
+  CHECK(it != apps_.end());
+  return it->second->result;
+}
+
+std::vector<AppResult> HierarchicalEngine::AllResults() const {
+  std::vector<AppResult> out;
+  out.reserve(apps_.size());
+  for (const auto& [topic, app] : apps_) {
+    (void)topic;
+    out.push_back(app->result);
+  }
+  return out;
+}
+
+}  // namespace totoro

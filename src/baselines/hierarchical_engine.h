@@ -1,0 +1,101 @@
+// Hierarchical FL baseline (Table 1's "client-edge-cloud" class, e.g. Liu et al. 2020):
+// an intermediate layer of edge servers partially aggregates client updates before a
+// cloud server performs the global aggregation.
+//
+// Structure per round: cloud -> edge servers -> clients (model), then clients -> edge
+// (partial FedAvg per edge) -> cloud (global FedAvg). The edge layer offloads the cloud
+// — its downlink sees one update per edge server instead of one per client — but the
+// architecture keeps a single cloud coordinator (apps still serialize there) and every
+// edge server is a static single point of failure for its client group, the two
+// weaknesses §3 attributes to this class.
+#ifndef SRC_BASELINES_HIERARCHICAL_ENGINE_H_
+#define SRC_BASELINES_HIERARCHICAL_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/app.h"
+#include "src/fl/aggregation.h"
+#include "src/sim/network.h"
+
+namespace totoro {
+
+enum HierMsgType : int {
+  kHierModelToEdge = 310,
+  kHierModelToClient = 311,
+  kHierClientUpdate = 312,
+  kHierEdgeUpdate = 313,
+};
+
+struct HierarchicalConfig {
+  size_t num_edge_servers = 4;
+  // Cloud coordinator serial costs (same scale as CentralConfig).
+  double cloud_setup_ms_const = 30.0;
+  double cloud_aggregate_ms_const = 5.0;
+  // Edge servers have their own (parallel) aggregation cost per client update.
+  double edge_aggregate_ms_const = 3.0;
+  double cloud_bandwidth_bytes_per_ms = 125000.0;
+  double edge_bandwidth_bytes_per_ms = 62500.0;
+  double client_bandwidth_bytes_per_ms = 12500.0;
+  double latency_lo_ms = 2.0;
+  double latency_hi_ms = 40.0;
+  ComputeModel compute;
+};
+
+class HierarchicalEngine {
+ public:
+  HierarchicalEngine(Simulator* sim, HierarchicalConfig config, size_t num_clients,
+                     uint64_t seed);
+  ~HierarchicalEngine();
+
+  // Clients are assigned to edge servers round-robin by index.
+  NodeId LaunchApp(const FlAppConfig& config, const std::vector<size_t>& clients,
+                   std::vector<Dataset> shards, Dataset test_set);
+  void StartAll();
+  bool RunToCompletion(double max_virtual_ms = 1e12);
+  bool AllDone() const;
+  const AppResult& result(const NodeId& topic) const;
+  std::vector<AppResult> AllResults() const;
+
+  // Fails an edge server (its client group loses connectivity; the round stalls until
+  // the straggler cut-off, demonstrating the class's single-point-of-failure weakness).
+  void FailEdgeServer(size_t edge_index);
+
+  Network& network() { return *network_; }
+
+ private:
+  class CloudHost;
+  class EdgeHost;
+  class ClientHost;
+  struct AppRuntime;
+
+  size_t EdgeOfClient(size_t client) const { return client % config_.num_edge_servers; }
+  HostId CloudHostId() const { return 0; }
+  HostId EdgeHostId(size_t edge) const { return static_cast<HostId>(1 + edge); }
+  HostId ClientHostId(size_t client) const {
+    return static_cast<HostId>(1 + config_.num_edge_servers + client);
+  }
+
+  void StartRound(AppRuntime& app);
+  void OnModelAtEdge(size_t edge, const Message& msg);
+  void OnModelAtClient(size_t client, const Message& msg);
+  void OnClientUpdateAtEdge(size_t edge, const Message& msg);
+  void OnEdgeUpdateAtCloud(const Message& msg);
+  void FinishRound(AppRuntime& app);
+  void EnqueueCloudWork(double service_ms, std::function<void()> fn);
+
+  Simulator* sim_;
+  HierarchicalConfig config_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<CloudHost> cloud_;
+  std::vector<std::unique_ptr<EdgeHost>> edges_;
+  std::vector<std::unique_ptr<ClientHost>> clients_;
+  SimTime cloud_free_at_ = 0.0;
+  std::unordered_map<U128, std::unique_ptr<AppRuntime>, U128Hash> apps_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_BASELINES_HIERARCHICAL_ENGINE_H_

@@ -1,0 +1,44 @@
+// Lightweight invariant-checking macros in the spirit of absl CHECK.
+//
+// CHECK(cond) aborts with a message when `cond` is false, in every build type. Protocol
+// invariants in the DHT/pub-sub layers use CHECK so that a corrupted overlay fails loudly
+// instead of silently mis-routing. DCHECK compiles out in NDEBUG builds and guards
+// hot-path-only assertions.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace totoro {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace totoro
+
+#define CHECK(cond)                                  \
+  do {                                               \
+    if (!(cond)) {                                   \
+      ::totoro::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                \
+  } while (0)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b))
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b))
+#define CHECK_LE(a, b) CHECK((a) <= (b))
+#define CHECK_GT(a, b) CHECK((a) > (b))
+#define CHECK_GE(a, b) CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  do {               \
+  } while (0)
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

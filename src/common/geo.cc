@@ -1,0 +1,35 @@
+#include "src/common/geo.h"
+
+#include <cmath>
+
+namespace totoro {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = M_PI / 180.0;
+// Light speed in fiber is roughly 200 km/ms; routes detour ~1.5x the geodesic.
+constexpr double kKmPerMsOneWay = 200.0;
+constexpr double kRouteStretch = 1.5;
+constexpr double kBaseRttMs = 0.5;
+
+}  // namespace
+
+double HaversineKm(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double EstimateRttMs(double distance_km) {
+  return kBaseRttMs + 2.0 * distance_km * kRouteStretch / kKmPerMsOneWay;
+}
+
+double EstimateRttMs(const GeoPoint& a, const GeoPoint& b) {
+  return EstimateRttMs(HaversineKm(a, b));
+}
+
+}  // namespace totoro

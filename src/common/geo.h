@@ -1,0 +1,28 @@
+// Geographic coordinates and RTT estimation for edge topologies.
+//
+// The EUA-like topology generator places edge nodes at latitude/longitude points; RTTs
+// between nodes are derived from great-circle distance plus a per-hop jitter, which is
+// how the paper estimates the "diameter" of each edge zone from the EUA dataset.
+#ifndef SRC_COMMON_GEO_H_
+#define SRC_COMMON_GEO_H_
+
+namespace totoro {
+
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+// Great-circle distance in kilometers (haversine).
+double HaversineKm(const GeoPoint& a, const GeoPoint& b);
+
+// Estimated round-trip time in milliseconds for a link spanning `distance_km`.
+// Model: base processing latency + propagation at ~2/3 c over a route ~1.5x the
+// great-circle distance — a standard WAN approximation.
+double EstimateRttMs(double distance_km);
+
+double EstimateRttMs(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace totoro
+
+#endif  // SRC_COMMON_GEO_H_

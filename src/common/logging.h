@@ -1,0 +1,27 @@
+// Minimal leveled logger.
+//
+// Protocol layers log at kDebug/kInfo; benches run with kWarn so output stays clean.
+// Severity is a process-global because the simulator is single-threaded by design.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace totoro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging; drops messages below the global level.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace totoro
+
+#define TLOG_DEBUG(...) ::totoro::Logf(::totoro::LogLevel::kDebug, __VA_ARGS__)
+#define TLOG_INFO(...) ::totoro::Logf(::totoro::LogLevel::kInfo, __VA_ARGS__)
+#define TLOG_WARN(...) ::totoro::Logf(::totoro::LogLevel::kWarn, __VA_ARGS__)
+#define TLOG_ERROR(...) ::totoro::Logf(::totoro::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,107 @@
+#include "src/common/sha1.h"
+
+#include <cstring>
+
+namespace totoro {
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int s) { return (x << s) | (x >> (32 - s)); }
+
+struct Sha1State {
+  uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+
+  void ProcessBlock(const uint8_t* block) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+             (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = Rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0];
+    uint32_t b = h[1];
+    uint32_t c = h[2];
+    uint32_t d = h[3];
+    uint32_t e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f;
+      uint32_t k;
+      if (i < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const uint32_t tmp = Rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = Rotl(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+std::array<uint8_t, 20> Sha1(std::string_view data) {
+  Sha1State state;
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  size_t n = data.size();
+  size_t offset = 0;
+  while (n - offset >= 64) {
+    state.ProcessBlock(bytes + offset);
+    offset += 64;
+  }
+  // Final block(s): append 0x80, zero-pad, then the 64-bit big-endian bit length.
+  uint8_t tail[128];
+  const size_t rem = n - offset;
+  std::memcpy(tail, bytes + offset, rem);
+  tail[rem] = 0x80;
+  size_t tail_len = rem + 1 <= 56 ? 64 : 128;
+  std::memset(tail + rem + 1, 0, tail_len - rem - 1);
+  const uint64_t bit_len = static_cast<uint64_t>(n) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 1 - i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  state.ProcessBlock(tail);
+  if (tail_len == 128) {
+    state.ProcessBlock(tail + 64);
+  }
+  std::array<uint8_t, 20> digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(state.h[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(state.h[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(state.h[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(state.h[i]);
+  }
+  return digest;
+}
+
+U128 Sha1To128(std::string_view data) {
+  const auto d = Sha1(data);
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | d[i];
+    lo = (lo << 8) | d[i + 8];
+  }
+  return U128(hi, lo);
+}
+
+}  // namespace totoro

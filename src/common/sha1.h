@@ -1,0 +1,26 @@
+// Self-contained SHA-1 implementation (FIPS 180-1).
+//
+// Totoro derives application ids as AppId = SHA1(name || creator key || salt) truncated
+// to 128 bits, exactly as the paper's §4.3 step (a) prescribes. SHA-1's collision
+// weaknesses are irrelevant here: the hash is used only to spread rendezvous points
+// uniformly over the identifier ring, not for authentication.
+#ifndef SRC_COMMON_SHA1_H_
+#define SRC_COMMON_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/u128.h"
+
+namespace totoro {
+
+// Computes the 20-byte SHA-1 digest of `data`.
+std::array<uint8_t, 20> Sha1(std::string_view data);
+
+// First 128 bits of the SHA-1 digest, for use as a DHT key.
+U128 Sha1To128(std::string_view data);
+
+}  // namespace totoro
+
+#endif  // SRC_COMMON_SHA1_H_

@@ -1,0 +1,63 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> row) {
+  CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string AsciiTable::Int(long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld", v);
+  return buf;
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+}  // namespace totoro

@@ -1,0 +1,32 @@
+// ASCII table rendering for bench output.
+//
+// Every bench binary prints the rows of the paper table/figure it reproduces; this
+// helper keeps the formatting uniform and column-aligned.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace totoro {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with %.*f.
+  static std::string Num(double v, int precision = 2);
+  static std::string Int(long v);
+
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,35 @@
+#include "src/common/u128.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+std::string U128::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx", static_cast<unsigned long long>(hi_),
+                static_cast<unsigned long long>(lo_));
+  return std::string(buf);
+}
+
+U128 U128::FromHex(const std::string& hex) {
+  CHECK_LE(hex.size(), 32u);
+  U128 v;
+  for (char c : hex) {
+    uint32_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      CheckFailed(__FILE__, __LINE__, "invalid hex digit");
+    }
+    v = (v << 4) | U128(0, nibble);
+  }
+  return v;
+}
+
+}  // namespace totoro

@@ -1,0 +1,136 @@
+// Unsigned 128-bit integer used for DHT node and application identifiers.
+//
+// Pastry identifiers live in a circular space of size 2^128. This type provides exactly
+// the operations identifier arithmetic needs: comparison, wrap-around addition and
+// subtraction, shifts, and digit extraction in base 2^b. It is a trivially copyable value
+// type, safe to pass around by value.
+#ifndef SRC_COMMON_U128_H_
+#define SRC_COMMON_U128_H_
+
+#include <cstdint>
+#include <string>
+
+namespace totoro {
+
+class U128 {
+ public:
+  constexpr U128() = default;
+  constexpr U128(uint64_t hi, uint64_t lo) : hi_(hi), lo_(lo) {}
+  // Implicit from uint64_t mirrors built-in integer widening.
+  constexpr U128(uint64_t lo) : hi_(0), lo_(lo) {}  // NOLINT(google-explicit-constructor)
+
+  constexpr uint64_t hi() const { return hi_; }
+  constexpr uint64_t lo() const { return lo_; }
+
+  friend constexpr bool operator==(const U128& a, const U128& b) {
+    return a.hi_ == b.hi_ && a.lo_ == b.lo_;
+  }
+  friend constexpr bool operator!=(const U128& a, const U128& b) { return !(a == b); }
+  friend constexpr bool operator<(const U128& a, const U128& b) {
+    return a.hi_ != b.hi_ ? a.hi_ < b.hi_ : a.lo_ < b.lo_;
+  }
+  friend constexpr bool operator<=(const U128& a, const U128& b) { return !(b < a); }
+  friend constexpr bool operator>(const U128& a, const U128& b) { return b < a; }
+  friend constexpr bool operator>=(const U128& a, const U128& b) { return !(a < b); }
+
+  // Addition and subtraction wrap modulo 2^128, matching circular identifier space math.
+  friend constexpr U128 operator+(const U128& a, const U128& b) {
+    uint64_t lo = a.lo_ + b.lo_;
+    uint64_t carry = lo < a.lo_ ? 1 : 0;
+    return U128(a.hi_ + b.hi_ + carry, lo);
+  }
+  friend constexpr U128 operator-(const U128& a, const U128& b) {
+    uint64_t lo = a.lo_ - b.lo_;
+    uint64_t borrow = a.lo_ < b.lo_ ? 1 : 0;
+    return U128(a.hi_ - b.hi_ - borrow, lo);
+  }
+
+  friend constexpr U128 operator&(const U128& a, const U128& b) {
+    return U128(a.hi_ & b.hi_, a.lo_ & b.lo_);
+  }
+  friend constexpr U128 operator|(const U128& a, const U128& b) {
+    return U128(a.hi_ | b.hi_, a.lo_ | b.lo_);
+  }
+  friend constexpr U128 operator^(const U128& a, const U128& b) {
+    return U128(a.hi_ ^ b.hi_, a.lo_ ^ b.lo_);
+  }
+  friend constexpr U128 operator~(const U128& a) { return U128(~a.hi_, ~a.lo_); }
+
+  friend constexpr U128 operator<<(const U128& a, int s) {
+    if (s == 0) {
+      return a;
+    }
+    if (s >= 128) {
+      return U128(0, 0);
+    }
+    if (s >= 64) {
+      return U128(a.lo_ << (s - 64), 0);
+    }
+    return U128((a.hi_ << s) | (a.lo_ >> (64 - s)), a.lo_ << s);
+  }
+  friend constexpr U128 operator>>(const U128& a, int s) {
+    if (s == 0) {
+      return a;
+    }
+    if (s >= 128) {
+      return U128(0, 0);
+    }
+    if (s >= 64) {
+      return U128(0, a.hi_ >> (s - 64));
+    }
+    return U128(a.hi_ >> s, (a.lo_ >> s) | (a.hi_ << (64 - s)));
+  }
+
+  // Extracts the digit at `index` (0 = most significant) when the 128 bits are read as a
+  // string of digits of `bits` bits each. Used by Pastry prefix routing with bits = b.
+  constexpr uint32_t Digit(int index, int bits) const {
+    const int shift = 128 - (index + 1) * bits;
+    const U128 shifted = *this >> shift;
+    return static_cast<uint32_t>(shifted.lo_) & ((1u << bits) - 1u);
+  }
+
+  // Number of leading digits (base 2^bits) shared with `other`.
+  constexpr int CommonPrefixDigits(const U128& other, int bits) const {
+    const int digits = 128 / bits;
+    for (int i = 0; i < digits; ++i) {
+      if (Digit(i, bits) != other.Digit(i, bits)) {
+        return i;
+      }
+    }
+    return digits;
+  }
+
+  // Minimal circular distance between two points in the 2^128 identifier ring.
+  static constexpr U128 RingDistance(const U128& a, const U128& b) {
+    const U128 d1 = a - b;
+    const U128 d2 = b - a;
+    return d1 < d2 ? d1 : d2;
+  }
+
+  // Clockwise (increasing-id) distance from a to b, wrapping modulo 2^128.
+  static constexpr U128 ClockwiseDistance(const U128& a, const U128& b) { return b - a; }
+
+  static constexpr U128 Max() { return U128(~0ull, ~0ull); }
+
+  std::string ToHex() const;
+  static U128 FromHex(const std::string& hex);
+
+  // FNV-style mix down to 64 bits for use as a hash-map key.
+  constexpr uint64_t Hash64() const {
+    uint64_t h = hi_ * 0x9E3779B97F4A7C15ull;
+    h ^= lo_ + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h;
+  }
+
+ private:
+  uint64_t hi_ = 0;
+  uint64_t lo_ = 0;
+};
+
+struct U128Hash {
+  size_t operator()(const U128& v) const { return static_cast<size_t>(v.Hash64()); }
+};
+
+}  // namespace totoro
+
+#endif  // SRC_COMMON_U128_H_

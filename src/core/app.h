@@ -1,0 +1,76 @@
+// FL application descriptor and per-application results.
+#ifndef SRC_CORE_APP_H_
+#define SRC_CORE_APP_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/dht/node_id.h"
+#include "src/fl/client.h"
+#include "src/ml/model.h"
+
+namespace totoro {
+
+using ModelFactory = std::function<std::unique_ptr<Model>(uint64_t seed)>;
+
+// Everything an application owner specifies when launching an FL application: the model,
+// training hyper-parameters, stopping rule, and per-application FL policies (privacy,
+// compression) — Totoro's application-specific customization (§4.4).
+// Asynchronous communication protocol (the "asynchronous" option of §2.2.1): workers
+// route updates straight to the master, which folds each one in with
+// w <- (1 - alpha) * w + alpha * w_update and re-broadcasts a fresh model after every
+// `rebroadcast_every` updates (FedAsync-style with buffered re-broadcast).
+struct AsyncConfig {
+  float mix_alpha = 0.3f;
+  size_t rebroadcast_every = 4;
+};
+
+enum class SelectionPolicy { kAll, kRandom, kOortLike };
+
+struct FlAppConfig {
+  std::string name;
+  std::string creator_key = "creator-pk";
+  std::string salt = "salt-0";
+  ModelFactory model_factory;
+  TrainConfig train;
+  double target_accuracy = 2.0;  // > 1 disables early stop (run max_rounds).
+  size_t max_rounds = 20;
+  std::optional<DpConfig> dp;
+  std::optional<CompressionConfig> compression;
+  // Participant selection (§4.3: "Application owner can specify her client selection
+  // function"): how many subscribers train per round, and how they are picked. 0 = all.
+  size_t participants_per_round = 0;
+  SelectionPolicy selection = SelectionPolicy::kAll;
+  // When set, the application runs the asynchronous protocol instead of synchronous
+  // tree-aggregated rounds. max_rounds then caps the number of model re-broadcasts.
+  std::optional<AsyncConfig> async;
+};
+
+struct AccuracyPoint {
+  double time_ms = 0.0;
+  uint64_t round = 0;
+  double accuracy = 0.0;
+};
+
+struct AppResult {
+  std::string name;
+  NodeId topic;
+  bool reached_target = false;
+  double time_to_target_ms = 0.0;  // Virtual ms from launch to hitting target accuracy.
+  double total_time_ms = 0.0;      // Virtual ms from launch to completion.
+  uint64_t rounds_completed = 0;
+  double final_accuracy = 0.0;
+  std::vector<AccuracyPoint> curve;
+};
+
+// Heterogeneity mapping of §7.5: a physical node with 2^k cores hosts k logical P2P
+// nodes (2 cores -> 1, 4 -> 2, 8 -> 3), so resource-rich devices absorb more overlay
+// load.
+int VirtualNodeCount(int cpu_cores);
+
+}  // namespace totoro
+
+#endif  // SRC_CORE_APP_H_

@@ -1,0 +1,396 @@
+#include "src/core/engine.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace totoro {
+namespace {
+
+// Opcode for asynchronous-protocol updates routed straight to the master (range 200+).
+constexpr int kFlAsyncUpdate = 200;
+// Checkpoint replication from the master to its leaf-set neighbors.
+constexpr int kFlCheckpoint = 201;
+
+// Payload of an async update: the worker's freshly trained weights.
+struct AsyncUpdatePayload {
+  NodeId topic;
+  std::vector<float> weights;
+  double sample_weight = 1.0;
+};
+
+}  // namespace
+
+int VirtualNodeCount(int cpu_cores) {
+  CHECK_GE(cpu_cores, 1);
+  int count = 0;
+  while (cpu_cores > 1) {
+    cpu_cores >>= 1;
+    ++count;
+  }
+  return count < 1 ? 1 : count;
+}
+
+TotoroEngine::TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed)
+    : forest_(forest), compute_(compute), rng_(seed) {
+  speed_factors_.assign(forest_->size(), 1.0);
+  // One set of callbacks per scribe node; dispatch on topic inside the engine.
+  for (size_t i = 0; i < forest_->size(); ++i) {
+    ScribeNode& scribe = forest_->scribe(i);
+    scribe.SetCombineFn(MakeFedAvgCombiner());
+    scribe.SetOnBroadcast([this, i](const NodeId& topic, uint64_t round,
+                                    const ScribeBroadcast& bc) {
+      OnBroadcast(i, topic, round, bc);
+    });
+    scribe.SetOnRootAggregate(
+        [this](const NodeId& topic, uint64_t round, const AggregationPiece& total) {
+          OnRootAggregate(topic, round, total);
+        });
+    scribe.pastry().SetDeliverHandler(
+        kFlAsyncUpdate,
+        [this](const NodeId& key, const Message& msg, int) { OnAsyncUpdate(key, msg); });
+    // Replicas only need to hold the checkpoint bytes; the engine harness models the
+    // stored state, so receipt is a no-op beyond the traffic/state cost.
+    scribe.pastry().SetDeliverHandler(kFlCheckpoint,
+                                      [](const NodeId&, const Message&, int) {});
+  }
+}
+
+void TotoroEngine::SetSpeedFactors(std::vector<double> factors) {
+  CHECK_EQ(factors.size(), forest_->size());
+  speed_factors_ = std::move(factors);
+}
+
+void TotoroEngine::EnableFailover(FailoverConfig config) {
+  CHECK_GT(config.watchdog_interval_ms, 0.0);
+  CHECK_GT(config.stall_timeout_ms, config.watchdog_interval_ms);
+  failover_config_ = config;
+  if (!failover_enabled_) {
+    failover_enabled_ = true;
+    forest_->pastry().network()->sim()->Schedule(failover_config_.watchdog_interval_ms,
+                                                 [this]() { WatchdogTick(); });
+  }
+}
+
+void TotoroEngine::ReplicateCheckpoint(AppRuntime& app) {
+  // The master pushes (weights, round) to its nearest leaf-set neighbors so any of them
+  // can seed a successor master.
+  PastryNode& master = forest_->scribe(app.master_index).pastry();
+  const auto replicas = master.leaf_set().All();
+  const uint64_t bytes = app.global_weights.size() * sizeof(float) + 64;
+  int sent = 0;
+  for (const auto& replica : replicas) {
+    if (sent >= failover_config_.checkpoint_replicas) {
+      break;
+    }
+    Message m;
+    m.type = kFlCheckpoint;
+    m.size_bytes = bytes;
+    m.traffic = TrafficClass::kModel;
+    m.transport = Transport::kTcp;
+    master.SendDirect(replica.host, std::move(m));
+    ++sent;
+  }
+}
+
+void TotoroEngine::WatchdogTick() {
+  const double now = forest_->pastry().network()->sim()->Now();
+  for (auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->started || app->done) {
+      continue;
+    }
+    if (now - app->last_progress_ms < failover_config_.stall_timeout_ms) {
+      continue;
+    }
+    // Stalled. Either the master died (tree re-elects a new rendezvous root) or a whole
+    // round's traffic was lost; both are cured by resuming from the checkpoint at the
+    // current root.
+    const size_t root = forest_->RootOf(app->topic);
+    if (root == SIZE_MAX) {
+      continue;  // Tree still re-electing; try again next tick.
+    }
+    if (root != app->master_index) {
+      TLOG_INFO("failover: app %s master moves %zu -> %zu at t=%.0fms",
+                app->config.name.c_str(), app->master_index, root, now);
+      app->master_index = root;
+      app->failovers += 1;
+    }
+    app->last_progress_ms = now;
+    StartRound(*app);
+  }
+  forest_->pastry().network()->sim()->Schedule(failover_config_.watchdog_interval_ms,
+                                               [this]() { WatchdogTick(); });
+}
+
+NodeId TotoroEngine::LaunchApp(const FlAppConfig& config, const std::vector<size_t>& workers,
+                               std::vector<Dataset> shards, Dataset test_set) {
+  CHECK(config.model_factory != nullptr);
+  CHECK_EQ(workers.size(), shards.size());
+  CHECK(!workers.empty());
+  const NodeId topic = MakeAppId(config.name, config.creator_key, config.salt);
+  CHECK(apps_.find(topic) == apps_.end());
+
+  forest_->SubscribeAll(topic, workers, subscribe_settle_ms_);
+  const size_t master = forest_->RootOf(topic);
+  CHECK_NE(master, SIZE_MAX);
+
+  auto app = std::make_unique<AppRuntime>();
+  app->config = config;
+  app->topic = topic;
+  app->master_index = master;
+  app->global_model = config.model_factory(rng_.Next());
+  app->global_weights = app->global_model->GetWeights();
+  app->test_set = std::move(test_set);
+  app->result.name = config.name;
+  app->result.topic = topic;
+  for (size_t w = 0; w < workers.size(); ++w) {
+    const size_t node = workers[w];
+    CHECK(shards[w].size() > 0);
+    app->trainers[node] = std::make_unique<LocalTrainer>(
+        config.model_factory(rng_.Next()), std::move(shards[w]), speed_factors_[node],
+        rng_.Next());
+  }
+  switch (config.selection) {
+    case SelectionPolicy::kAll:
+      break;
+    case SelectionPolicy::kRandom:
+      app->selector = std::make_unique<RandomSelector>();
+      break;
+    case SelectionPolicy::kOortLike:
+      app->selector = std::make_unique<OortLikeSelector>();
+      break;
+  }
+  apps_[topic] = std::move(app);
+  return topic;
+}
+
+void TotoroEngine::StartAll() {
+  for (auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->started) {
+      app->started = true;
+      app->launch_time_ms = forest_->pastry().network()->sim()->Now();
+      StartRound(*app);
+    }
+  }
+}
+
+void TotoroEngine::StartRound(AppRuntime& app) {
+  app.round += 1;
+  app.last_progress_ms = forest_->pastry().network()->sim()->Now();
+  auto payload = std::make_shared<RoundPayload>();
+  payload->weights = app.global_weights;
+  // Participant selection: the application's selection function picks this round's
+  // cohort from the subscribed workers.
+  if (app.selector != nullptr && app.config.participants_per_round > 0 &&
+      app.config.participants_per_round < app.trainers.size()) {
+    std::vector<ClientInfo> clients;
+    clients.reserve(app.trainers.size());
+    for (const auto& [node, trainer] : app.trainers) {
+      ClientInfo info;
+      info.index = node;
+      // Optimistic initialization: untrained clients look maximally useful.
+      info.last_loss = trainer->last_loss() > 0.0f ? trainer->last_loss() : 1e6;
+      info.speed_factor = trainer->speed_factor();
+      clients.push_back(info);
+    }
+    auto selected = std::make_shared<std::vector<size_t>>(
+        app.selector->Select(clients, app.config.participants_per_round, rng_));
+    std::sort(selected->begin(), selected->end());
+    payload->selected = std::move(selected);
+  }
+  const uint64_t bytes = app.global_weights.size() * sizeof(float);
+  forest_->scribe(app.master_index)
+      .Broadcast(app.topic, app.round, std::move(payload), bytes);
+}
+
+void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t round,
+                               const ScribeBroadcast& bc) {
+  auto it = apps_.find(topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  auto trainer_it = app.trainers.find(node_index);
+  if (trainer_it == app.trainers.end()) {
+    return;  // This node forwards but does not train for this app.
+  }
+  CHECK(bc.data != nullptr);
+  const auto* payload = static_cast<const RoundPayload*>(bc.data.get());
+  Network* net = forest_->pastry().network();
+
+  const bool selected =
+      payload->selected == nullptr ||
+      std::binary_search(payload->selected->begin(), payload->selected->end(), node_index);
+  if (!selected) {
+    if (!app.config.async.has_value()) {
+      // Synchronous rounds still need this subscriber's slot in the tree aggregation to
+      // close; contribute an empty (zero-weight) piece immediately.
+      AggregationPiece empty;
+      empty.data = nullptr;
+      empty.weight = 0.0;
+      empty.count = 0;
+      forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(empty), 16);
+    }
+    return;
+  }
+
+  LocalTrainer& trainer = *trainer_it->second;
+  LocalUpdate update = trainer.Train(payload->weights, app.config.train, compute_,
+                                     app.config.dp, app.config.compression);
+  net->metrics().ChargeWork(
+      forest_->scribe(node_index).host(), WorkKind::kFlTask,
+      static_cast<double>(trainer.model().NumParams()) *
+          static_cast<double>(app.config.train.batch_size * app.config.train.local_steps));
+
+  const uint64_t wire_bytes = update.wire_bytes;
+  const double compute_ms = update.compute_time_ms;
+  if (app.config.async.has_value()) {
+    // Asynchronous protocol: route the update straight to the master; no tree barrier.
+    AsyncUpdatePayload async_payload;
+    async_payload.topic = topic;
+    async_payload.weights = std::move(update.weights);
+    async_payload.sample_weight = update.sample_weight;
+    net->sim()->Schedule(compute_ms, [this, node_index, topic, wire_bytes,
+                                      async_payload = std::move(async_payload)]() mutable {
+      Message m;
+      m.type = kFlAsyncUpdate;
+      m.size_bytes = wire_bytes;
+      m.traffic = TrafficClass::kGradient;
+      m.transport = Transport::kTcp;
+      m.SetPayload(std::move(async_payload));
+      forest_->scribe(node_index).pastry().Route(topic, std::move(m));
+    });
+    return;
+  }
+
+  auto piece_payload = std::make_shared<WeightsPayload>();
+  piece_payload->weights = std::move(update.weights);
+  AggregationPiece piece;
+  piece.data = std::move(piece_payload);
+  piece.weight = update.sample_weight;
+  piece.count = 1;
+  net->sim()->Schedule(compute_ms, [this, node_index, topic, round, piece = std::move(piece),
+                                    wire_bytes]() mutable {
+    forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(piece), wire_bytes);
+  });
+}
+
+void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
+                                   const AggregationPiece& total) {
+  auto it = apps_.find(topic);
+  if (it == apps_.end() || it->second->done) {
+    return;
+  }
+  AppRuntime& app = *it->second;
+  if (round != app.round || app.config.async.has_value()) {
+    return;  // Stale aggregate from a straggler cut-off of an earlier round.
+  }
+  if (total.data != nullptr) {
+    const auto* merged = static_cast<const WeightsPayload*>(total.data.get());
+    app.global_weights = merged->weights;
+  }
+  // A null total (every contribution timed out or no worker was selected) keeps the
+  // previous global weights; the round still closes.
+  EvaluateAndAdvance(app, round);
+}
+
+void TotoroEngine::OnAsyncUpdate(const NodeId& key, const Message& msg) {
+  const auto& payload = msg.As<AsyncUpdatePayload>();
+  auto it = apps_.find(payload.topic);
+  if (it == apps_.end() || it->second->done || !it->second->config.async.has_value()) {
+    return;
+  }
+  (void)key;
+  AppRuntime& app = *it->second;
+  const AsyncConfig& async = *app.config.async;
+  // FedAsync mixing: w <- (1 - alpha) w + alpha w_update.
+  CHECK_EQ(payload.weights.size(), app.global_weights.size());
+  const float alpha = async.mix_alpha;
+  for (size_t i = 0; i < app.global_weights.size(); ++i) {
+    app.global_weights[i] =
+        (1.0f - alpha) * app.global_weights[i] + alpha * payload.weights[i];
+  }
+  app.async_updates_received += 1;
+  forest_->pastry().network()->metrics().ChargeWork(
+      forest_->scribe(app.master_index).host(), WorkKind::kFlTask,
+      static_cast<double>(app.global_weights.size()));
+  if (app.async_updates_received % async.rebroadcast_every == 0) {
+    EvaluateAndAdvance(app, app.round);
+  }
+}
+
+void TotoroEngine::EvaluateAndAdvance(AppRuntime& app, uint64_t round) {
+  app.global_model->SetWeights(app.global_weights);
+  Network* net = forest_->pastry().network();
+  // Evaluation is FL-side master work.
+  net->metrics().ChargeWork(forest_->scribe(app.master_index).host(), WorkKind::kFlTask,
+                            static_cast<double>(app.global_model->NumParams()) *
+                                static_cast<double>(app.test_set.size()));
+  const double accuracy = app.global_model->Accuracy(app.test_set);
+  const double now = net->sim()->Now();
+  app.last_progress_ms = now;
+  if (failover_enabled_) {
+    ReplicateCheckpoint(app);
+  }
+  app.result.curve.push_back(AccuracyPoint{now - app.launch_time_ms, round, accuracy});
+  app.result.rounds_completed = round;
+  app.result.final_accuracy = accuracy;
+  TLOG_INFO("app %s round %llu accuracy %.4f at t=%.1fms", app.config.name.c_str(),
+            static_cast<unsigned long long>(round), accuracy, now);
+
+  if (!app.result.reached_target && accuracy >= app.config.target_accuracy) {
+    app.result.reached_target = true;
+    app.result.time_to_target_ms = now - app.launch_time_ms;
+  }
+  if (app.result.reached_target || round >= app.config.max_rounds) {
+    FinishApp(app);
+    return;
+  }
+  StartRound(app);
+}
+
+void TotoroEngine::FinishApp(AppRuntime& app) {
+  app.done = true;
+  app.result.total_time_ms =
+      forest_->pastry().network()->sim()->Now() - app.launch_time_ms;
+}
+
+bool TotoroEngine::AllDone() const {
+  for (const auto& [topic, app] : apps_) {
+    (void)topic;
+    if (!app->done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TotoroEngine::RunToCompletion(double max_virtual_ms) {
+  Simulator* sim = forest_->pastry().network()->sim();
+  const double deadline = sim->Now() + max_virtual_ms;
+  while (!AllDone() && !sim->Idle() && sim->Now() < deadline) {
+    sim->Run(20000);
+  }
+  return AllDone();
+}
+
+const AppResult& TotoroEngine::result(const NodeId& topic) const {
+  auto it = apps_.find(topic);
+  CHECK(it != apps_.end());
+  return it->second->result;
+}
+
+std::vector<AppResult> TotoroEngine::AllResults() const {
+  std::vector<AppResult> out;
+  out.reserve(apps_.size());
+  for (const auto& [topic, app] : apps_) {
+    (void)topic;
+    out.push_back(app->result);
+  }
+  return out;
+}
+
+}  // namespace totoro

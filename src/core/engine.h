@@ -1,0 +1,121 @@
+// The Totoro engine: drives federated rounds for many concurrent applications over the
+// pub/sub forest.
+//
+// Per application: the rendezvous root acts as the master (holding the global model and
+// running evaluation), internal tree nodes aggregate partial updates in-network, and
+// subscribers run local training with virtual compute delays. Applications are fully
+// independent — separate trees, separate masters — which is the paper's "many masters /
+// many workers" architecture; the engine merely multiplexes callbacks per topic.
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/app.h"
+#include "src/fl/aggregation.h"
+#include "src/fl/selection.h"
+#include "src/pubsub/forest.h"
+
+namespace totoro {
+
+class TotoroEngine {
+ public:
+  TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed);
+
+  // Per-node relative compute speeds (heterogeneous devices). Defaults to 1.0 for all.
+  void SetSpeedFactors(std::vector<double> factors);
+
+  // Master failover: every round the master replicates its checkpoint (global weights +
+  // round counter) to `checkpoint_replicas` leaf-set neighbors; a periodic watchdog
+  // detects a dead or stalled master, re-resolves the application's root (the overlay
+  // elects the next rendezvous node once tree repair runs) and resumes training there
+  // from the replicated checkpoint. This is the operational consequence of "any edge
+  // node can act as any application's coordinator".
+  struct FailoverConfig {
+    double watchdog_interval_ms = 500.0;
+    double stall_timeout_ms = 4000.0;  // No progress for this long => intervene.
+    int checkpoint_replicas = 2;
+  };
+  void EnableFailover(FailoverConfig config);
+
+  // How long LaunchApp lets the simulator settle after subscribing workers. 0 (default)
+  // runs the event queue dry — correct only when no periodic timers (keep-alives,
+  // maintenance) are active; with periodic timers, set a bounded settle instead.
+  void SetSubscribeSettleMs(double settle_ms) { subscribe_settle_ms_ = settle_ms; }
+
+  // Builds the application's tree over `workers` and installs its runtime. `shards`
+  // is parallel to `workers`; `test_set` is the master's evaluation set. Returns the
+  // application topic. Training starts at StartAll().
+  NodeId LaunchApp(const FlAppConfig& config, const std::vector<size_t>& workers,
+                   std::vector<Dataset> shards, Dataset test_set);
+
+  // Schedules round 1 of every launched-but-unstarted application at the current
+  // virtual time.
+  void StartAll();
+
+  // Runs the simulator until every application finishes (or the event queue drains, or
+  // `max_virtual_ms` passes). Returns true if all applications completed.
+  bool RunToCompletion(double max_virtual_ms = 1e12);
+
+  bool AllDone() const;
+  const AppResult& result(const NodeId& topic) const;
+  std::vector<AppResult> AllResults() const;
+
+  Forest& forest() { return *forest_; }
+
+ private:
+  struct AppRuntime {
+    FlAppConfig config;
+    NodeId topic;
+    size_t master_index = SIZE_MAX;
+    std::unique_ptr<Model> global_model;
+    std::vector<float> global_weights;
+    Dataset test_set{1, 2};
+    // worker node index -> trainer.
+    std::unordered_map<size_t, std::unique_ptr<LocalTrainer>> trainers;
+    uint64_t round = 0;
+    double launch_time_ms = 0.0;
+    bool started = false;
+    bool done = false;
+    // Participant selection state.
+    std::unique_ptr<ClientSelector> selector;
+    // Async-protocol state.
+    uint64_t async_updates_received = 0;
+    // Failover bookkeeping.
+    double last_progress_ms = 0.0;
+    uint64_t failovers = 0;
+    AppResult result;
+  };
+
+  // The model-broadcast payload: weights plus (optionally) the round's selected cohort.
+  struct RoundPayload {
+    std::vector<float> weights;
+    // Null when every subscriber trains; otherwise the selected worker node indices.
+    std::shared_ptr<const std::vector<size_t>> selected;
+  };
+
+  void OnBroadcast(size_t node_index, const NodeId& topic, uint64_t round,
+                   const ScribeBroadcast& bc);
+  void OnRootAggregate(const NodeId& topic, uint64_t round, const AggregationPiece& total);
+  void OnAsyncUpdate(const NodeId& key, const Message& msg);
+  void EvaluateAndAdvance(AppRuntime& app, uint64_t round);
+  void StartRound(AppRuntime& app);
+  void FinishApp(AppRuntime& app);
+  void ReplicateCheckpoint(AppRuntime& app);
+  void WatchdogTick();
+
+  Forest* forest_;
+  ComputeModel compute_;
+  Rng rng_;
+  std::vector<double> speed_factors_;
+  std::unordered_map<U128, std::unique_ptr<AppRuntime>, U128Hash> apps_;
+  bool failover_enabled_ = false;
+  FailoverConfig failover_config_;
+  double subscribe_settle_ms_ = 0.0;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_CORE_ENGINE_H_

@@ -1,0 +1,62 @@
+#include "src/core/eua_topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+const std::vector<EuaRegion>& EuaRegions() {
+  static const std::vector<EuaRegion> kRegions = {
+      {"ACT", 931, {-35.28, 149.13}, 0.25},   // Canberra.
+      {"ANT", 15, {-66.28, 110.53}, 1.00},    // Antarctic stations.
+      {"EXT", 8, {-10.42, 105.68}, 1.50},     // External territories (Christmas Is.).
+      {"ISL", 36, {-29.03, 167.95}, 1.00},    // Norfolk & other islands.
+      {"NSW", 24574, {-33.87, 151.21}, 2.20},  // Sydney-centred.
+      {"NT", 3137, {-12.46, 130.84}, 3.00},    // Darwin.
+      {"QLD", 21576, {-27.47, 153.03}, 3.20},  // Brisbane.
+      {"SA", 7682, {-34.93, 138.60}, 2.50},    // Adelaide.
+      {"TAS", 3213, {-42.88, 147.33}, 1.20},   // Hobart.
+      {"VIC", 18163, {-37.81, 144.96}, 1.80},  // Melbourne.
+      {"WA", 15933, {-31.95, 115.86}, 3.50},   // Perth.
+      {"WLD", 3, {1.35, 103.82}, 2.00},        // Out-of-country points.
+  };
+  return kRegions;
+}
+
+std::vector<EuaNode> GenerateEuaTopology(size_t target_total, Rng& rng) {
+  CHECK_GT(target_total, 0u);
+  const auto& regions = EuaRegions();
+  size_t full_total = 0;
+  for (const auto& r : regions) {
+    full_total += r.full_count;
+  }
+  std::vector<EuaNode> nodes;
+  nodes.reserve(target_total + regions.size());
+  for (size_t ri = 0; ri < regions.size(); ++ri) {
+    const auto& r = regions[ri];
+    const double share = static_cast<double>(r.full_count) / static_cast<double>(full_total);
+    const size_t count = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(share * static_cast<double>(target_total))));
+    for (size_t i = 0; i < count; ++i) {
+      EuaNode node;
+      node.region = static_cast<int>(ri);
+      node.location.lat_deg = r.anchor.lat_deg + rng.Gaussian(0.0, r.spread_deg);
+      node.location.lon_deg = r.anchor.lon_deg + rng.Gaussian(0.0, r.spread_deg);
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+std::vector<size_t> RegionCounts(const std::vector<EuaNode>& nodes) {
+  std::vector<size_t> counts(EuaRegions().size(), 0);
+  for (const auto& n : nodes) {
+    CHECK_LT(static_cast<size_t>(n.region), counts.size());
+    ++counts[static_cast<size_t>(n.region)];
+  }
+  return counts;
+}
+
+}  // namespace totoro

@@ -1,0 +1,45 @@
+// Synthetic EUA-like edge topology (Fig. 5a substrate).
+//
+// The paper divides 95,271 cellular base stations from the Australian EUA dataset into
+// zones across 12 states/regions. The dataset itself is not shipped here, so this
+// generator reproduces its published structure: the exact per-region node counts
+// (ACT: 931, ANT: 15, EXT: 8, ISL: 36, NSW: 24574, NT: 3137, QLD: 21576, SA: 7682,
+// TAS: 3213, VIC: 18163, WA: 15933, WLD: 3) and the strong density skew, by sampling
+// points around each region's geographic anchor. A scale factor shrinks every region
+// proportionally (minimum one node) for simulation-sized experiments.
+#ifndef SRC_CORE_EUA_TOPOLOGY_H_
+#define SRC_CORE_EUA_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/geo.h"
+#include "src/common/rng.h"
+
+namespace totoro {
+
+struct EuaRegion {
+  std::string name;
+  size_t full_count = 0;  // Node count in the real EUA dataset.
+  GeoPoint anchor;        // Approximate population centroid.
+  double spread_deg = 1.0;  // Gaussian spread of stations around the anchor.
+};
+
+struct EuaNode {
+  GeoPoint location;
+  int region = 0;  // Index into Regions().
+};
+
+// The 12 EUA regions with the paper's counts.
+const std::vector<EuaRegion>& EuaRegions();
+
+// Samples a topology with roughly `target_total` nodes, preserving region proportions
+// (each region keeps at least one node). target_total == 95271 reproduces full scale.
+std::vector<EuaNode> GenerateEuaTopology(size_t target_total, Rng& rng);
+
+// Per-region counts of a generated topology (parallel to EuaRegions()).
+std::vector<size_t> RegionCounts(const std::vector<EuaNode>& nodes);
+
+}  // namespace totoro
+
+#endif  // SRC_CORE_EUA_TOPOLOGY_H_

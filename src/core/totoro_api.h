@@ -1,0 +1,107 @@
+// Totoro's high-level API (paper Table 2).
+//
+// This facade assembles the full stack — simulator, network, Pastry overlay, pub/sub
+// forest — behind the eight calls the paper exposes to application owners:
+//
+//   Join(...)                     edge node joins the overlay
+//   CreateTree(app_id)            create an application's dataflow tree (topic)
+//   Subscribe(app_id)             node subscribes to the tree (worker)
+//   Broadcast(app_id, object)     master disseminates the model down the tree
+//   onBroadcast(app_id, object)   callback at workers
+//   Aggregate(app_id, object)     worker submits an update up the tree
+//   onAggregate(app_id, object)   callback at the master when a round's aggregate lands
+//   onTimer(app_id)               periodic progress callback
+//
+// Examples and quickstarts use this class; benches that need finer control use the
+// layers directly.
+#ifndef SRC_CORE_TOTORO_API_H_
+#define SRC_CORE_TOTORO_API_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/app.h"
+#include "src/pubsub/forest.h"
+#include "src/rings/multi_ring.h"
+
+namespace totoro {
+
+class Totoro {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    PastryConfig pastry;
+    ScribeConfig scribe;
+    NetworkConfig network;
+    // Pairwise latency range of the emulated edge WAN.
+    double latency_lo_ms = 2.0;
+    double latency_hi_ms = 40.0;
+  };
+
+  using NodeHandle = size_t;
+  using ObjectPtr = std::shared_ptr<const void>;
+  using OnBroadcastFn =
+      std::function<void(NodeHandle node, const NodeId& app_id, uint64_t round,
+                         const ObjectPtr& object)>;
+  using OnAggregateFn = std::function<void(const NodeId& app_id, uint64_t round,
+                                           const ObjectPtr& object, double weight)>;
+  using OnTimerFn = std::function<void(const NodeId& app_id)>;
+
+  explicit Totoro(Options options);
+  ~Totoro();
+
+  // --- Table 2 calls ---
+
+  // Edge node joins the DHT-based P2P overlay. `site` selects the edge zone; ids are
+  // zone-prefixed so intra-site traffic stays local.
+  NodeHandle Join(ZoneId site = 0);
+
+  // Installs converged overlay state for all joined nodes (call once after Join()s).
+  void BuildOverlay();
+
+  // Application owner creates a dataflow tree; returns the AppId topic.
+  NodeId CreateTree(const std::string& app_name);
+
+  // Node subscribes to the application's tree.
+  void Subscribe(NodeHandle node, const NodeId& app_id);
+
+  // Master disseminates `object` (size `bytes` on the wire) to subscribers.
+  void Broadcast(const NodeId& app_id, uint64_t round, ObjectPtr object, uint64_t bytes);
+
+  // Worker submits an update; intermediate nodes aggregate with the tree's combiner.
+  void Aggregate(NodeHandle node, const NodeId& app_id, uint64_t round, ObjectPtr object,
+                 double weight, uint64_t bytes);
+
+  // Application owners customize the aggregation function (e.g. FedAvg vs FedProx).
+  void SetCombiner(CombineFn combiner);
+  void SetOnBroadcast(OnBroadcastFn fn);
+  void SetOnAggregate(OnAggregateFn fn);
+  // Periodic progress callback every `period_ms` of virtual time.
+  void SetOnTimer(const NodeId& app_id, double period_ms, OnTimerFn fn);
+
+  // --- Harness access ---
+  size_t NumNodes() const;
+  NodeHandle MasterOf(const NodeId& app_id) const;
+  Simulator& sim();
+  Network& network();
+  Forest& forest();
+  MultiRing& rings();
+  void Run() { sim().Run(); }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<MultiRing> rings_;
+  std::unique_ptr<Forest> forest_;
+  bool overlay_built_ = false;
+  OnBroadcastFn on_broadcast_;
+  OnAggregateFn on_aggregate_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_CORE_TOTORO_API_H_

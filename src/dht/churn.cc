@@ -1,0 +1,73 @@
+#include "src/dht/churn.h"
+
+#include "src/common/logging.h"
+
+namespace totoro {
+
+ChurnDriver::ChurnDriver(PastryNetwork* pastry, ChurnConfig config, uint64_t seed)
+    : pastry_(pastry), config_(config), rng_(seed) {}
+
+size_t ChurnDriver::LiveNodes() const {
+  size_t live = 0;
+  for (size_t i = 0; i < pastry_->size(); ++i) {
+    if (pastry_->node(i).alive()) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+void ChurnDriver::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  pastry_->network()->sim()->Schedule(rng_.Exponential(config_.event_interval_ms),
+                                      [this]() { Tick(); });
+}
+
+void ChurnDriver::Tick() {
+  if (!running_) {
+    return;
+  }
+  const bool leave = rng_.Bernoulli(config_.leave_fraction) || !config_.enable_joins;
+  if (leave) {
+    if (LiveNodes() > config_.min_live_nodes) {
+      // Abrupt departure (no goodbye): peers must detect it via keep-alives.
+      std::vector<PastryNode*> live;
+      for (size_t i = 0; i < pastry_->size(); ++i) {
+        if (pastry_->node(i).alive()) {
+          live.push_back(&pastry_->node(i));
+        }
+      }
+      PastryNode* victim = live[rng_.NextBelow(live.size())];
+      pastry_->network()->SetHostUp(victim->host(), false);
+      ++leaves_;
+      TLOG_DEBUG("churn: node %s left", victim->id().ToHex().c_str());
+    }
+  } else {
+    // A brand-new node joins through a random live bootstrap.
+    std::vector<PastryNode*> live;
+    for (size_t i = 0; i < pastry_->size(); ++i) {
+      if (pastry_->node(i).alive()) {
+        live.push_back(&pastry_->node(i));
+      }
+    }
+    if (!live.empty()) {
+      PastryNode* bootstrap = live[rng_.NextBelow(live.size())];
+      const size_t index = pastry_->AddRandomNode(rng_);
+      PastryNode& joiner = pastry_->node(index);
+      if (joiner.config().enable_keepalive) {
+        joiner.StartKeepAlive();
+      }
+      joiner.Join(bootstrap->host());
+      ++joins_;
+      TLOG_DEBUG("churn: node %s joining via host %u", joiner.id().ToHex().c_str(),
+                 bootstrap->host());
+    }
+  }
+  pastry_->network()->sim()->Schedule(rng_.Exponential(config_.event_interval_ms),
+                                      [this]() { Tick(); });
+}
+
+}  // namespace totoro

@@ -1,0 +1,47 @@
+// Continuous-churn driver: nodes leave and new nodes join through the live protocol.
+//
+// The paper's adaptivity goal includes "high churn (nodes join and leave)". This driver
+// turns that into a repeatable process: at a configurable rate it kills a random live
+// node and (optionally) joins a brand-new node through an existing member, exercising
+// keep-alive failure detection, leaf-set repair and the join protocol concurrently with
+// whatever workload is running.
+#ifndef SRC_DHT_CHURN_H_
+#define SRC_DHT_CHURN_H_
+
+#include "src/dht/pastry_network.h"
+
+namespace totoro {
+
+struct ChurnConfig {
+  double event_interval_ms = 200.0;  // Mean time between churn events (exponential).
+  double leave_fraction = 0.5;       // P(event is a leave); otherwise a join.
+  size_t min_live_nodes = 8;         // Leaves are suppressed below this population.
+  bool enable_joins = true;
+};
+
+class ChurnDriver {
+ public:
+  ChurnDriver(PastryNetwork* pastry, ChurnConfig config, uint64_t seed);
+
+  // Starts the churn process; it reschedules itself until Stop().
+  void Start();
+  void Stop() { running_ = false; }
+
+  size_t leaves() const { return leaves_; }
+  size_t joins() const { return joins_; }
+  size_t LiveNodes() const;
+
+ private:
+  void Tick();
+
+  PastryNetwork* pastry_;
+  ChurnConfig config_;
+  Rng rng_;
+  bool running_ = false;
+  size_t leaves_ = 0;
+  size_t joins_ = 0;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_DHT_CHURN_H_

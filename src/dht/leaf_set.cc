@@ -1,0 +1,158 @@
+#include "src/dht/leaf_set.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace totoro {
+namespace {
+
+// Insert into a side list kept sorted by distance (nearest first), capped at `cap`.
+bool InsertSide(std::vector<RouteEntry>& side, const RouteEntry& entry, const U128& dist,
+                const NodeId& self, bool clockwise, size_t cap) {
+  auto dist_of = [&](const RouteEntry& e) {
+    return clockwise ? U128::ClockwiseDistance(self, e.id) : U128::ClockwiseDistance(e.id, self);
+  };
+  for (const auto& e : side) {
+    if (e.id == entry.id) {
+      return false;
+    }
+  }
+  auto it = std::lower_bound(side.begin(), side.end(), dist,
+                             [&](const RouteEntry& e, const U128& d) { return dist_of(e) < d; });
+  if (side.size() >= cap && it == side.end()) {
+    return false;
+  }
+  side.insert(it, entry);
+  if (side.size() > cap) {
+    side.pop_back();
+  }
+  return true;
+}
+
+}  // namespace
+
+LeafSet::LeafSet(NodeId self, int size) : self_(self), size_(size) {
+  CHECK_GE(size_, 2);
+  CHECK_EQ(size_ % 2, 0);
+}
+
+bool LeafSet::Consider(const RouteEntry& entry) {
+  if (entry.id == self_) {
+    return false;
+  }
+  const size_t cap = static_cast<size_t>(size_ / 2);
+  const U128 cw_dist = U128::ClockwiseDistance(self_, entry.id);
+  const U128 ccw_dist = U128::ClockwiseDistance(entry.id, self_);
+  bool changed = false;
+  // A node can be in both sides of a sparse ring (fewer than L nodes total); that is
+  // correct — coverage then spans the full circle.
+  changed |= InsertSide(cw_, entry, cw_dist, self_, /*clockwise=*/true, cap);
+  changed |= InsertSide(ccw_, entry, ccw_dist, self_, /*clockwise=*/false, cap);
+  return changed;
+}
+
+bool LeafSet::Remove(NodeId id) {
+  bool changed = false;
+  auto drop = [&](std::vector<RouteEntry>& side) {
+    for (auto it = side.begin(); it != side.end(); ++it) {
+      if (it->id == id) {
+        side.erase(it);
+        changed = true;
+        return;
+      }
+    }
+  };
+  drop(cw_);
+  drop(ccw_);
+  return changed;
+}
+
+bool LeafSet::Contains(NodeId id) const {
+  for (const auto& e : cw_) {
+    if (e.id == id) {
+      return true;
+    }
+  }
+  for (const auto& e : ccw_) {
+    if (e.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LeafSet::Full() const {
+  const size_t cap = static_cast<size_t>(size_ / 2);
+  return cw_.size() >= cap && ccw_.size() >= cap;
+}
+
+bool LeafSet::Covers(const NodeId& key) const {
+  if (!Full()) {
+    return true;
+  }
+  // Interval [ccw_.back(), cw_.back()] around self, measured clockwise from ccw_.back().
+  const U128 span = U128::ClockwiseDistance(ccw_.back().id, cw_.back().id);
+  const U128 offset = U128::ClockwiseDistance(ccw_.back().id, key);
+  return offset <= span;
+}
+
+RouteEntry LeafSet::Closest(const NodeId& key, HostId self_host,
+                            const std::function<bool(const RouteEntry&)>* alive) const {
+  RouteEntry best{self_, self_host, 0.0};
+  U128 best_dist = U128::RingDistance(self_, key);
+  auto scan = [&](const std::vector<RouteEntry>& side) {
+    for (const auto& e : side) {
+      if (alive != nullptr && !(*alive)(e)) {
+        continue;
+      }
+      const U128 d = U128::RingDistance(e.id, key);
+      if (d < best_dist || (d == best_dist && e.id < best.id)) {
+        best_dist = d;
+        best = e;
+      }
+    }
+  };
+  scan(cw_);
+  scan(ccw_);
+  return best;
+}
+
+std::vector<RouteEntry> LeafSet::All() const {
+  std::vector<RouteEntry> out = cw_;
+  for (const auto& e : ccw_) {
+    bool dup = false;
+    for (const auto& o : out) {
+      if (o.id == e.id) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<RouteEntry> LeafSet::CwNeighbor() const {
+  if (cw_.empty()) {
+    return std::nullopt;
+  }
+  return cw_.front();
+}
+
+std::optional<RouteEntry> LeafSet::CcwNeighbor() const {
+  if (ccw_.empty()) {
+    return std::nullopt;
+  }
+  return ccw_.front();
+}
+
+void LeafSet::ForEach(const std::function<void(const RouteEntry&)>& fn) const {
+  for (const auto& e : All()) {
+    fn(e);
+  }
+}
+
+}  // namespace totoro

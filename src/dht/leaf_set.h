@@ -1,0 +1,65 @@
+// Pastry leaf set: the L/2 numerically closest nodes on each side of the local id.
+//
+// The leaf set terminates routing (a key whose id falls inside the leaf-set range is
+// delivered to the numerically closest member) and anchors failure recovery: when a
+// routing-table entry dies the leaf set is consulted to rebuild, and leaf-set members
+// monitor each other with keep-alives.
+#ifndef SRC_DHT_LEAF_SET_H_
+#define SRC_DHT_LEAF_SET_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/dht/routing_table.h"
+
+namespace totoro {
+
+class LeafSet {
+ public:
+  // `size` is the total capacity L (split L/2 clockwise, L/2 counter-clockwise).
+  LeafSet(NodeId self, int size);
+
+  const NodeId& self() const { return self_; }
+
+  // Offers a candidate; keeps the set as the L/2 closest per side. Returns true if the
+  // set changed.
+  bool Consider(const RouteEntry& entry);
+  bool Remove(NodeId id);
+  bool Contains(NodeId id) const;
+
+  // Whether `key` lies within [farthest ccw member, farthest cw member] (the leaf-set
+  // coverage interval around self). Always true when the set is not yet full (small
+  // rings: every node knows the whole ring).
+  bool Covers(const NodeId& key) const;
+
+  // Member (or self) numerically closest to key. `self_host` is returned for self.
+  // When `alive` is provided, members failing the predicate are skipped (self is always
+  // eligible) — used to route around hosts whose transport connection is known-dead.
+  RouteEntry Closest(const NodeId& key, HostId self_host,
+                     const std::function<bool(const RouteEntry&)>* alive = nullptr) const;
+
+  std::vector<RouteEntry> clockwise() const { return cw_; }
+  std::vector<RouteEntry> counter_clockwise() const { return ccw_; }
+  std::vector<RouteEntry> All() const;
+  size_t NumEntries() const { return cw_.size() + ccw_.size(); }
+  int capacity() const { return size_; }
+  bool Full() const;
+
+  // Immediate ring neighbors (first entry on each side), if any.
+  std::optional<RouteEntry> CwNeighbor() const;
+  std::optional<RouteEntry> CcwNeighbor() const;
+
+  void ForEach(const std::function<void(const RouteEntry&)>& fn) const;
+
+ private:
+  NodeId self_;
+  int size_;
+  // Sorted by clockwise / counter-clockwise distance from self, nearest first.
+  std::vector<RouteEntry> cw_;
+  std::vector<RouteEntry> ccw_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_DHT_LEAF_SET_H_

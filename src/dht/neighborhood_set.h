@@ -1,0 +1,34 @@
+// Pastry neighborhood set: the M physically closest nodes, by network proximity.
+//
+// Not used for routing; maintains locality information for routing-table repair and for
+// the locality-aware ring construction (§4.2: "contains a fixed number of nodes that are
+// physically closest to that node").
+#ifndef SRC_DHT_NEIGHBORHOOD_SET_H_
+#define SRC_DHT_NEIGHBORHOOD_SET_H_
+
+#include <vector>
+
+#include "src/dht/routing_table.h"
+
+namespace totoro {
+
+class NeighborhoodSet {
+ public:
+  NeighborhoodSet(NodeId self, int capacity);
+
+  // Keeps the `capacity` lowest-proximity entries. Returns true if the set changed.
+  bool Consider(const RouteEntry& entry);
+  bool Remove(NodeId id);
+
+  const std::vector<RouteEntry>& entries() const { return entries_; }
+  size_t NumEntries() const { return entries_.size(); }
+
+ private:
+  NodeId self_;
+  size_t capacity_;
+  std::vector<RouteEntry> entries_;  // Sorted by proximity, nearest first.
+};
+
+}  // namespace totoro
+
+#endif  // SRC_DHT_NEIGHBORHOOD_SET_H_

@@ -1,0 +1,158 @@
+#include "src/dht/pastry_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+PastryNetwork::PastryNetwork(Network* net, PastryConfig config) : net_(net), config_(config) {}
+
+size_t PastryNetwork::AddNode(NodeId id) {
+  CHECK(by_id_.find(id) == by_id_.end());
+  auto node = std::make_unique<PastryNode>(net_, id, config_);
+  by_host_[node->host()] = node.get();
+  by_id_[id] = node.get();
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+size_t PastryNetwork::AddRandomNode(Rng& rng) {
+  NodeId id = RandomNodeId(rng);
+  while (by_id_.find(id) != by_id_.end()) {
+    id = RandomNodeId(rng);
+  }
+  return AddNode(id);
+}
+
+PastryNode* PastryNetwork::FindByHost(HostId host) {
+  auto it = by_host_.find(host);
+  return it == by_host_.end() ? nullptr : it->second;
+}
+
+PastryNode* PastryNetwork::FindById(const NodeId& id) {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+void PastryNetwork::BuildOracle(Rng& rng) {
+  const size_t n = nodes_.size();
+  CHECK_GT(n, 0u);
+  // Sorted view of all ids for interval queries.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return nodes_[a]->id() < nodes_[b]->id(); });
+  std::vector<NodeId> sorted_ids(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted_ids[i] = nodes_[order[i]]->id();
+  }
+
+  const int b = config_.bits_per_digit;
+  const int digits = 128 / b;
+  // Rows beyond log_{2^b}(N)+2 have empty candidate intervals w.h.p.; skip them.
+  const int max_rows =
+      std::min(digits, static_cast<int>(std::ceil(std::log2(static_cast<double>(n)) / b)) + 2);
+  const size_t half_leaf = static_cast<size_t>(config_.leaf_set_size) / 2;
+
+  for (size_t pos = 0; pos < n; ++pos) {
+    PastryNode& node = *nodes_[order[pos]];
+    // Leaf set: exact ring neighbors from the sorted order.
+    for (size_t k = 1; k <= half_leaf && k < n; ++k) {
+      const size_t cw = (pos + k) % n;
+      const size_t ccw = (pos + n - k) % n;
+      for (size_t neighbor_pos : {cw, ccw}) {
+        PastryNode& other = *nodes_[order[neighbor_pos]];
+        node.Learn(RouteEntry{other.id(), other.host(),
+                              net_->LatencyMs(node.host(), other.host())});
+      }
+    }
+    // Routing table: for each (row, col), pick the proximity-closest of a few sampled
+    // candidates in the matching id interval.
+    const NodeId self = node.id();
+    for (int r = 0; r < max_rows; ++r) {
+      const int shift = 128 - (r + 1) * b;
+      const U128 prefix = r == 0 ? U128(0, 0) : (self >> (128 - r * b)) << (128 - r * b);
+      const uint32_t self_digit = self.Digit(r, b);
+      for (uint32_t c = 0; c < (1u << b); ++c) {
+        if (c == self_digit) {
+          continue;
+        }
+        const U128 lo = prefix | (U128(0, c) << shift);
+        const U128 hi = shift == 0 ? lo : lo | ((U128(0, 1) << shift) - U128(0, 1));
+        auto first = std::lower_bound(sorted_ids.begin(), sorted_ids.end(), lo);
+        if (first == sorted_ids.end() || *first > hi) {
+          continue;
+        }
+        auto last = std::upper_bound(first, sorted_ids.end(), hi);
+        const size_t count = static_cast<size_t>(last - first);
+        // Sample up to 4 candidates; keep the one closest in network proximity.
+        PastryNode* best = nullptr;
+        double best_prox = 0.0;
+        for (int s = 0; s < 4; ++s) {
+          const size_t idx = static_cast<size_t>(first - sorted_ids.begin()) +
+                             (count == 1 ? 0 : rng.NextBelow(count));
+          PastryNode& cand = *nodes_[order[idx]];
+          const double prox = net_->LatencyMs(node.host(), cand.host());
+          if (best == nullptr || prox < best_prox) {
+            best = &cand;
+            best_prox = prox;
+          }
+          if (count == 1) {
+            break;
+          }
+        }
+        node.routing_table().Consider(RouteEntry{best->id(), best->host(), best_prox});
+      }
+    }
+  }
+}
+
+void PastryNetwork::JoinAll() {
+  CHECK_GT(nodes_.size(), 0u);
+  // First node forms the overlay alone; the rest join through it (or a recent member).
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    const size_t bootstrap = i - 1;
+    nodes_[i]->Join(nodes_[bootstrap]->host());
+    net_->sim()->Run();
+  }
+}
+
+std::vector<PastryNode*> PastryNetwork::FailRandomNodes(size_t count, Rng& rng) {
+  std::vector<PastryNode*> live;
+  for (const auto& node : nodes_) {
+    if (node->alive()) {
+      live.push_back(node.get());
+    }
+  }
+  CHECK_LE(count, live.size());
+  rng.Shuffle(live);
+  live.resize(count);
+  for (PastryNode* node : live) {
+    net_->SetHostUp(node->host(), false);
+  }
+  return live;
+}
+
+void PastryNetwork::Heal(PastryNode& node) { net_->SetHostUp(node.host(), true); }
+
+PastryNode* PastryNetwork::ClosestLiveNode(const NodeId& key) {
+  PastryNode* best = nullptr;
+  U128 best_dist = U128::Max();
+  for (const auto& node : nodes_) {
+    if (!node->alive()) {
+      continue;
+    }
+    const U128 d = U128::RingDistance(node->id(), key);
+    if (best == nullptr || d < best_dist || (d == best_dist && node->id() < best->id())) {
+      best = node.get();
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace totoro

@@ -1,0 +1,410 @@
+#include "src/dht/pastry_node.h"
+
+#include "src/common/logging.h"
+
+namespace totoro {
+namespace {
+
+// State-byte accounting granularity: one table entry's in-memory footprint.
+constexpr int64_t kEntryStateBytes = 48;
+
+}  // namespace
+
+PastryNode::PastryNode(Network* net, NodeId id, PastryConfig config)
+    : net_(net),
+      id_(id),
+      host_(kInvalidHost),
+      config_(config),
+      routing_table_(id, config.bits_per_digit),
+      leaf_set_(id, config.leaf_set_size),
+      neighborhood_set_(id, config.neighborhood_size) {
+  host_ = net_->AddHost(this);
+}
+
+void PastryNode::SetDeliverHandler(int app_type, DeliverFn fn) {
+  deliver_handlers_[app_type] = std::move(fn);
+}
+
+void PastryNode::SetForwardHandler(int app_type, ForwardFn fn) {
+  forward_handlers_[app_type] = std::move(fn);
+}
+
+RouteEntry PastryNode::SelfEntry() const { return RouteEntry{id_, host_, 0.0}; }
+
+double PastryNode::ProximityTo(HostId other) const { return net_->LatencyMs(host_, other); }
+
+void PastryNode::ChargeDhtWork(double units) {
+  net_->metrics().ChargeWork(host_, WorkKind::kDhtTask, units);
+}
+
+RouteEntry PastryNode::ComputeNextHop(const NodeId& key) const {
+  // Pastry routing (Rowstron & Druschel 2001, Fig. 3). Known-dead hosts are skipped:
+  // this models the transport layer refusing the connection and Pastry falling back to
+  // an alternate entry, which is FreePastry's behaviour under churn (lazy table repair
+  // happens separately via ReportDead / keep-alives).
+  const std::function<bool(const RouteEntry&)> alive = [this](const RouteEntry& e) {
+    return net_->IsUp(e.host);
+  };
+  // 1. Leaf set covers the key: deliver to the numerically closest member (maybe self).
+  if (leaf_set_.Covers(key)) {
+    return leaf_set_.Closest(key, host_, &alive);
+  }
+  // 2. Routing table: entry sharing a strictly longer prefix with the key.
+  if (auto hop = routing_table_.NextHop(key); hop.has_value() && net_->IsUp(hop->host)) {
+    return *hop;
+  }
+  // 3. Rare fallback: any known node closer to the key with at least as long a prefix.
+  if (auto hop = routing_table_.CloserFallback(key, &alive); hop.has_value()) {
+    return *hop;
+  }
+  return leaf_set_.Closest(key, host_, &alive);
+}
+
+void PastryNode::Route(const NodeId& key, Message inner) {
+  RouteEnvelope env;
+  env.key = key;
+  env.inner = std::move(inner);
+  env.hops = 0;
+  env.origin = host_;
+  ForwardOrDeliver(std::move(env));
+}
+
+void PastryNode::ForwardOrDeliver(RouteEnvelope env) {
+  ChargeDhtWork(1.0);
+  if (egress_filter_ && !egress_filter_(env.key)) {
+    TLOG_DEBUG("host %u: egress filter blocked packet for key %s", host_,
+               env.key.ToHex().c_str());
+    net_->metrics().RecordDrop();
+    return;
+  }
+  const RouteEntry next = ComputeNextHop(env.key);
+  // Give the layer above a chance to consume the message at this hop (Scribe-style
+  // rendezvous interception).
+  auto fwd = forward_handlers_.find(env.inner.type);
+  if (fwd != forward_handlers_.end()) {
+    if (!fwd->second(env.key, env.inner, next.host)) {
+      return;
+    }
+  }
+  if (env.inner.type == kDhtJoinRequest) {
+    HandleJoinRequestAt(env, /*is_destination=*/next.host == host_);
+  }
+  if (next.host == host_) {
+    auto del = deliver_handlers_.find(env.inner.type);
+    if (del != deliver_handlers_.end()) {
+      del->second(env.key, env.inner, env.hops);
+    }
+    return;
+  }
+  env.hops += 1;
+  Message wrapper;
+  wrapper.type = kDhtRouteEnvelope;
+  wrapper.src = host_;
+  wrapper.dst = next.host;
+  wrapper.size_bytes = env.inner.size_bytes + 32;  // Envelope header overhead.
+  wrapper.traffic = env.inner.traffic;
+  wrapper.transport = env.inner.transport;
+  wrapper.SetPayload(std::move(env));
+  net_->Send(std::move(wrapper));
+}
+
+void PastryNode::SendDirect(HostId dst, Message msg) {
+  msg.src = host_;
+  msg.dst = dst;
+  net_->Send(std::move(msg));
+}
+
+void PastryNode::Join(HostId bootstrap) {
+  JoinRequest req{id_, host_};
+  Message inner;
+  inner.type = kDhtJoinRequest;
+  inner.size_bytes = 64;
+  inner.traffic = TrafficClass::kDhtMaintenance;
+  inner.transport = Transport::kTcp;
+  inner.SetPayload(req);
+
+  RouteEnvelope env;
+  env.key = id_;
+  env.inner = std::move(inner);
+  env.hops = 0;
+  env.origin = host_;
+
+  Message wrapper;
+  wrapper.type = kDhtRouteEnvelope;
+  wrapper.src = host_;
+  wrapper.dst = bootstrap;
+  wrapper.size_bytes = 96;
+  wrapper.traffic = TrafficClass::kDhtMaintenance;
+  wrapper.transport = Transport::kTcp;
+  wrapper.SetPayload(std::move(env));
+  net_->Send(std::move(wrapper));
+}
+
+void PastryNode::HandleJoinRequestAt(const RouteEnvelope& env, bool is_destination) {
+  const auto& req = env.inner.As<JoinRequest>();
+  if (req.joiner_host == host_) {
+    return;
+  }
+  // Ship the routing row matching the joiner's prefix depth at this node, plus (from the
+  // rendezvous node) the leaf set; the joiner assembles its state from these fragments.
+  JoinState state;
+  state.sender = SelfEntry();
+  state.sender.proximity_ms = 0.0;
+  const int row = id_.CommonPrefixDigits(req.joiner_id, config_.bits_per_digit);
+  for (int r = 0; r <= row && r < routing_table_.digits(); ++r) {
+    for (const auto& e : routing_table_.Row(r)) {
+      state.routing_entries.push_back(e);
+    }
+  }
+  if (is_destination) {
+    state.from_rendezvous = true;
+    for (const auto& e : leaf_set_.All()) {
+      state.leaf_entries.push_back(e);
+    }
+  }
+  Message reply;
+  reply.type = kDhtJoinState;
+  reply.size_bytes = 32 + kRouteEntryWireBytes * (state.routing_entries.size() +
+                                                  state.leaf_entries.size() + 1);
+  reply.traffic = TrafficClass::kDhtMaintenance;
+  reply.transport = Transport::kTcp;
+  reply.SetPayload(std::move(state));
+  SendDirect(req.joiner_host, std::move(reply));
+  // The path node also learns about the joiner.
+  Learn(RouteEntry{req.joiner_id, req.joiner_host, ProximityTo(req.joiner_host)});
+}
+
+void PastryNode::HandleJoinState(const Message& msg) {
+  const auto& state = msg.As<JoinState>();
+  Learn(RouteEntry{state.sender.id, state.sender.host, ProximityTo(state.sender.host)});
+  for (const auto& e : state.routing_entries) {
+    Learn(RouteEntry{e.id, e.host, ProximityTo(e.host)});
+  }
+  for (const auto& e : state.leaf_entries) {
+    Learn(RouteEntry{e.id, e.host, ProximityTo(e.host)});
+  }
+  if (state.from_rendezvous) {
+    // Final step of the join: announce ourselves to everyone we now know so they fold us
+    // into their tables.
+    Announce ann{SelfEntry()};
+    auto announce_to = [&](const RouteEntry& e) {
+      Message m;
+      m.type = kDhtAnnounce;
+      m.size_bytes = 32 + kRouteEntryWireBytes;
+      m.traffic = TrafficClass::kDhtMaintenance;
+      m.transport = Transport::kUdp;
+      m.SetPayload(ann);
+      SendDirect(e.host, std::move(m));
+    };
+    routing_table_.ForEach(announce_to);
+    leaf_set_.ForEach(announce_to);
+  }
+}
+
+void PastryNode::HandleAnnounce(const Message& msg) {
+  const auto& ann = msg.As<Announce>();
+  Learn(RouteEntry{ann.node.id, ann.node.host, ProximityTo(ann.node.host)});
+}
+
+void PastryNode::Learn(const RouteEntry& entry) {
+  if (entry.id == id_) {
+    return;
+  }
+  ChargeDhtWork(0.1);
+  int64_t delta = 0;
+  if (routing_table_.Consider(entry)) {
+    delta += kEntryStateBytes;
+  }
+  if (leaf_set_.Consider(entry)) {
+    delta += kEntryStateBytes;
+  }
+  if (neighborhood_set_.Consider(entry)) {
+    delta += kEntryStateBytes;
+  }
+  if (delta != 0) {
+    net_->metrics().AdjustStateBytes(host_, delta);
+  }
+}
+
+void PastryNode::ReportDead(const NodeId& id, HostId host) {
+  ChargeDhtWork(0.5);
+  int64_t delta = 0;
+  if (routing_table_.Remove(id)) {
+    delta -= kEntryStateBytes;
+  }
+  if (leaf_set_.Remove(id)) {
+    delta -= kEntryStateBytes;
+    // Leaf-set repair: ask the current farthest members for their leaf sets so the hole
+    // is refilled from the survivors (Pastry's standard repair).
+    LeafRepair repair;
+    for (const auto& e : leaf_set_.All()) {
+      repair.leaf_entries.push_back(e);
+    }
+    auto ask = [&](const std::optional<RouteEntry>& target) {
+      if (!target.has_value()) {
+        return;
+      }
+      Message m;
+      m.type = kDhtLeafRepairRequest;
+      m.size_bytes = 32;
+      m.traffic = TrafficClass::kDhtMaintenance;
+      m.transport = Transport::kUdp;
+      SendDirect(target->host, std::move(m));
+    };
+    ask(leaf_set_.CwNeighbor());
+    ask(leaf_set_.CcwNeighbor());
+  }
+  if (neighborhood_set_.Remove(id)) {
+    delta -= kEntryStateBytes;
+  }
+  if (delta != 0) {
+    net_->metrics().AdjustStateBytes(host_, delta);
+  }
+  last_ack_.erase(host);
+  if (failure_fn_) {
+    failure_fn_(id, host);
+  }
+}
+
+void PastryNode::StartKeepAlive() {
+  if (!config_.enable_keepalive || keepalive_running_) {
+    return;
+  }
+  keepalive_running_ = true;
+  net_->sim()->Schedule(config_.keepalive_interval_ms, [this]() { KeepAliveTick(); });
+}
+
+void PastryNode::KeepAliveTick() {
+  if (!alive()) {
+    keepalive_running_ = false;
+    return;
+  }
+  for (const auto& e : leaf_set_.All()) {
+    Message m;
+    m.type = kDhtHeartbeat;
+    m.size_bytes = 16;
+    m.traffic = TrafficClass::kDhtMaintenance;
+    m.transport = Transport::kUdp;
+    m.SetPayload(SelfEntry());
+    SendDirect(e.host, std::move(m));
+    if (last_ack_.find(e.host) == last_ack_.end()) {
+      last_ack_[e.host] = net_->sim()->Now();
+    }
+  }
+  // Every few probes, gossip the full leaf set to the immediate ring neighbors over the
+  // persistent TCP links — Pastry's periodic leaf-set exchange, which both repairs
+  // drifted state and keeps connections warm.
+  if (++keepalive_ticks_ % 4 == 0) {
+    LeafRepair gossip;
+    for (const auto& e : leaf_set_.All()) {
+      gossip.leaf_entries.push_back(e);
+    }
+    gossip.leaf_entries.push_back(SelfEntry());
+    for (const auto& neighbor : {leaf_set_.CwNeighbor(), leaf_set_.CcwNeighbor()}) {
+      if (!neighbor.has_value()) {
+        continue;
+      }
+      Message m;
+      m.type = kDhtLeafRepairReply;
+      m.size_bytes = 32 + kRouteEntryWireBytes * gossip.leaf_entries.size();
+      m.traffic = TrafficClass::kDhtMaintenance;
+      m.transport = Transport::kTcp;
+      m.SetPayload(gossip);
+      SendDirect(neighbor->host, std::move(m));
+    }
+  }
+  CheckKeepAliveDeadlines();
+  net_->sim()->Schedule(config_.keepalive_interval_ms, [this]() { KeepAliveTick(); });
+}
+
+void PastryNode::CheckKeepAliveDeadlines() {
+  const SimTime now = net_->sim()->Now();
+  std::vector<std::pair<NodeId, HostId>> dead;
+  for (const auto& e : leaf_set_.All()) {
+    auto it = last_ack_.find(e.host);
+    if (it != last_ack_.end() && now - it->second > config_.keepalive_timeout_ms) {
+      dead.emplace_back(e.id, e.host);
+    }
+  }
+  for (const auto& [id, host] : dead) {
+    TLOG_DEBUG("node %s detected failure of host %u", id_.ToHex().c_str(), host);
+    ReportDead(id, host);
+  }
+}
+
+void PastryNode::HandleHeartbeat(const Message& msg) {
+  Message ack;
+  ack.type = kDhtHeartbeatAck;
+  ack.size_bytes = 16;
+  ack.traffic = TrafficClass::kDhtMaintenance;
+  ack.transport = Transport::kUdp;
+  SendDirect(msg.src, std::move(ack));
+}
+
+void PastryNode::HandleHeartbeatAck(const Message& msg) {
+  last_ack_[msg.src] = net_->sim()->Now();
+}
+
+void PastryNode::HandleLeafRepair(const Message& msg) {
+  if (msg.type == kDhtLeafRepairRequest) {
+    LeafRepair repair;
+    for (const auto& e : leaf_set_.All()) {
+      repair.leaf_entries.push_back(e);
+    }
+    repair.leaf_entries.push_back(SelfEntry());
+    Message reply;
+    reply.type = kDhtLeafRepairReply;
+    reply.size_bytes = 32 + kRouteEntryWireBytes * repair.leaf_entries.size();
+    reply.traffic = TrafficClass::kDhtMaintenance;
+    reply.transport = Transport::kUdp;
+    reply.SetPayload(std::move(repair));
+    SendDirect(msg.src, std::move(reply));
+    return;
+  }
+  const auto& repair = msg.As<LeafRepair>();
+  for (const auto& e : repair.leaf_entries) {
+    Learn(RouteEntry{e.id, e.host, ProximityTo(e.host)});
+  }
+}
+
+void PastryNode::HandleEnvelope(const Message& msg) {
+  // Copy the envelope (cheap: inner payload is shared) so hops can be advanced.
+  RouteEnvelope env = msg.As<RouteEnvelope>();
+  ForwardOrDeliver(std::move(env));
+}
+
+void PastryNode::HandleMessage(const Message& msg) {
+  switch (msg.type) {
+    case kDhtRouteEnvelope:
+      HandleEnvelope(msg);
+      return;
+    case kDhtJoinState:
+      HandleJoinState(msg);
+      return;
+    case kDhtAnnounce:
+      HandleAnnounce(msg);
+      return;
+    case kDhtHeartbeat:
+      HandleHeartbeat(msg);
+      return;
+    case kDhtHeartbeatAck:
+      HandleHeartbeatAck(msg);
+      return;
+    case kDhtLeafRepairRequest:
+    case kDhtLeafRepairReply:
+      HandleLeafRepair(msg);
+      return;
+    default: {
+      // Direct (non-routed) application message: dispatch to the deliver handler with
+      // the local id as the key and zero overlay hops.
+      auto it = deliver_handlers_.find(msg.type);
+      if (it != deliver_handlers_.end()) {
+        it->second(id_, msg, 0);
+        return;
+      }
+      TLOG_WARN("host %u dropping message with unknown type %d", host_, msg.type);
+    }
+  }
+}
+
+}  // namespace totoro

@@ -1,0 +1,148 @@
+#include "src/dht/routing_table.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+RoutingTable::RoutingTable(NodeId self, int bits_per_digit) : self_(self), bits_(bits_per_digit) {
+  CHECK_GE(bits_, 1);
+  CHECK_LE(bits_, 7);
+  CHECK_EQ(128 % bits_ == 0 ? 0 : 128 % bits_, 128 % bits_);  // Digits need not divide 128
+}
+
+bool RoutingTable::Consider(const RouteEntry& entry) {
+  if (entry.id == self_) {
+    return false;
+  }
+  const int row = self_.CommonPrefixDigits(entry.id, bits_);
+  if (row >= digits()) {
+    return false;  // Identical id.
+  }
+  const uint32_t col = entry.id.Digit(row, bits_);
+  DCHECK(col != self_.Digit(row, bits_));
+  auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    it = rows_.emplace(row, std::vector<std::optional<RouteEntry>>(columns())).first;
+  }
+  auto& slot = it->second[col];
+  if (!slot.has_value()) {
+    slot = entry;
+    return true;
+  }
+  if (slot->id == entry.id) {
+    // Refresh host/proximity.
+    if (slot->host != entry.host || slot->proximity_ms != entry.proximity_ms) {
+      slot = entry;
+      return true;
+    }
+    return false;
+  }
+  // Prefer the physically closer candidate (Pastry locality heuristic).
+  if (entry.proximity_ms < slot->proximity_ms) {
+    slot = entry;
+    return true;
+  }
+  return false;
+}
+
+bool RoutingTable::Remove(NodeId id) {
+  const int row = self_.CommonPrefixDigits(id, bits_);
+  auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    return false;
+  }
+  const uint32_t col = id.Digit(row, bits_);
+  auto& slot = it->second[col];
+  if (slot.has_value() && slot->id == id) {
+    slot.reset();
+    return true;
+  }
+  return false;
+}
+
+std::optional<RouteEntry> RoutingTable::Get(int row, uint32_t col) const {
+  auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    return std::nullopt;
+  }
+  CHECK_LT(col, it->second.size());
+  return it->second[col];
+}
+
+std::optional<RouteEntry> RoutingTable::NextHop(const NodeId& key) const {
+  const int row = self_.CommonPrefixDigits(key, bits_);
+  if (row >= digits()) {
+    return std::nullopt;  // key == self.
+  }
+  return Get(row, key.Digit(row, bits_));
+}
+
+std::optional<RouteEntry> RoutingTable::CloserFallback(
+    const NodeId& key, const std::function<bool(const RouteEntry&)>* alive) const {
+  const int self_prefix = self_.CommonPrefixDigits(key, bits_);
+  const U128 self_dist = U128::RingDistance(self_, key);
+  std::optional<RouteEntry> best;
+  U128 best_dist = self_dist;
+  for (const auto& [row, cols] : rows_) {
+    if (row < self_prefix) {
+      continue;  // Shorter shared prefix than we already have.
+    }
+    for (const auto& slot : cols) {
+      if (!slot.has_value()) {
+        continue;
+      }
+      if (alive != nullptr && !(*alive)(*slot)) {
+        continue;
+      }
+      if (slot->id.CommonPrefixDigits(key, bits_) < self_prefix) {
+        continue;
+      }
+      const U128 d = U128::RingDistance(slot->id, key);
+      if (d < best_dist) {
+        best_dist = d;
+        best = *slot;
+      }
+    }
+  }
+  return best;
+}
+
+size_t RoutingTable::NumEntries() const {
+  size_t n = 0;
+  for (const auto& [row, cols] : rows_) {
+    (void)row;
+    for (const auto& slot : cols) {
+      if (slot.has_value()) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+void RoutingTable::ForEach(const std::function<void(const RouteEntry&)>& fn) const {
+  for (const auto& [row, cols] : rows_) {
+    (void)row;
+    for (const auto& slot : cols) {
+      if (slot.has_value()) {
+        fn(*slot);
+      }
+    }
+  }
+}
+
+std::vector<RouteEntry> RoutingTable::Row(int row) const {
+  std::vector<RouteEntry> out;
+  auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    return out;
+  }
+  for (const auto& slot : it->second) {
+    if (slot.has_value()) {
+      out.push_back(*slot);
+    }
+  }
+  return out;
+}
+
+}  // namespace totoro

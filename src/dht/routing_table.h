@@ -1,0 +1,72 @@
+// Pastry routing table: rows indexed by shared-prefix length, columns by next digit.
+//
+// Row r holds entries whose ids share exactly r leading base-2^b digits with the local
+// id; the column is the (r+1)-th digit. With N nodes roughly ceil(log_{2^b} N) rows are
+// populated, giving the O(log N) routing bound. Rows are materialized lazily so that a
+// 100k-node simulation does not pay for 128/b empty rows per node. When two candidates
+// compete for a slot the physically closer one (lower proximity) wins, which is how
+// Pastry builds locality into its routes.
+#ifndef SRC_DHT_ROUTING_TABLE_H_
+#define SRC_DHT_ROUTING_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/dht/node_id.h"
+#include "src/sim/message.h"
+
+namespace totoro {
+
+struct RouteEntry {
+  NodeId id;
+  HostId host = kInvalidHost;
+  double proximity_ms = 0.0;
+};
+
+class RoutingTable {
+ public:
+  RoutingTable(NodeId self, int bits_per_digit);
+
+  int bits_per_digit() const { return bits_; }
+  int digits() const { return 128 / bits_; }
+  int columns() const { return 1 << bits_; }
+  const NodeId& self() const { return self_; }
+
+  // Offers a candidate. Returns true if the table changed. Candidates equal to self or
+  // sharing all digits with self are ignored.
+  bool Consider(const RouteEntry& entry);
+
+  // Removes a node (e.g. detected failure) from every slot it occupies.
+  bool Remove(NodeId id);
+
+  std::optional<RouteEntry> Get(int row, uint32_t col) const;
+
+  // Routing-table step of Pastry routing: the entry at row = shared prefix digits of
+  // (self, key), column = key's next digit. Empty if no such entry is known.
+  std::optional<RouteEntry> NextHop(const NodeId& key) const;
+
+  // Any known node strictly numerically closer to `key` than self whose shared prefix
+  // with key is at least as long — Pastry's rare "fallback" case. Entries failing the
+  // optional `alive` predicate are skipped.
+  std::optional<RouteEntry> CloserFallback(
+      const NodeId& key, const std::function<bool(const RouteEntry&)>* alive = nullptr) const;
+
+  size_t NumEntries() const;
+  size_t NumRows() const { return rows_.size(); }
+  void ForEach(const std::function<void(const RouteEntry&)>& fn) const;
+
+  // Entries of row `row` (for join-protocol state transfer).
+  std::vector<RouteEntry> Row(int row) const;
+
+ private:
+  NodeId self_;
+  int bits_;
+  // row index -> columns() optional entries.
+  std::map<int, std::vector<std::optional<RouteEntry>>> rows_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_DHT_ROUTING_TABLE_H_

@@ -1,0 +1,58 @@
+#include "src/fl/aggregation.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+std::vector<float> FederatedAverage(const std::vector<WeightedUpdate>& updates) {
+  CHECK(!updates.empty());
+  const size_t dim = updates[0].weights.size();
+  std::vector<double> acc(dim, 0.0);
+  double total = 0.0;
+  for (const auto& u : updates) {
+    CHECK_EQ(u.weights.size(), dim);
+    CHECK_GT(u.sample_weight, 0.0);
+    for (size_t i = 0; i < dim; ++i) {
+      acc[i] += u.sample_weight * static_cast<double>(u.weights[i]);
+    }
+    total += u.sample_weight;
+  }
+  std::vector<float> out(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    out[i] = static_cast<float>(acc[i] / total);
+  }
+  return out;
+}
+
+CombineFn MakeFedAvgCombiner() {
+  return [](const std::vector<AggregationPiece>& pieces) {
+    CHECK(!pieces.empty());
+    std::vector<WeightedUpdate> updates;
+    updates.reserve(pieces.size());
+    double total_weight = 0.0;
+    uint64_t total_count = 0;
+    for (const auto& p : pieces) {
+      // Null-data pieces are the "nothing to contribute" acks of unselected workers;
+      // they keep the tree barrier intact without affecting the average.
+      if (p.data == nullptr) {
+        CHECK_EQ(p.weight, 0.0);
+        continue;
+      }
+      const auto* payload = static_cast<const WeightsPayload*>(p.data.get());
+      updates.push_back(WeightedUpdate{payload->weights, p.weight});
+      total_weight += p.weight;
+      total_count += p.count;
+    }
+    AggregationPiece out;
+    if (!updates.empty()) {
+      auto merged = std::make_shared<WeightsPayload>();
+      merged->weights = FederatedAverage(updates);
+      out.data = std::move(merged);
+    }
+    out.weight = total_weight;
+    out.count = total_count;
+    return out;
+  };
+}
+
+}  // namespace totoro

@@ -1,0 +1,39 @@
+// Federated aggregation rules (FedAvg / FedProx server side) and the adapter that plugs
+// them into the pub/sub tree's CombineFn for in-network partial aggregation.
+//
+// Both rules reduce to sample-weighted averaging of weight vectors on the server side
+// (FedProx changes the *client* objective); the weighted mean is associative, which is
+// precisely why Totoro's trees can aggregate hop by hop without changing the result.
+#ifndef SRC_FL_AGGREGATION_H_
+#define SRC_FL_AGGREGATION_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/pubsub/scribe_node.h"
+
+namespace totoro {
+
+// A (weights, sample-count) contribution.
+struct WeightedUpdate {
+  std::vector<float> weights;
+  double sample_weight = 1.0;
+};
+
+// Sample-weighted average of updates; all vectors must agree in dimension.
+std::vector<float> FederatedAverage(const std::vector<WeightedUpdate>& updates);
+
+// The weight payload carried through pub/sub trees.
+struct WeightsPayload {
+  std::vector<float> weights;
+};
+
+// CombineFn performing weighted averaging on WeightsPayload pieces. Used as the
+// application-supplied aggregation function of the Totoro API (§4.3: "owners can specify
+// different aggregation functions in their trees").
+CombineFn MakeFedAvgCombiner();
+
+}  // namespace totoro
+
+#endif  // SRC_FL_AGGREGATION_H_

@@ -1,0 +1,57 @@
+#include "src/fl/compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/ml/serialize.h"
+
+namespace totoro {
+
+CompressedUpdate CompressUpdate(std::span<const float> weights, std::span<const float> reference,
+                                const CompressionConfig& config) {
+  CompressedUpdate out;
+  switch (config.kind) {
+    case CompressionKind::kNone: {
+      out.reconstructed.assign(weights.begin(), weights.end());
+      out.wire_bytes = weights.size() * sizeof(float);
+      return out;
+    }
+    case CompressionKind::kInt8: {
+      const auto bytes = EncodeInt8(weights);
+      out.reconstructed = DecodeInt8(bytes);
+      out.wire_bytes = bytes.size();
+      return out;
+    }
+    case CompressionKind::kTopK: {
+      CHECK_EQ(weights.size(), reference.size());
+      CHECK_GT(config.topk_fraction, 0.0);
+      CHECK_LE(config.topk_fraction, 1.0);
+      const size_t n = weights.size();
+      const size_t k = std::max<size_t>(1, static_cast<size_t>(
+                                               std::ceil(config.topk_fraction * n)));
+      // Rank coordinates by |delta| and keep the top k.
+      std::vector<float> delta(n);
+      std::vector<size_t> order(n);
+      for (size_t i = 0; i < n; ++i) {
+        delta[i] = weights[i] - reference[i];
+        order[i] = i;
+      }
+      std::nth_element(order.begin(), order.begin() + static_cast<long>(k - 1), order.end(),
+                       [&](size_t a, size_t b) {
+                         return std::abs(delta[a]) > std::abs(delta[b]);
+                       });
+      out.reconstructed.assign(reference.begin(), reference.end());
+      for (size_t i = 0; i < k; ++i) {
+        out.reconstructed[order[i]] += delta[order[i]];
+      }
+      // Wire format: k (index, value) pairs.
+      out.wire_bytes = k * (sizeof(uint32_t) + sizeof(float));
+      return out;
+    }
+  }
+  CHECK(false);
+  return out;
+}
+
+}  // namespace totoro

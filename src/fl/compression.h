@@ -1,0 +1,36 @@
+// Update-compression techniques (§2.2.1 application-specific customization).
+//
+// Two standard schemes: top-k sparsification (keep the k largest-magnitude deltas) and
+// int8 quantization. Compress() returns both the reconstructed dense update (what the
+// aggregator uses) and the wire size (what the network charges), so experiments can
+// trade accuracy against traffic.
+#ifndef SRC_FL_COMPRESSION_H_
+#define SRC_FL_COMPRESSION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace totoro {
+
+enum class CompressionKind { kNone, kTopK, kInt8 };
+
+struct CompressionConfig {
+  CompressionKind kind = CompressionKind::kNone;
+  // For kTopK: fraction of coordinates kept (0 < fraction <= 1).
+  double topk_fraction = 0.1;
+};
+
+struct CompressedUpdate {
+  std::vector<float> reconstructed;  // Dense weights after a compress/decompress trip.
+  uint64_t wire_bytes = 0;
+};
+
+// Compresses `weights` relative to `reference` (the broadcast global weights): top-k is
+// applied to the delta, then the delta is re-applied to the reference.
+CompressedUpdate CompressUpdate(std::span<const float> weights, std::span<const float> reference,
+                                const CompressionConfig& config);
+
+}  // namespace totoro
+
+#endif  // SRC_FL_COMPRESSION_H_

@@ -1,0 +1,33 @@
+#include "src/fl/privacy.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+std::vector<float> ApplyDp(std::span<const float> weights, std::span<const float> reference,
+                           const DpConfig& config, Rng& rng) {
+  CHECK_EQ(weights.size(), reference.size());
+  CHECK_GT(config.clip_norm, 0.0);
+  CHECK_GE(config.noise_multiplier, 0.0);
+  const size_t n = weights.size();
+  std::vector<float> delta(n);
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    delta[i] = weights[i] - reference[i];
+    norm_sq += static_cast<double>(delta[i]) * delta[i];
+  }
+  const double norm = std::sqrt(norm_sq);
+  const double scale = norm > config.clip_norm ? config.clip_norm / norm : 1.0;
+  const double sigma =
+      config.noise_multiplier * config.clip_norm / std::sqrt(static_cast<double>(n));
+  std::vector<float> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double noised = static_cast<double>(delta[i]) * scale + rng.Gaussian(0.0, sigma);
+    out[i] = reference[i] + static_cast<float>(noised);
+  }
+  return out;
+}
+
+}  // namespace totoro

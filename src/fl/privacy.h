@@ -1,0 +1,30 @@
+// Differential-privacy primitives: L2 clipping + Gaussian noise on client updates.
+//
+// Matches §4.4: "if an application owner ... specifies the use of differential privacy
+// with Gaussian noise to secure weights, ... the leaf nodes, serving as workers, will
+// apply Gaussian noise to local training." Noise is applied to the weight *delta* so the
+// magnitude is calibrated to the clip norm, the standard client-level DP-FedAvg recipe.
+#ifndef SRC_FL_PRIVACY_H_
+#define SRC_FL_PRIVACY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace totoro {
+
+struct DpConfig {
+  double clip_norm = 1.0;       // L2 bound on the update delta.
+  double noise_multiplier = 0.5;  // Noise stddev = multiplier * clip_norm.
+};
+
+// Clips (weights - reference) to clip_norm, adds N(0, (multiplier*clip)^2 / dim) per
+// coordinate, and returns reference + noised delta.
+std::vector<float> ApplyDp(std::span<const float> weights, std::span<const float> reference,
+                           const DpConfig& config, Rng& rng);
+
+}  // namespace totoro
+
+#endif  // SRC_FL_PRIVACY_H_

@@ -1,0 +1,121 @@
+#include "src/fl/secure_agg.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/fl/aggregation.h"
+
+namespace totoro {
+
+SecureAggregationGroup::SecureAggregationGroup(std::vector<uint64_t> participants,
+                                               uint64_t group_seed)
+    : participants_(std::move(participants)), group_seed_(group_seed) {
+  CHECK_GT(participants_.size(), 1u);
+  std::sort(participants_.begin(), participants_.end());
+  for (size_t i = 1; i < participants_.size(); ++i) {
+    CHECK_NE(participants_[i - 1], participants_[i]);
+  }
+}
+
+std::vector<double> SecureAggregationGroup::PairStream(uint64_t a, uint64_t b,
+                                                       size_t dim) const {
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  Rng rng(group_seed_ ^ (lo * 0x9E3779B97F4A7C15ull) ^ (hi * 0xC2B2AE3D27D4EB4Full));
+  std::vector<double> stream(dim);
+  for (auto& v : stream) {
+    v = rng.Gaussian(0.0, 1.0);
+  }
+  return stream;
+}
+
+std::vector<double> SecureAggregationGroup::MaskFor(uint64_t id, size_t dim) const {
+  std::vector<double> mask(dim, 0.0);
+  bool found = false;
+  for (uint64_t other : participants_) {
+    if (other == id) {
+      found = true;
+      continue;
+    }
+    const std::vector<double> stream = PairStream(id, other, dim);
+    // Antisymmetric sign convention: the lower id adds, the higher id subtracts, so the
+    // pair's contributions cancel in the global sum.
+    const double sign = id < other ? 1.0 : -1.0;
+    for (size_t i = 0; i < dim; ++i) {
+      mask[i] += sign * stream[i];
+    }
+  }
+  CHECK(found);
+  return mask;
+}
+
+std::vector<float> SecureAggregationGroup::MaskUpdate(uint64_t id,
+                                                      std::span<const float> weights,
+                                                      double weight) const {
+  CHECK_GT(weight, 0.0);
+  const std::vector<double> mask = MaskFor(id, weights.size());
+  std::vector<float> out(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    out[i] = static_cast<float>(weight * static_cast<double>(weights[i]) + mask[i]);
+  }
+  return out;
+}
+
+std::vector<double> SecureAggregationGroup::DropoutCorrection(
+    const std::vector<uint64_t>& survivors, size_t dim) const {
+  std::vector<double> correction(dim, 0.0);
+  auto is_survivor = [&](uint64_t id) {
+    return std::find(survivors.begin(), survivors.end(), id) != survivors.end();
+  };
+  for (uint64_t alive_id : survivors) {
+    for (uint64_t other : participants_) {
+      if (other == alive_id || is_survivor(other)) {
+        continue;  // Pairs among survivors cancel on their own.
+      }
+      const std::vector<double> stream = PairStream(alive_id, other, dim);
+      const double sign = alive_id < other ? 1.0 : -1.0;
+      for (size_t i = 0; i < dim; ++i) {
+        correction[i] += sign * stream[i];
+      }
+    }
+  }
+  return correction;
+}
+
+CombineFn MakeSecureSumCombiner() {
+  return [](const std::vector<AggregationPiece>& pieces) {
+    CHECK(!pieces.empty());
+    const auto* first = static_cast<const WeightsPayload*>(pieces[0].data.get());
+    const size_t dim = first->weights.size();
+    auto merged = std::make_shared<WeightsPayload>();
+    merged->weights.assign(dim, 0.0f);
+    AggregationPiece out;
+    out.weight = 0.0;
+    out.count = 0;
+    for (const auto& piece : pieces) {
+      CHECK(piece.data != nullptr);
+      const auto* payload = static_cast<const WeightsPayload*>(piece.data.get());
+      CHECK_EQ(payload->weights.size(), dim);
+      for (size_t i = 0; i < dim; ++i) {
+        merged->weights[i] += payload->weights[i];
+      }
+      out.weight += piece.weight;
+      out.count += piece.count;
+    }
+    out.data = std::move(merged);
+    return out;
+  };
+}
+
+std::vector<float> FinalizeSecureAverage(std::span<const float> masked_sum,
+                                         double total_weight) {
+  CHECK_GT(total_weight, 0.0);
+  std::vector<float> out(masked_sum.size());
+  for (size_t i = 0; i < masked_sum.size(); ++i) {
+    out[i] = static_cast<float>(static_cast<double>(masked_sum[i]) / total_weight);
+  }
+  return out;
+}
+
+}  // namespace totoro

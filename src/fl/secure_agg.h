@@ -1,0 +1,68 @@
+// Secure aggregation via pairwise additive masking (§4.4 lists it among the privacy
+// techniques an application owner can select).
+//
+// Simplified Bonawitz-style scheme: every ordered pair (i, j) of the round's
+// participants shares a PRG seed. Participant i uploads
+//     masked_i = weight_i * w_i + sum_{j > i} PRG(s_ij) - sum_{j < i} PRG(s_ji)
+// so any node summing ALL participants' vectors sees the masks cancel exactly, yet no
+// individual update is ever visible to aggregators — including Totoro's interior tree
+// nodes, which simply add masked vectors (MakeSecureSumCombiner). The root divides the
+// cancelled sum by the total sample weight to recover the FedAvg result bit-for-bit.
+//
+// Key distribution is modelled with a trusted dealer (the group object derives all
+// pairwise seeds from one group seed); the paper's deployment would run a key agreement
+// instead. Dropouts are handled the way real deployments do: the dealer computes the
+// correction term for the surviving set (DropoutCorrection), mirroring the mask-recovery
+// round of the full protocol.
+#ifndef SRC_FL_SECURE_AGG_H_
+#define SRC_FL_SECURE_AGG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/pubsub/scribe_node.h"
+
+namespace totoro {
+
+class SecureAggregationGroup {
+ public:
+  // `participants` are stable opaque ids (e.g. worker node indices) of everyone expected
+  // to contribute this round; `group_seed` seeds the pairwise PRGs.
+  SecureAggregationGroup(std::vector<uint64_t> participants, uint64_t group_seed);
+
+  size_t size() const { return participants_.size(); }
+
+  // The net mask participant `id` adds to its weighted update of dimension `dim`.
+  // Summing MaskFor over all participants yields exactly zero.
+  std::vector<double> MaskFor(uint64_t id, size_t dim) const;
+
+  // Masks `weights` (scaled by `weight`) for participant `id`.
+  std::vector<float> MaskUpdate(uint64_t id, std::span<const float> weights,
+                                double weight) const;
+
+  // Correction to SUBTRACT from a partial sum in which only `survivors` contributed:
+  // the sum of the survivors' mask shares involving dropped participants.
+  std::vector<double> DropoutCorrection(const std::vector<uint64_t>& survivors,
+                                        size_t dim) const;
+
+ private:
+  // PRG stream for the ordered pair (lo, hi); both endpoints derive the same stream.
+  std::vector<double> PairStream(uint64_t a, uint64_t b, size_t dim) const;
+
+  std::vector<uint64_t> participants_;
+  uint64_t group_seed_;
+};
+
+// Interior-node combiner for securely aggregated rounds: element-wise SUM of masked
+// vectors (no averaging — masks only cancel under plain summation). Weights/counts
+// accumulate as usual so the root can finalize.
+CombineFn MakeSecureSumCombiner();
+
+// Root-side finalization: masked sum (with masks cancelled) -> FedAvg average.
+std::vector<float> FinalizeSecureAverage(std::span<const float> masked_sum,
+                                         double total_weight);
+
+}  // namespace totoro
+
+#endif  // SRC_FL_SECURE_AGG_H_

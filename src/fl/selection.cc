@@ -1,0 +1,64 @@
+#include "src/fl/selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+std::vector<size_t> RandomSelector::Select(const std::vector<ClientInfo>& clients, size_t count,
+                                           Rng& rng) {
+  CHECK_LE(count, clients.size());
+  std::vector<size_t> indices(clients.size());
+  for (size_t i = 0; i < clients.size(); ++i) {
+    indices[i] = clients[i].index;
+  }
+  rng.Shuffle(indices);
+  indices.resize(count);
+  return indices;
+}
+
+OortLikeSelector::OortLikeSelector(double exploration_fraction, double speed_alpha)
+    : exploration_fraction_(exploration_fraction), speed_alpha_(speed_alpha) {
+  CHECK_GE(exploration_fraction_, 0.0);
+  CHECK_LE(exploration_fraction_, 1.0);
+}
+
+std::vector<size_t> OortLikeSelector::Select(const std::vector<ClientInfo>& clients,
+                                             size_t count, Rng& rng) {
+  CHECK_LE(count, clients.size());
+  const size_t explore = static_cast<size_t>(std::floor(exploration_fraction_ * count));
+  const size_t exploit = count - explore;
+
+  // Exploit: top clients by utility.
+  std::vector<size_t> order(clients.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double ua = clients[a].last_loss * std::pow(clients[a].speed_factor, speed_alpha_);
+    const double ub = clients[b].last_loss * std::pow(clients[b].speed_factor, speed_alpha_);
+    return ua > ub;
+  });
+  std::vector<size_t> chosen;
+  std::vector<bool> taken(clients.size(), false);
+  for (size_t i = 0; i < exploit; ++i) {
+    chosen.push_back(clients[order[i]].index);
+    taken[order[i]] = true;
+  }
+  // Explore: uniform over the rest.
+  std::vector<size_t> rest;
+  for (size_t i = 0; i < clients.size(); ++i) {
+    if (!taken[i]) {
+      rest.push_back(i);
+    }
+  }
+  rng.Shuffle(rest);
+  for (size_t i = 0; i < explore && i < rest.size(); ++i) {
+    chosen.push_back(clients[rest[i]].index);
+  }
+  return chosen;
+}
+
+}  // namespace totoro

@@ -1,0 +1,52 @@
+// Client (participant) selection policies (§2.2.1's "flexible designs of participant
+// selection algorithms").
+//
+// Random selection is FedAvg's default. The Oort-style policy scores clients by
+// statistical utility (recent training loss — higher loss means more informative data)
+// blended with system utility (device speed), the trade-off Oort [OSDI'21] introduced.
+#ifndef SRC_FL_SELECTION_H_
+#define SRC_FL_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace totoro {
+
+struct ClientInfo {
+  size_t index = 0;
+  double last_loss = 1.0;     // Statistical utility signal.
+  double speed_factor = 1.0;  // System utility signal.
+};
+
+class ClientSelector {
+ public:
+  virtual ~ClientSelector() = default;
+  // Picks `count` distinct clients out of `clients`.
+  virtual std::vector<size_t> Select(const std::vector<ClientInfo>& clients, size_t count,
+                                     Rng& rng) = 0;
+};
+
+class RandomSelector : public ClientSelector {
+ public:
+  std::vector<size_t> Select(const std::vector<ClientInfo>& clients, size_t count,
+                             Rng& rng) override;
+};
+
+class OortLikeSelector : public ClientSelector {
+ public:
+  // exploration_fraction of the budget is sampled uniformly; the rest goes to the
+  // highest utility = loss * speed^alpha clients.
+  OortLikeSelector(double exploration_fraction = 0.2, double speed_alpha = 0.5);
+  std::vector<size_t> Select(const std::vector<ClientInfo>& clients, size_t count,
+                             Rng& rng) override;
+
+ private:
+  double exploration_fraction_;
+  double speed_alpha_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_FL_SELECTION_H_

@@ -1,0 +1,51 @@
+#include "src/ml/serialize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+std::vector<uint8_t> EncodeFloat32(std::span<const float> weights) {
+  std::vector<uint8_t> bytes(weights.size() * sizeof(float));
+  std::memcpy(bytes.data(), weights.data(), bytes.size());
+  return bytes;
+}
+
+std::vector<float> DecodeFloat32(std::span<const uint8_t> bytes) {
+  CHECK_EQ(bytes.size() % sizeof(float), 0u);
+  std::vector<float> weights(bytes.size() / sizeof(float));
+  std::memcpy(weights.data(), bytes.data(), bytes.size());
+  return weights;
+}
+
+std::vector<uint8_t> EncodeInt8(std::span<const float> weights) {
+  float max_abs = 0.0f;
+  for (float v : weights) {
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  std::vector<uint8_t> bytes(sizeof(float) + weights.size());
+  std::memcpy(bytes.data(), &scale, sizeof(float));
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const float q = std::round(weights[i] / scale);
+    const int8_t v = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+    bytes[sizeof(float) + i] = static_cast<uint8_t>(v);
+  }
+  return bytes;
+}
+
+std::vector<float> DecodeInt8(std::span<const uint8_t> bytes) {
+  CHECK_GE(bytes.size(), sizeof(float));
+  float scale = 0.0f;
+  std::memcpy(&scale, bytes.data(), sizeof(float));
+  std::vector<float> weights(bytes.size() - sizeof(float));
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<float>(static_cast<int8_t>(bytes[sizeof(float) + i])) * scale;
+  }
+  return weights;
+}
+
+}  // namespace totoro

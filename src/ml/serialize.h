@@ -1,0 +1,26 @@
+// Weight-vector serialization (§6: "a serialization mechanism to convert trained models
+// into binary arrays for low-cost communication").
+//
+// Encodings: raw float32 little-endian, and int8 linear quantization (per-tensor scale)
+// for the compression experiments. Encode/Decode round-trip exactly for float32 and
+// within one quantization step for int8.
+#ifndef SRC_ML_SERIALIZE_H_
+#define SRC_ML_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace totoro {
+
+std::vector<uint8_t> EncodeFloat32(std::span<const float> weights);
+std::vector<float> DecodeFloat32(std::span<const uint8_t> bytes);
+
+// Int8 linear quantization: byte stream = [float32 scale][int8 values...]. scale maps
+// int8 range to [-max_abs, max_abs].
+std::vector<uint8_t> EncodeInt8(std::span<const float> weights);
+std::vector<float> DecodeInt8(std::span<const uint8_t> bytes);
+
+}  // namespace totoro
+
+#endif  // SRC_ML_SERIALIZE_H_

@@ -1,0 +1,138 @@
+#include "src/ml/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+void Matrix::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void MatMul(const Matrix& a, const Matrix& b, Matrix& out) {
+  CHECK_EQ(a.cols(), b.rows());
+  CHECK_EQ(out.rows(), a.rows());
+  CHECK_EQ(out.cols(), b.cols());
+  out.Fill(0.0f);
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const float av = a.at(i, p);
+      if (av == 0.0f) {
+        continue;
+      }
+      const auto brow = b.row(p);
+      auto orow = out.row(i);
+      for (size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatTMulAdd(const Matrix& a, const Matrix& b, Matrix& out) {
+  CHECK_EQ(a.rows(), b.rows());
+  CHECK_EQ(out.rows(), a.cols());
+  CHECK_EQ(out.cols(), b.cols());
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const auto arow = a.row(i);
+    const auto brow = b.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      auto orow = out.row(p);
+      for (size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MulMatT(const Matrix& a, const Matrix& b, Matrix& out) {
+  CHECK_EQ(a.cols(), b.cols());
+  CHECK_EQ(out.rows(), a.rows());
+  CHECK_EQ(out.cols(), b.rows());
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t k = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const auto arow = a.row(i);
+    auto orow = out.row(i);
+    for (size_t j = 0; j < k; ++j) {
+      orow[j] = Dot(arow, b.row(j));
+    }
+  }
+  (void)n;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] += alpha * x[i];
+  }
+}
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  CHECK_EQ(a.size(), b.size());
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+float L2Norm(std::span<const float> x) {
+  double acc = 0.0;
+  for (float v : x) {
+    acc += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void Scale(std::span<float> x, float alpha) {
+  for (float& v : x) {
+    v *= alpha;
+  }
+}
+
+void ReluInPlace(Matrix& m) {
+  for (float& v : m.data()) {
+    v = std::max(v, 0.0f);
+  }
+}
+
+void ReluBackward(const Matrix& activation, Matrix& grad) {
+  CHECK_EQ(activation.size(), grad.size());
+  for (size_t i = 0; i < grad.data().size(); ++i) {
+    if (activation.data()[i] <= 0.0f) {
+      grad.data()[i] = 0.0f;
+    }
+  }
+}
+
+void SoftmaxRows(Matrix& m) {
+  for (size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    float max_v = row[0];
+    for (float v : row) {
+      max_v = std::max(max_v, v);
+    }
+    float sum = 0.0f;
+    for (float& v : row) {
+      v = std::exp(v - max_v);
+      sum += v;
+    }
+    for (float& v : row) {
+      v /= sum;
+    }
+  }
+}
+
+}  // namespace totoro

@@ -1,0 +1,72 @@
+// The "forest" abstraction: one ScribeNode per overlay node, many application trees.
+//
+// Forest owns the Scribe layer for a whole PastryNetwork and provides the global views
+// the evaluation needs: which host roots which trees (Fig. 5b), per-level branch
+// distribution (Fig. 5d), tree depth/connectivity (Fig. 6, Fig. 12). These global scans
+// exist only in the harness — protocol nodes never use them.
+#ifndef SRC_PUBSUB_FOREST_H_
+#define SRC_PUBSUB_FOREST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dht/pastry_network.h"
+#include "src/pubsub/scribe_node.h"
+
+namespace totoro {
+
+class Forest {
+ public:
+  Forest(PastryNetwork* pastry, ScribeConfig config);
+
+  ScribeNode& scribe(size_t i) { return *scribes_[i]; }
+  const ScribeNode& scribe(size_t i) const { return *scribes_[i]; }
+  size_t size() const { return scribes_.size(); }
+  PastryNetwork& pastry() { return *pastry_; }
+
+  // Derives the AppId topic for an application name (uniform via SHA-1).
+  NodeId CreateTopic(const std::string& app_name,
+                     const std::string& creator_key = "creator-pk",
+                     const std::string& salt = "salt-0") const;
+
+  // Subscribes the given node indices to `topic` and runs the simulator until the JOIN
+  // traffic quiesces. When periodic timers (keep-alives, maintenance) are active the
+  // event queue never drains, so pass `settle_ms` > 0 to bound the settling run instead.
+  void SubscribeAll(const NodeId& topic, const std::vector<size_t>& members,
+                    double settle_ms = 0.0);
+
+  // Starts periodic tree maintenance (parent heartbeats + rejoin) on every node.
+  void StartMaintenance();
+
+  // ----- Global inspection (harness-only) -----
+
+  // Index of the root node of `topic`, or SIZE_MAX when no live root exists.
+  size_t RootOf(const NodeId& topic) const;
+
+  struct TreeStats {
+    size_t num_members = 0;      // Nodes with tree state (root + forwarders + leaves).
+    size_t num_subscribers = 0;  // Worker nodes.
+    int depth = 0;               // Levels below the root reached by BFS.
+    std::map<int, size_t> nodes_per_level;
+    double mean_fanout = 0.0;    // Mean children count over internal nodes.
+    size_t reachable_from_root = 0;
+    bool all_subscribers_connected = false;
+  };
+  TreeStats ComputeStats(const NodeId& topic) const;
+
+  // How many tree roots each host carries (Fig. 5b's masters-per-node distribution).
+  std::map<HostId, size_t> RootsPerHost(const std::vector<NodeId>& topics) const;
+
+  // True if every live subscriber of `topic` reaches a live root by parent pointers.
+  bool IsFullyConnected(const NodeId& topic) const;
+
+ private:
+  PastryNetwork* pastry_;
+  std::vector<std::unique_ptr<ScribeNode>> scribes_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_PUBSUB_FOREST_H_

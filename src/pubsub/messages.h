@@ -1,0 +1,62 @@
+// Wire messages for the publish/subscribe forest (opcodes 100-199).
+#ifndef SRC_PUBSUB_MESSAGES_H_
+#define SRC_PUBSUB_MESSAGES_H_
+
+#include <memory>
+
+#include "src/dht/node_id.h"
+#include "src/sim/message.h"
+
+namespace totoro {
+
+enum PubSubMsgType : int {
+  kScribeJoin = 100,           // Routed toward the topic (AppId).
+  kScribeBroadcast = 101,      // Direct, parent -> children, down-tree.
+  kScribeUpdate = 102,         // Direct, child -> parent, up-tree.
+  kScribeParentHeartbeat = 103,  // Direct, parent -> children keep-alive.
+  kScribeLeave = 104,          // Direct, child -> parent.
+};
+
+// JOIN toward the rendezvous node. `child_host` is rewritten at every hop that grafts
+// itself into the tree, so each tree edge connects adjacent hops of the JOIN path —
+// the "union of all JOIN messages' paths" of §4.3 step (c).
+struct ScribeJoin {
+  NodeId topic;
+  HostId child_host = kInvalidHost;
+  NodeId child_id;
+};
+
+// Down-tree payload (model broadcast). `origin_time` stamps the root's send for
+// dissemination-latency measurement; `depth` counts tree levels traversed.
+struct ScribeBroadcast {
+  NodeId topic;
+  uint64_t round = 0;
+  std::shared_ptr<const void> data;
+  SimTime origin_time = 0.0;
+  int depth = 0;
+};
+
+// Up-tree payload (gradient aggregation). `weight` carries FedAvg sample counts;
+// `count` is how many leaf contributions are folded into this partial aggregate.
+struct ScribeUpdate {
+  NodeId topic;
+  uint64_t round = 0;
+  std::shared_ptr<const void> data;
+  double weight = 1.0;
+  uint64_t count = 1;
+  uint64_t size_bytes = 0;
+};
+
+struct ScribeParentHeartbeat {
+  NodeId topic;
+  NodeId parent_id;  // Lets children clean DHT state when they declare the parent dead.
+};
+
+struct ScribeLeave {
+  NodeId topic;
+  HostId child_host = kInvalidHost;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_PUBSUB_MESSAGES_H_

@@ -1,0 +1,91 @@
+#include "src/rings/binning.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+DistributedBinning::DistributedBinning(std::vector<GeoPoint> landmarks, BinningConfig config)
+    : landmarks_(std::move(landmarks)), config_(std::move(config)) {
+  CHECK(!landmarks_.empty());
+}
+
+std::vector<double> DistributedBinning::MeasureRtts(const GeoPoint& node) const {
+  std::vector<double> rtts;
+  rtts.reserve(landmarks_.size());
+  for (const auto& lm : landmarks_) {
+    rtts.push_back(EstimateRttMs(node, lm));
+  }
+  return rtts;
+}
+
+int DistributedBinning::LevelOf(double rtt_ms) const {
+  int level = 0;
+  for (double threshold : config_.rtt_level_thresholds_ms) {
+    if (rtt_ms < threshold) {
+      break;
+    }
+    ++level;
+  }
+  return level;
+}
+
+std::string DistributedBinning::SignatureOf(const GeoPoint& node) const {
+  const std::vector<double> rtts = MeasureRtts(node);
+  std::vector<size_t> order(rtts.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return rtts[a] < rtts[b]; });
+  std::string sig;
+  const size_t depth = config_.use_full_ordering ? order.size() : 1;
+  for (size_t i = 0; i < depth; ++i) {
+    if (i > 0) {
+      sig += '|';
+    }
+    sig += std::to_string(order[i]);
+    sig += ':';
+    sig += std::to_string(LevelOf(rtts[order[i]]));
+  }
+  return sig;
+}
+
+uint32_t DistributedBinning::BinOf(const GeoPoint& node) {
+  const std::string sig = SignatureOf(node);
+  auto it = signature_to_bin_.find(sig);
+  if (it == signature_to_bin_.end()) {
+    const uint32_t bin = static_cast<uint32_t>(signature_to_bin_.size());
+    it = signature_to_bin_.emplace(sig, bin).first;
+  }
+  return it->second;
+}
+
+uint32_t DistributedBinning::NearestLandmark(const GeoPoint& node) const {
+  const std::vector<double> rtts = MeasureRtts(node);
+  return static_cast<uint32_t>(
+      std::min_element(rtts.begin(), rtts.end()) - rtts.begin());
+}
+
+void DistributedBinning::RecordMember(uint32_t bin, const GeoPoint& node) {
+  members_[bin].push_back(node);
+}
+
+double DistributedBinning::DiameterOf(uint32_t bin) const {
+  auto it = members_.find(bin);
+  if (it == members_.end() || it->second.size() < 2) {
+    return 0.0;
+  }
+  // Exact pairwise max is O(k^2); sample-cap large zones to keep this cheap while still
+  // reporting a faithful diameter estimate.
+  const auto& pts = it->second;
+  const size_t stride = pts.size() > 512 ? pts.size() / 512 : 1;
+  double max_rtt = 0.0;
+  for (size_t i = 0; i < pts.size(); i += stride) {
+    for (size_t j = i + stride; j < pts.size(); j += stride) {
+      max_rtt = std::max(max_rtt, EstimateRttMs(pts[i], pts[j]));
+    }
+  }
+  return max_rtt;
+}
+
+}  // namespace totoro

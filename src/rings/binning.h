@@ -1,0 +1,66 @@
+// Ratnasamy–Shenker distributed binning (INFOCOM '02), used by §4.2 to carve the edge
+// network into locality-aware zones.
+//
+// Each node measures its RTT to a small set of well-known landmarks. Nodes whose
+// landmark-ordering (and, optionally, quantized RTT level vector) match fall into the
+// same bin; bins become edge zones. The procedure is fully decentralized in the paper's
+// deployment — each node bins itself — which this implementation mirrors: BinOf() uses
+// only the node's own RTT vector.
+#ifndef SRC_RINGS_BINNING_H_
+#define SRC_RINGS_BINNING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/geo.h"
+
+namespace totoro {
+
+struct BinningConfig {
+  // RTT quantization thresholds in ms; RTTs are classified into level 0..thresholds.size().
+  std::vector<double> rtt_level_thresholds_ms = {10.0, 40.0, 160.0};
+  // When true the bin signature includes the full landmark ordering; when false only the
+  // nearest landmark, which yields exactly one bin per landmark (Voronoi zones).
+  bool use_full_ordering = false;
+};
+
+class DistributedBinning {
+ public:
+  DistributedBinning(std::vector<GeoPoint> landmarks, BinningConfig config = {});
+
+  // The node-side computation: RTT vector to all landmarks from the node's location.
+  std::vector<double> MeasureRtts(const GeoPoint& node) const;
+
+  // Bin signature string, e.g. "2:0|0:1|1:2" (landmark:level in RTT order).
+  std::string SignatureOf(const GeoPoint& node) const;
+
+  // Stable zone id for the node: signatures are interned in first-seen order.
+  // (Zone ids are small integers suitable for id prefixes.)
+  uint32_t BinOf(const GeoPoint& node);
+
+  // Nearest landmark index (the Voronoi zone).
+  uint32_t NearestLandmark(const GeoPoint& node) const;
+
+  size_t num_bins() const { return signature_to_bin_.size(); }
+  size_t num_landmarks() const { return landmarks_.size(); }
+  const std::vector<GeoPoint>& landmarks() const { return landmarks_; }
+
+  // The maximum observed intra-bin RTT for nodes binned so far: the zone "diameter".
+  double DiameterOf(uint32_t bin) const;
+  void RecordMember(uint32_t bin, const GeoPoint& node);
+
+ private:
+  int LevelOf(double rtt_ms) const;
+
+  std::vector<GeoPoint> landmarks_;
+  BinningConfig config_;
+  std::map<std::string, uint32_t> signature_to_bin_;
+  // bin -> members recorded (for diameter computation).
+  std::map<uint32_t, std::vector<GeoPoint>> members_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_RINGS_BINNING_H_

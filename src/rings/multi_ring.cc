@@ -1,0 +1,58 @@
+#include "src/rings/multi_ring.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+MultiRing::MultiRing(Network* net, MultiRingConfig config)
+    : config_(config), pastry_(net, config.pastry) {
+  CHECK_GE(config_.zone_bits, 1);
+  CHECK_LE(config_.zone_bits, 24);
+}
+
+size_t MultiRing::AddNode(const GeoPoint& where, DistributedBinning& binning, Rng& rng) {
+  const uint32_t bin = binning.BinOf(where);
+  binning.RecordMember(bin, where);
+  const ZoneId zone = bin & ((1u << config_.zone_bits) - 1u);
+  return AddNodeInZone(zone, rng);
+}
+
+size_t MultiRing::AddNodeInZone(ZoneId zone, Rng& rng) {
+  CHECK_LT(zone, 1u << config_.zone_bits);
+  NodeId id = RandomZonedId(zone, config_.zone_bits, rng);
+  while (pastry_.FindById(id) != nullptr) {
+    id = RandomZonedId(zone, config_.zone_bits, rng);
+  }
+  const size_t index = pastry_.AddNode(id);
+  CHECK_EQ(index, zones_.size());
+  zones_.push_back(zone);
+  return index;
+}
+
+void MultiRing::Build(Rng& rng) { pastry_.BuildOracle(rng); }
+
+std::vector<size_t> MultiRing::NodesInZone(ZoneId zone) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < zones_.size(); ++i) {
+    if (zones_[i] == zone) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::map<ZoneId, size_t> MultiRing::ZonePopulation() const {
+  std::map<ZoneId, size_t> pop;
+  for (ZoneId z : zones_) {
+    ++pop[z];
+  }
+  return pop;
+}
+
+bool MultiRing::MayForward(size_t node_index, const NodeId& key,
+                           const BoundaryPolicy& policy) const {
+  CHECK_LT(node_index, zones_.size());
+  return policy(key, zones_[node_index]);
+}
+
+}  // namespace totoro

@@ -1,0 +1,59 @@
+// The locality-aware P2P multi-ring overlay: zone-binned Pastry rings in one id space.
+//
+// MultiRing glues the three Layer-1 pieces together: distributed binning assigns each
+// physical node a zone from its geographic position; node ids are zone-prefixed
+// (zones.h) so that prefix routing keeps intra-zone traffic inside the zone; and a
+// boundary policy implements administrative isolation for zone-restricted applications.
+// Multi-zone applications traverse at most m zones, giving the paper's m * O(log N)
+// routing bound.
+#ifndef SRC_RINGS_MULTI_RING_H_
+#define SRC_RINGS_MULTI_RING_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/dht/pastry_network.h"
+#include "src/rings/binning.h"
+#include "src/rings/two_level_table.h"
+
+namespace totoro {
+
+struct MultiRingConfig {
+  int zone_bits = 4;  // m: up to 2^m zones.
+  PastryConfig pastry;
+};
+
+class MultiRing {
+ public:
+  MultiRing(Network* net, MultiRingConfig config);
+
+  // Adds a node geographically located at `where`; its zone comes from the binning
+  // instance and its id is zone-prefixed random. Returns the node index.
+  size_t AddNode(const GeoPoint& where, DistributedBinning& binning, Rng& rng);
+
+  // Adds a node with an explicit zone.
+  size_t AddNodeInZone(ZoneId zone, Rng& rng);
+
+  // Installs converged overlay state (oracle bootstrap; see PastryNetwork).
+  void Build(Rng& rng);
+
+  PastryNetwork& pastry() { return pastry_; }
+  const MultiRingConfig& config() const { return config_; }
+
+  ZoneId zone_of_node(size_t i) const { return zones_.at(i); }
+  std::vector<size_t> NodesInZone(ZoneId zone) const;
+  std::map<ZoneId, size_t> ZonePopulation() const;
+
+  // True if routing a packet for `key` out of node i's zone is permitted under `policy`.
+  bool MayForward(size_t node_index, const NodeId& key, const BoundaryPolicy& policy) const;
+
+ private:
+  MultiRingConfig config_;
+  PastryNetwork pastry_;
+  std::vector<ZoneId> zones_;  // Parallel to pastry_ node indices.
+};
+
+}  // namespace totoro
+
+#endif  // SRC_RINGS_MULTI_RING_H_

@@ -1,0 +1,154 @@
+#include "src/rings/two_level_table.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+namespace {
+
+// Clockwise distance in a 2^bits space.
+uint64_t CwDist(uint64_t from, uint64_t to, int bits) {
+  const uint64_t mask = bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  return (to - from) & mask;
+}
+
+}  // namespace
+
+TwoLevelTable::TwoLevelTable(NodeId self, int zone_bits, int suffix_bits)
+    : self_(self), zone_bits_(zone_bits), suffix_bits_(suffix_bits) {
+  CHECK_GE(zone_bits_, 1);
+  CHECK_LE(zone_bits_, 31);
+  CHECK_GE(suffix_bits_, 1);
+  CHECK_LE(zone_bits_ + suffix_bits_, 128);
+  const ZoneId p = ZoneOf(self_, zone_bits_);
+  // Level 1: i-th entry targets zone (P + 2^{i-1}) mod 2^m, carrying a zero suffix.
+  for (int i = 1; i <= zone_bits_; ++i) {
+    const ZoneId target_zone =
+        static_cast<ZoneId>((p + (1ull << (i - 1))) & ((1ull << zone_bits_) - 1));
+    TwoLevelEntry e;
+    e.target = MakeZonedId(target_zone, U128(0, 0), zone_bits_);
+    level1_.push_back(e);
+  }
+  // Level 2: i-th entry targets suffix (S + 2^{i-1}) mod 2^n within the local zone.
+  // Suffix is taken from the bits immediately after the zone prefix.
+  const U128 suffix_full = (self_ << zone_bits_) >> (128 - suffix_bits_);
+  const uint64_t s = suffix_full.lo();
+  for (int i = 1; i <= suffix_bits_; ++i) {
+    const uint64_t target_suffix = CwDist(0, s + (1ull << (i - 1)), suffix_bits_);
+    TwoLevelEntry e;
+    // Place the suffix in the bits right below the zone prefix.
+    const U128 suffix_bits_value = U128(0, target_suffix) << (128 - zone_bits_ - suffix_bits_);
+    e.target = MakeZonedId(p, suffix_bits_value, zone_bits_);
+    level2_.push_back(e);
+  }
+}
+
+bool TwoLevelTable::ConsiderSlot(TwoLevelEntry& slot, const RouteEntry& entry) const {
+  // Slot owner = known node closest clockwise from the target point.
+  const U128 cand_dist = U128::ClockwiseDistance(slot.target, entry.id);
+  if (!slot.node.has_value()) {
+    slot.node = entry;
+    return true;
+  }
+  if (slot.node->id == entry.id) {
+    return false;
+  }
+  const U128 cur_dist = U128::ClockwiseDistance(slot.target, slot.node->id);
+  if (cand_dist < cur_dist) {
+    slot.node = entry;
+    return true;
+  }
+  return false;
+}
+
+bool TwoLevelTable::Consider(const RouteEntry& entry) {
+  if (entry.id == self_) {
+    return false;
+  }
+  bool changed = false;
+  for (auto& slot : level1_) {
+    changed |= ConsiderSlot(slot, entry);
+  }
+  // Level 2 only accepts nodes of the local zone: cross-zone contacts must go through
+  // level 1, which is what makes boundary control enforceable.
+  if (ZoneOf(entry.id, zone_bits_) == zone()) {
+    for (auto& slot : level2_) {
+      changed |= ConsiderSlot(slot, entry);
+    }
+  }
+  return changed;
+}
+
+bool TwoLevelTable::Remove(NodeId id) {
+  bool changed = false;
+  for (auto& slot : level1_) {
+    if (slot.node.has_value() && slot.node->id == id) {
+      slot.node.reset();
+      changed = true;
+    }
+  }
+  for (auto& slot : level2_) {
+    if (slot.node.has_value() && slot.node->id == id) {
+      slot.node.reset();
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::optional<RouteEntry> TwoLevelTable::NextHop(const NodeId& key) const {
+  // Greedy Chord-style step: among eligible entries, the one making the largest
+  // clockwise progress from self toward key without passing it.
+  const U128 self_to_key = U128::ClockwiseDistance(self_, key);
+  std::optional<RouteEntry> best;
+  U128 best_progress = U128(0, 0);
+  auto consider_level = [&](const std::vector<TwoLevelEntry>& level) {
+    for (const auto& slot : level) {
+      if (!slot.node.has_value()) {
+        continue;
+      }
+      const U128 progress = U128::ClockwiseDistance(self_, slot.node->id);
+      if (progress == U128(0, 0) || progress > self_to_key) {
+        continue;  // No progress, or overshoots the key.
+      }
+      if (!best.has_value() || progress > best_progress) {
+        best = slot.node;
+        best_progress = progress;
+      }
+    }
+  };
+  const bool cross_zone = ZoneOf(key, zone_bits_) != zone();
+  if (cross_zone) {
+    consider_level(level1_);
+  } else {
+    consider_level(level2_);
+    // Within the zone, level-1 slot targets the next zone and never helps; skip it.
+  }
+  return best;
+}
+
+size_t TwoLevelTable::NumResolvedEntries() const {
+  size_t n = 0;
+  for (const auto& slot : level1_) {
+    if (slot.node.has_value()) {
+      ++n;
+    }
+  }
+  for (const auto& slot : level2_) {
+    if (slot.node.has_value()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+BoundaryPolicy AllowAllBoundaryPolicy() {
+  return [](const NodeId&, ZoneId) { return true; };
+}
+
+BoundaryPolicy IsolateZoneBoundaryPolicy(int zone_bits) {
+  return [zone_bits](const NodeId& key, ZoneId local_zone) {
+    return ZoneOf(key, zone_bits) == local_zone;
+  };
+}
+
+}  // namespace totoro

@@ -1,0 +1,81 @@
+// Boundary-aware two-level routing table (§4.2, third design change).
+//
+// Each node keeps:
+//   level 1 — m entries spanning zones: the i-th target is (P_x + 2^{i-1}) mod 2^m,
+//             i.e. exponentially spaced zone ids starting from the local zone;
+//   level 2 — n entries within the zone: the i-th target is (S_y + 2^{i-1}) mod 2^n,
+//             exponentially spaced suffixes starting from the local suffix.
+//
+// Targets are resolved to the live node whose id is closest to the target point
+// (clockwise), so each level behaves like a Chord finger table: level 2 reaches any
+// suffix within the zone in O(log 2^n) hops, level 1 reaches any zone in O(log m) hops.
+// Administrative isolation is enforced at forwarding time: a packet whose destination
+// zone differs from the local zone is only handed to level 1, and an administrator
+// policy may veto the hand-off entirely (§4.2 "block the packet before routing it
+// outside the edge zone").
+#ifndef SRC_RINGS_TWO_LEVEL_TABLE_H_
+#define SRC_RINGS_TWO_LEVEL_TABLE_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/dht/routing_table.h"
+#include "src/rings/zones.h"
+
+namespace totoro {
+
+struct TwoLevelEntry {
+  NodeId target;  // The ideal point this entry aims at.
+  std::optional<RouteEntry> node;  // The resolved owner, if any is known.
+};
+
+class TwoLevelTable {
+ public:
+  // zone_bits = m (zone prefix width); suffix_bits = n (intra-zone id width); for a full
+  // 128-bit id, zone_bits + suffix_bits == 128, but smaller synthetic spaces are allowed
+  // in tests.
+  TwoLevelTable(NodeId self, int zone_bits, int suffix_bits);
+
+  int zone_bits() const { return zone_bits_; }
+  int suffix_bits() const { return suffix_bits_; }
+  ZoneId zone() const { return ZoneOf(self_, zone_bits_); }
+
+  // Offers a candidate node; it is installed into every level-1/level-2 slot for which
+  // it is the best-known owner (closest clockwise to the slot's target point).
+  bool Consider(const RouteEntry& entry);
+  bool Remove(NodeId id);
+
+  const std::vector<TwoLevelEntry>& level1() const { return level1_; }
+  const std::vector<TwoLevelEntry>& level2() const { return level2_; }
+
+  // Next hop toward `key`. Cross-zone keys use level 1; intra-zone keys use level 2.
+  // Returns nullopt when the local node is the best known owner.
+  std::optional<RouteEntry> NextHop(const NodeId& key) const;
+
+  size_t NumResolvedEntries() const;
+
+ private:
+  bool ConsiderSlot(TwoLevelEntry& slot, const RouteEntry& entry) const;
+
+  NodeId self_;
+  int zone_bits_;
+  int suffix_bits_;
+  std::vector<TwoLevelEntry> level1_;  // zone_bits entries.
+  std::vector<TwoLevelEntry> level2_;  // suffix_bits entries.
+};
+
+// Administrator policy hook for zone-boundary enforcement: return true to allow a packet
+// for `key` to leave `local_zone`. The default-deny policy used by zone-restricted
+// applications simply returns key's zone == local zone.
+using BoundaryPolicy = std::function<bool(const NodeId& key, ZoneId local_zone)>;
+
+// Policy allowing everything (multi-zone applications).
+BoundaryPolicy AllowAllBoundaryPolicy();
+
+// Policy confining traffic to the local zone (the paper's administrative isolation).
+BoundaryPolicy IsolateZoneBoundaryPolicy(int zone_bits);
+
+}  // namespace totoro
+
+#endif  // SRC_RINGS_TWO_LEVEL_TABLE_H_

@@ -1,0 +1,45 @@
+#include "src/sim/event_queue.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+EventHandle EventQueue::Push(SimTime at, std::function<void()> fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  heap_.push(Event{at, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(cancelled);
+}
+
+SimTime EventQueue::NextTime() const {
+  CHECK(!heap_.empty());
+  return heap_.top().at;
+}
+
+bool EventQueue::PopNext(SimTime* at, std::function<void()>* fn) {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    if (*ev.cancelled) {
+      continue;
+    }
+    *at = ev.at;
+    *fn = std::move(ev.fn);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::PopAndRun(SimTime* fired_at) {
+  SimTime at = 0;
+  std::function<void()> fn;
+  if (!PopNext(&at, &fn)) {
+    return false;
+  }
+  if (fired_at != nullptr) {
+    *fired_at = at;
+  }
+  fn();
+  return true;
+}
+
+}  // namespace totoro

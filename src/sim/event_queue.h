@@ -1,0 +1,74 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events fire in (time, sequence) order; the sequence number breaks ties FIFO so runs
+// are deterministic regardless of heap implementation details. Cancellation is handled
+// with a shared flag so that pending timers (e.g. keep-alives of a node that just died)
+// can be invalidated in O(1) without rebuilding the heap.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace totoro {
+
+using SimTime = double;  // Virtual milliseconds.
+
+class EventHandle {
+ public:
+  EventHandle() = default;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+
+  void Cancel() {
+    if (cancelled_) {
+      *cancelled_ = true;
+    }
+  }
+  bool IsCancelled() const { return cancelled_ && *cancelled_; }
+
+ private:
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  EventHandle Push(SimTime at, std::function<void()> fn);
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+  SimTime NextTime() const;
+
+  // Pops the earliest non-cancelled event into (*at, *fn) without running it, so the
+  // caller can advance its clock before invoking. Returns false if the queue was
+  // exhausted (only cancelled events remained).
+  bool PopNext(SimTime* at, std::function<void()>* fn);
+
+  // Convenience for tests: pops and immediately runs.
+  bool PopAndRun(SimTime* fired_at);
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

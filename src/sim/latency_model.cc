@@ -1,0 +1,40 @@
+#include "src/sim/latency_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace totoro {
+namespace {
+
+uint64_t MixPair(uint64_t seed, HostId a, HostId b) {
+  // Symmetric: order the pair first.
+  const uint64_t lo = std::min(a, b);
+  const uint64_t hi = std::max(a, b);
+  uint64_t z = seed ^ (lo * 0x9E3779B97F4A7C15ull) ^ (hi * 0xC2B2AE3D27D4EB4Full);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double PairwiseUniformLatency::LatencyMs(HostId a, HostId b) const {
+  if (a == b) {
+    return 0.05;  // Loopback.
+  }
+  const uint64_t h = MixPair(seed_, a, b);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return lo_ + (hi_ - lo_) * u;
+}
+
+double GeoLatency::LatencyMs(HostId a, HostId b) const {
+  CHECK_LT(a, positions_.size());
+  CHECK_LT(b, positions_.size());
+  if (a == b) {
+    return 0.05;
+  }
+  return EstimateRttMs(positions_[a], positions_[b]) / 2.0;
+}
+
+}  // namespace totoro

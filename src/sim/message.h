@@ -1,0 +1,56 @@
+// Simulated network message.
+//
+// Messages carry a module-defined opcode, a size in bytes (which drives transmission
+// time and traffic accounting), a traffic class + transport (for the Fig. 7 overhead
+// breakdown), and a type-erased shared payload. The simulation is single-threaded and
+// payloads are immutable after send, so sharing one allocation among all recipients of a
+// broadcast is safe and keeps large fan-outs cheap.
+#ifndef SRC_SIM_MESSAGE_H_
+#define SRC_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+using HostId = uint32_t;
+inline constexpr HostId kInvalidHost = UINT32_MAX;
+
+// What the bytes are for — used by per-node traffic accounting (Fig. 7, Fig. 13).
+enum class TrafficClass : uint8_t {
+  kControl = 0,        // Generic protocol control.
+  kDhtMaintenance = 1, // Overlay join/repair/keep-alive.
+  kTreeControl = 2,    // Pub/sub JOIN, children-table upkeep.
+  kModel = 3,          // Model broadcast payloads.
+  kGradient = 4,       // Gradient/update aggregation payloads.
+};
+inline constexpr int kNumTrafficClasses = 5;
+
+enum class Transport : uint8_t { kTcp = 0, kUdp = 1 };
+
+struct Message {
+  int type = 0;
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  uint64_t size_bytes = 64;
+  TrafficClass traffic = TrafficClass::kControl;
+  Transport transport = Transport::kUdp;
+  std::shared_ptr<const void> payload;
+
+  template <typename T>
+  void SetPayload(T value) {
+    payload = std::make_shared<const T>(std::move(value));
+  }
+
+  template <typename T>
+  const T& As() const {
+    CHECK(payload != nullptr);
+    return *static_cast<const T*>(payload.get());
+  }
+};
+
+}  // namespace totoro
+
+#endif  // SRC_SIM_MESSAGE_H_

@@ -1,0 +1,99 @@
+#include "src/sim/metrics.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+void NetworkMetrics::EnsureHosts(size_t n) {
+  if (traffic_.size() < n) {
+    traffic_.resize(n);
+    work_.resize(n);
+  }
+}
+
+void NetworkMetrics::RecordSend(const Message& msg) {
+  CHECK_LT(msg.src, traffic_.size());
+  auto& t = traffic_[msg.src];
+  ++t.msgs_sent;
+  t.bytes_sent += msg.size_bytes;
+  if (msg.transport == Transport::kTcp) {
+    t.bytes_sent_tcp += msg.size_bytes;
+  } else {
+    t.bytes_sent_udp += msg.size_bytes;
+  }
+  t.bytes_sent_by_class[static_cast<size_t>(msg.traffic)] += msg.size_bytes;
+  ++total_messages_;
+  total_bytes_ += msg.size_bytes;
+}
+
+void NetworkMetrics::RecordDelivery(const Message& msg) {
+  CHECK_LT(msg.dst, traffic_.size());
+  auto& t = traffic_[msg.dst];
+  ++t.msgs_recv;
+  t.bytes_recv += msg.size_bytes;
+}
+
+void NetworkMetrics::ChargeWork(HostId host, WorkKind kind, double units) {
+  CHECK_LT(host, work_.size());
+  work_[host].work_units[static_cast<size_t>(kind)] += units;
+}
+
+void NetworkMetrics::AdjustStateBytes(HostId host, int64_t delta) {
+  CHECK_LT(host, work_.size());
+  work_[host].state_bytes += delta;
+  CHECK_GE(work_[host].state_bytes, 0);
+}
+
+uint64_t NetworkMetrics::TotalBytesTcp() const {
+  uint64_t total = 0;
+  for (const auto& t : traffic_) {
+    total += t.bytes_sent_tcp;
+  }
+  return total;
+}
+
+uint64_t NetworkMetrics::TotalBytesUdp() const {
+  uint64_t total = 0;
+  for (const auto& t : traffic_) {
+    total += t.bytes_sent_udp;
+  }
+  return total;
+}
+
+uint64_t NetworkMetrics::TotalBytesByClass(TrafficClass c) const {
+  uint64_t total = 0;
+  for (const auto& t : traffic_) {
+    total += t.bytes_sent_by_class[static_cast<size_t>(c)];
+  }
+  return total;
+}
+
+double NetworkMetrics::TotalWork(WorkKind kind) const {
+  double total = 0;
+  for (const auto& w : work_) {
+    total += w.work_units[static_cast<size_t>(kind)];
+  }
+  return total;
+}
+
+int64_t NetworkMetrics::TotalStateBytes() const {
+  int64_t total = 0;
+  for (const auto& w : work_) {
+    total += w.state_bytes;
+  }
+  return total;
+}
+
+void NetworkMetrics::Reset() {
+  for (auto& t : traffic_) {
+    t = HostTraffic{};
+  }
+  for (auto& w : work_) {
+    w = HostWork{};
+  }
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  dropped_messages_ = 0;
+}
+
+}  // namespace totoro

@@ -1,0 +1,79 @@
+// Per-host and global traffic/work accounting.
+//
+// Fig. 7 reports traffic per node by transport (TCP vs UDP); Fig. 13 splits work into
+// FL-related and DHT-related. Because the testbed here is a simulator, overhead is
+// tracked by explicit accounting: every sent message updates byte counters, and protocol
+// layers report abstract "work units" (a proxy for CPU time) and state bytes (a proxy
+// for resident memory).
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/message.h"
+
+namespace totoro {
+
+struct HostTraffic {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_recv = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_recv = 0;
+  uint64_t bytes_sent_tcp = 0;
+  uint64_t bytes_sent_udp = 0;
+  std::array<uint64_t, kNumTrafficClasses> bytes_sent_by_class{};
+};
+
+// Work categories for Fig. 13's CPU-overhead split.
+enum class WorkKind : uint8_t { kFlTask = 0, kDhtTask = 1 };
+inline constexpr int kNumWorkKinds = 2;
+
+struct HostWork {
+  // Abstract work units; FL layers charge per parameter touched, DHT layers per
+  // routing-table operation.
+  std::array<double, kNumWorkKinds> work_units{};
+  // Current bytes of long-lived protocol state (routing tables, children tables,
+  // buffered models); updated incrementally by the owning layer.
+  int64_t state_bytes = 0;
+};
+
+class NetworkMetrics {
+ public:
+  void EnsureHosts(size_t n);
+
+  void RecordSend(const Message& msg);
+  void RecordDelivery(const Message& msg);
+  void ChargeWork(HostId host, WorkKind kind, double units);
+  void AdjustStateBytes(HostId host, int64_t delta);
+
+  const HostTraffic& traffic(HostId host) const { return traffic_.at(host); }
+  const HostWork& work(HostId host) const { return work_.at(host); }
+  size_t num_hosts() const { return traffic_.size(); }
+
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  void RecordDrop() { ++dropped_messages_; }
+
+  // Aggregates across hosts.
+  uint64_t TotalBytesTcp() const;
+  uint64_t TotalBytesUdp() const;
+  uint64_t TotalBytesByClass(TrafficClass c) const;
+  double TotalWork(WorkKind kind) const;
+  int64_t TotalStateBytes() const;
+
+  void Reset();
+
+ private:
+  std::vector<HostTraffic> traffic_;
+  std::vector<HostWork> work_;
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t dropped_messages_ = 0;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_SIM_METRICS_H_

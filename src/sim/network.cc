@@ -1,0 +1,84 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency, NetworkConfig config)
+    : sim_(sim), latency_(std::move(latency)), config_(config) {
+  CHECK(sim_ != nullptr);
+  CHECK(latency_ != nullptr);
+}
+
+HostId Network::AddHost(Host* host) {
+  CHECK(host != nullptr);
+  HostState state;
+  state.host = host;
+  state.bandwidth_bytes_per_ms = config_.default_bandwidth_bytes_per_ms;
+  hosts_.push_back(state);
+  metrics_.EnsureHosts(hosts_.size());
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+void Network::SetHostUp(HostId id, bool up) {
+  CHECK_LT(id, hosts_.size());
+  hosts_[id].up = up;
+}
+
+bool Network::IsUp(HostId id) const {
+  CHECK_LT(id, hosts_.size());
+  return hosts_[id].up;
+}
+
+void Network::SetHostBandwidth(HostId id, double bytes_per_ms) {
+  CHECK_LT(id, hosts_.size());
+  CHECK_GT(bytes_per_ms, 0.0);
+  hosts_[id].bandwidth_bytes_per_ms = bytes_per_ms;
+}
+
+void Network::Send(Message msg) {
+  CHECK_LT(msg.src, hosts_.size());
+  CHECK_LT(msg.dst, hosts_.size());
+  auto& src = hosts_[msg.src];
+  if (!src.up) {
+    metrics_.RecordDrop();
+    return;
+  }
+  metrics_.RecordSend(msg);
+  if (loss_fn_ && loss_fn_(msg)) {
+    metrics_.RecordDrop();
+    return;
+  }
+
+  const SimTime now = sim_->Now();
+  SimTime departure = now;
+  if (config_.model_bandwidth) {
+    const double tx_time = static_cast<double>(msg.size_bytes) / src.bandwidth_bytes_per_ms;
+    src.tx_free_at = std::max(src.tx_free_at, now) + tx_time;
+    departure = src.tx_free_at;
+  }
+  const double prop = latency_->LatencyMs(msg.src, msg.dst);
+  const SimTime arrival_start = departure + prop;
+
+  auto& dst = hosts_[msg.dst];
+  SimTime delivery = arrival_start;
+  if (config_.model_bandwidth) {
+    const double rx_time = static_cast<double>(msg.size_bytes) / dst.bandwidth_bytes_per_ms;
+    dst.rx_free_at = std::max(dst.rx_free_at, arrival_start) + rx_time;
+    delivery = dst.rx_free_at;
+  }
+
+  sim_->ScheduleAt(delivery, [this, msg = std::move(msg)]() {
+    auto& dst_state = hosts_[msg.dst];
+    if (!dst_state.up) {
+      metrics_.RecordDrop();
+      return;
+    }
+    metrics_.RecordDelivery(msg);
+    dst_state.host->HandleMessage(msg);
+  });
+}
+
+}  // namespace totoro

@@ -1,0 +1,50 @@
+#include "src/sim/simulator.h"
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+  CHECK_GE(delay, 0.0);
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  CHECK_GE(at, now_);
+  return queue_.Push(at, std::move(fn));
+}
+
+size_t Simulator::Run(size_t max_events) {
+  size_t fired = 0;
+  while (fired < max_events && !queue_.Empty()) {
+    SimTime at = now_;
+    std::function<void()> fn;
+    if (!queue_.PopNext(&at, &fn)) {
+      break;
+    }
+    CHECK_GE(at, now_);
+    now_ = at;  // Advance the clock before the event observes it.
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+size_t Simulator::RunUntil(SimTime t) {
+  CHECK_GE(t, now_);
+  size_t fired = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= t) {
+    SimTime at = now_;
+    std::function<void()> fn;
+    if (!queue_.PopNext(&at, &fn)) {
+      break;
+    }
+    now_ = at;
+    fn();
+    ++fired;
+  }
+  now_ = t;
+  return fired;
+}
+
+}  // namespace totoro

@@ -1,0 +1,41 @@
+// Discrete-event simulator core: virtual clock + event scheduling.
+//
+// The entire repository runs on virtual time. One Simulator instance drives one
+// experiment; every protocol layer schedules callbacks through it. The simulator is
+// single-threaded — determinism is a feature, and the evaluation measures virtual time,
+// not wall-clock time.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+
+namespace totoro {
+
+class Simulator {
+ public:
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` virtual ms from now. delay must be >= 0.
+  EventHandle Schedule(SimTime delay, std::function<void()> fn);
+  EventHandle ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Runs events until the queue drains or `max_events` fire. Returns events fired.
+  size_t Run(size_t max_events = SIZE_MAX);
+
+  // Runs events with firing time <= t, then advances the clock to exactly t.
+  size_t RunUntil(SimTime t);
+  size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+
+  bool Idle() const { return queue_.Empty(); }
+  size_t PendingEvents() const { return queue_.Size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,193 @@
+// Continuous-churn tests: the ChurnDriver leaves/joins nodes through the live protocol
+// while routing, trees, and whole FL applications keep working.
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/dht/churn.h"
+#include "src/pubsub/forest.h"
+
+namespace totoro {
+namespace {
+
+struct ChurnWorld {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<PastryNetwork> pastry;
+
+  explicit ChurnWorld(size_t n, uint64_t seed, bool keepalive = true) {
+    NetworkConfig net_config;
+    net_config.model_bandwidth = false;
+    net = std::make_unique<Network>(&sim, std::make_unique<PairwiseUniformLatency>(1.0, 10.0, seed),
+                                    net_config);
+    PastryConfig config;
+    config.enable_keepalive = keepalive;
+    config.keepalive_interval_ms = 200.0;
+    config.keepalive_timeout_ms = 700.0;
+    pastry = std::make_unique<PastryNetwork>(net.get(), config);
+    Rng rng(seed);
+    for (size_t i = 0; i < n; ++i) {
+      pastry->AddRandomNode(rng);
+    }
+    pastry->BuildOracle(rng);
+    if (keepalive) {
+      for (size_t i = 0; i < pastry->size(); ++i) {
+        pastry->node(i).StartKeepAlive();
+      }
+    }
+  }
+};
+
+TEST(ChurnDriverTest, GeneratesBothLeavesAndJoins) {
+  ChurnWorld world(60, 1000);
+  ChurnDriver churn(world.pastry.get(), ChurnConfig{}, 1001);
+  churn.Start();
+  world.sim.RunFor(10000.0);
+  churn.Stop();
+  EXPECT_GT(churn.leaves(), 5u);
+  EXPECT_GT(churn.joins(), 5u);
+  EXPECT_GE(churn.LiveNodes(), ChurnConfig{}.min_live_nodes);
+}
+
+TEST(ChurnDriverTest, JoinedNodesBecomeRoutableDestinations) {
+  ChurnWorld world(50, 1010);
+  ChurnConfig config;
+  config.leave_fraction = 0.0;  // Joins only.
+  ChurnDriver churn(world.pastry.get(), config, 1011);
+  churn.Start();
+  world.sim.RunFor(5000.0);
+  churn.Stop();
+  world.sim.RunFor(2000.0);  // Let announcements settle.
+  ASSERT_GT(churn.joins(), 5u);
+  // Route directly to each joined node's own id: the join protocol must have made them
+  // reachable rendezvous targets.
+  int delivered = 0;
+  NodeId delivered_at;
+  for (size_t i = 0; i < world.pastry->size(); ++i) {
+    world.pastry->node(i).SetDeliverHandler(500, [&, i](const NodeId&, const Message&, int) {
+      ++delivered;
+      delivered_at = world.pastry->node(i).id();
+    });
+  }
+  int checked = 0;
+  for (size_t i = 50; i < world.pastry->size(); ++i) {  // The joiners.
+    PastryNode& joiner = world.pastry->node(i);
+    Message m;
+    m.type = 500;
+    world.pastry->node(0).Route(joiner.id(), std::move(m));
+    // Periodic keep-alives never drain the queue; a bounded settle suffices.
+    world.sim.RunFor(300.0);
+    ++checked;
+    EXPECT_EQ(delivered, checked);
+    EXPECT_EQ(delivered_at, joiner.id()) << "joiner " << i << " not the rendezvous of its id";
+  }
+}
+
+TEST(ChurnDriverTest, RoutingStaysCorrectUnderContinuousChurn) {
+  ChurnWorld world(80, 1020);
+  ChurnConfig config;
+  config.event_interval_ms = 300.0;
+  ChurnDriver churn(world.pastry.get(), config, 1021);
+  churn.Start();
+  Rng rng(1022);
+  int delivered = 0;
+  for (size_t i = 0; i < world.pastry->size(); ++i) {
+    world.pastry->node(i).SetDeliverHandler(
+        500, [&](const NodeId&, const Message&, int) { ++delivered; });
+  }
+  int sent = 0;
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    world.sim.RunFor(500.0);
+    // Wire deliver handlers onto any nodes that joined since the last epoch.
+    for (size_t i = 0; i < world.pastry->size(); ++i) {
+      world.pastry->node(i).SetDeliverHandler(
+          500, [&](const NodeId&, const Message&, int) { ++delivered; });
+    }
+    for (int t = 0; t < 5; ++t) {
+      PastryNode& origin = world.pastry->node(rng.NextBelow(world.pastry->size()));
+      if (!origin.alive()) {
+        continue;
+      }
+      Message m;
+      m.type = 500;
+      origin.Route(RandomNodeId(rng), std::move(m));
+      ++sent;
+    }
+  }
+  churn.Stop();
+  world.sim.RunFor(3000.0);
+  EXPECT_GT(sent, 50);
+  // Liveness-aware routing dodges known-dead hops, but a hop can die while a message is
+  // in flight (there are no transport retries at this layer), so a small loss tail is
+  // expected under continuous churn; the overwhelming majority must still land.
+  EXPECT_GE(delivered, sent * 8 / 10);
+}
+
+TEST(ChurnDriverTest, FlTrainingSurvivesContinuousChurn) {
+  Simulator sim;
+  Network net(&sim, std::make_unique<PairwiseUniformLatency>(1.0, 15.0, 1030), NetworkConfig{});
+  PastryConfig pastry_config;
+  pastry_config.enable_keepalive = true;
+  pastry_config.keepalive_interval_ms = 500.0;
+  pastry_config.keepalive_timeout_ms = 1600.0;
+  PastryNetwork pastry(&net, pastry_config);
+  Rng rng(1031);
+  for (int i = 0; i < 60; ++i) {
+    pastry.AddRandomNode(rng);
+  }
+  pastry.BuildOracle(rng);
+  for (size_t i = 0; i < pastry.size(); ++i) {
+    pastry.node(i).StartKeepAlive();
+  }
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 100.0;
+  scribe_config.parent_timeout_ms = 350.0;
+  scribe_config.aggregation_timeout_ms = 600.0;
+  Forest forest(&pastry, scribe_config);
+  forest.StartMaintenance();
+  TotoroEngine engine(&forest, ComputeModel{}, 1032);
+  TotoroEngine::FailoverConfig failover;
+  failover.watchdog_interval_ms = 300.0;
+  failover.stall_timeout_ms = 2500.0;
+  engine.EnableFailover(failover);
+  // Keep-alive timers never drain the queue; bound the tree-build settle.
+  engine.SetSubscribeSettleMs(1000.0);
+
+  SyntheticSpec spec;
+  spec.dim = 16;
+  spec.num_classes = 4;
+  spec.seed = 1033;
+  SyntheticTask task(spec);
+  Rng data_rng(1034);
+  FlAppConfig config;
+  config.name = "churn-survivor";
+  config.model_factory = [](uint64_t s) { return MakeSoftmaxRegression("sr", 16, 4, s); };
+  config.train.learning_rate = 0.1f;
+  config.target_accuracy = 2.0;
+  config.max_rounds = 8;
+  std::vector<size_t> workers;
+  std::vector<Dataset> shards;
+  for (size_t i = 0; i < 15; ++i) {
+    workers.push_back(i);
+    shards.push_back(task.Generate(80, data_rng));
+  }
+  const NodeId topic =
+      engine.LaunchApp(config, workers, std::move(shards), task.Generate(200, data_rng));
+
+  ChurnConfig churn_config;
+  churn_config.event_interval_ms = 150.0;
+  churn_config.min_live_nodes = 30;
+  ChurnDriver churn(&pastry, churn_config, 1035);
+  churn.Start();
+  engine.StartAll();
+  const bool done = engine.RunToCompletion(/*max_virtual_ms=*/60000.0);
+  churn.Stop();
+  ASSERT_TRUE(done) << "training wedged under continuous churn";
+  const auto& result = engine.result(topic);
+  EXPECT_EQ(result.rounds_completed, 8u);
+  EXPECT_GT(result.final_accuracy, 0.4);
+  EXPECT_GT(churn.leaves() + churn.joins(), 8u);
+}
+
+}  // namespace
+}  // namespace totoro

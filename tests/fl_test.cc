@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/fl/aggregation.h"
+#include "src/fl/client.h"
+#include "src/fl/selection.h"
+
+namespace totoro {
+namespace {
+
+TEST(FederatedAverageTest, WeightedMean) {
+  std::vector<WeightedUpdate> updates;
+  updates.push_back({{1.0f, 2.0f}, 1.0});
+  updates.push_back({{3.0f, 4.0f}, 3.0});
+  const auto avg = FederatedAverage(updates);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_FLOAT_EQ(avg[0], (1.0f + 9.0f) / 4.0f);
+  EXPECT_FLOAT_EQ(avg[1], (2.0f + 12.0f) / 4.0f);
+}
+
+TEST(FederatedAverageTest, SingleUpdateIdentity) {
+  std::vector<WeightedUpdate> updates;
+  updates.push_back({{5.0f, -1.0f}, 7.0});
+  EXPECT_EQ(FederatedAverage(updates), (std::vector<float>{5.0f, -1.0f}));
+}
+
+AggregationPiece MakePiece(std::vector<float> w, double weight) {
+  auto payload = std::make_shared<WeightsPayload>();
+  payload->weights = std::move(w);
+  AggregationPiece p;
+  p.data = std::move(payload);
+  p.weight = weight;
+  p.count = 1;
+  return p;
+}
+
+const std::vector<float>& PieceWeights(const AggregationPiece& p) {
+  return static_cast<const WeightsPayload*>(p.data.get())->weights;
+}
+
+TEST(FedAvgCombinerTest, MatchesFlatAverage) {
+  auto combine = MakeFedAvgCombiner();
+  std::vector<AggregationPiece> pieces;
+  pieces.push_back(MakePiece({1.0f, 0.0f}, 2.0));
+  pieces.push_back(MakePiece({0.0f, 1.0f}, 2.0));
+  const auto total = combine(pieces);
+  EXPECT_DOUBLE_EQ(total.weight, 4.0);
+  EXPECT_EQ(total.count, 2u);
+  EXPECT_FLOAT_EQ(PieceWeights(total)[0], 0.5f);
+  EXPECT_FLOAT_EQ(PieceWeights(total)[1], 0.5f);
+}
+
+TEST(FedAvgCombinerTest, HierarchicalEqualsFlat) {
+  // The associativity property Totoro's trees rely on: combining partial combines gives
+  // the same result as a single flat combine.
+  auto combine = MakeFedAvgCombiner();
+  std::vector<AggregationPiece> all;
+  all.push_back(MakePiece({1.0f}, 1.0));
+  all.push_back(MakePiece({2.0f}, 2.0));
+  all.push_back(MakePiece({3.0f}, 3.0));
+  all.push_back(MakePiece({4.0f}, 4.0));
+  const auto flat = combine(all);
+
+  std::vector<AggregationPiece> left = {all[0], all[1]};
+  std::vector<AggregationPiece> right = {all[2], all[3]};
+  std::vector<AggregationPiece> partials = {combine(left), combine(right)};
+  const auto tree = combine(partials);
+
+  EXPECT_DOUBLE_EQ(tree.weight, flat.weight);
+  EXPECT_EQ(tree.count, flat.count);
+  EXPECT_NEAR(PieceWeights(tree)[0], PieceWeights(flat)[0], 1e-5f);
+}
+
+TEST(CompressionTest, NoneKeepsEverything) {
+  std::vector<float> w = {1.0f, 2.0f};
+  std::vector<float> ref = {0.0f, 0.0f};
+  CompressionConfig config;
+  const auto out = CompressUpdate(w, ref, config);
+  EXPECT_EQ(out.reconstructed, w);
+  EXPECT_EQ(out.wire_bytes, 8u);
+}
+
+TEST(CompressionTest, TopKKeepsLargestDeltas) {
+  std::vector<float> ref(10, 0.0f);
+  std::vector<float> w = ref;
+  w[3] = 10.0f;  // Big delta.
+  w[7] = 0.1f;   // Small delta.
+  CompressionConfig config;
+  config.kind = CompressionKind::kTopK;
+  config.topk_fraction = 0.1;  // Keep 1 of 10.
+  const auto out = CompressUpdate(w, ref, config);
+  EXPECT_FLOAT_EQ(out.reconstructed[3], 10.0f);
+  EXPECT_FLOAT_EQ(out.reconstructed[7], 0.0f);  // Dropped.
+  EXPECT_EQ(out.wire_bytes, 8u);                 // 1 (index,value) pair.
+  EXPECT_LT(out.wire_bytes, 10 * 4u);
+}
+
+TEST(CompressionTest, Int8ShrinksWire) {
+  std::vector<float> w(100, 0.5f);
+  std::vector<float> ref(100, 0.0f);
+  CompressionConfig config;
+  config.kind = CompressionKind::kInt8;
+  const auto out = CompressUpdate(w, ref, config);
+  EXPECT_LT(out.wire_bytes, 100 * 4u);
+  for (float v : out.reconstructed) {
+    EXPECT_NEAR(v, 0.5f, 0.01f);
+  }
+}
+
+TEST(PrivacyTest, ClipBoundsDeltaNorm) {
+  Rng rng(1);
+  std::vector<float> ref(50, 0.0f);
+  std::vector<float> w(50, 10.0f);  // Huge delta, norm ~70.
+  DpConfig config;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 0.0;  // Pure clipping.
+  const auto out = ApplyDp(w, ref, config, rng);
+  double norm = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    norm += static_cast<double>(out[i] - ref[i]) * (out[i] - ref[i]);
+  }
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-5);
+}
+
+TEST(PrivacyTest, SmallDeltaUnclipped) {
+  Rng rng(2);
+  std::vector<float> ref(10, 0.0f);
+  std::vector<float> w(10, 0.01f);
+  DpConfig config;
+  config.clip_norm = 10.0;
+  config.noise_multiplier = 0.0;
+  const auto out = ApplyDp(w, ref, config, rng);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], w[i], 1e-6f);
+  }
+}
+
+TEST(PrivacyTest, NoiseMagnitudeMatchesMultiplier) {
+  Rng rng(3);
+  const size_t n = 10000;
+  std::vector<float> ref(n, 0.0f);
+  std::vector<float> w(n, 0.0f);
+  DpConfig config;
+  config.clip_norm = 1.0;
+  config.noise_multiplier = 2.0;
+  const auto out = ApplyDp(w, ref, config, rng);
+  double var = 0;
+  for (float v : out) {
+    var += static_cast<double>(v) * v;
+  }
+  var /= n;
+  const double expected_var = 4.0 / static_cast<double>(n);
+  EXPECT_NEAR(var, expected_var, expected_var * 0.1);
+}
+
+TEST(LocalTrainerTest, TrainsAndReportsCost) {
+  SyntheticTask task(SyntheticTask::TextClassificationLike(7));
+  Rng rng(8);
+  Dataset shard = task.Generate(100, rng);
+  auto trainer = LocalTrainer(MakeSoftmaxRegression("m", 32, 4, 9), std::move(shard), 2.0, 10);
+  auto global = MakeSoftmaxRegression("g", 32, 4, 11)->GetWeights();
+  TrainConfig config;
+  config.local_steps = 5;
+  config.batch_size = 20;
+  ComputeModel compute;
+  const auto update = trainer.Train(global, config, compute);
+  EXPECT_EQ(update.weights.size(), global.size());
+  EXPECT_DOUBLE_EQ(update.sample_weight, 100.0);
+  // speed 2.0 halves the time relative to speed 1.0.
+  const double expected =
+      compute.TrainTimeMs(update.weights.size(), 100, 2.0);
+  EXPECT_DOUBLE_EQ(update.compute_time_ms, expected);
+  EXPECT_EQ(update.wire_bytes, update.weights.size() * 4);
+  EXPECT_GT(update.train_loss, 0.0f);
+}
+
+TEST(LocalTrainerTest, CompressionShrinksWireBytes) {
+  SyntheticTask task(SyntheticTask::TextClassificationLike(17));
+  Rng rng(18);
+  Dataset shard = task.Generate(60, rng);
+  LocalTrainer trainer(MakeSoftmaxRegression("m", 32, 4, 19), std::move(shard), 1.0, 20);
+  auto global = MakeSoftmaxRegression("g", 32, 4, 21)->GetWeights();
+  TrainConfig config;
+  config.local_steps = 3;
+  CompressionConfig compression;
+  compression.kind = CompressionKind::kTopK;
+  compression.topk_fraction = 0.05;
+  const auto update =
+      trainer.Train(global, config, ComputeModel{}, std::nullopt, compression);
+  EXPECT_LT(update.wire_bytes, global.size() * 4 / 2);
+}
+
+TEST(SelectorTest, RandomSelectsDistinct) {
+  std::vector<ClientInfo> clients;
+  for (size_t i = 0; i < 20; ++i) {
+    clients.push_back({i, 1.0, 1.0});
+  }
+  RandomSelector selector;
+  Rng rng(30);
+  const auto chosen = selector.Select(clients, 8, rng);
+  EXPECT_EQ(chosen.size(), 8u);
+  std::set<size_t> unique(chosen.begin(), chosen.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(SelectorTest, OortPrefersHighLossFastClients) {
+  std::vector<ClientInfo> clients;
+  for (size_t i = 0; i < 10; ++i) {
+    clients.push_back({i, i == 3 ? 10.0 : 0.1, i == 3 ? 4.0 : 1.0});
+  }
+  OortLikeSelector selector(/*exploration_fraction=*/0.0);
+  Rng rng(31);
+  const auto chosen = selector.Select(clients, 1, rng);
+  ASSERT_EQ(chosen.size(), 1u);
+  EXPECT_EQ(chosen[0], 3u);
+}
+
+TEST(SelectorTest, OortExploresWithBudget) {
+  std::vector<ClientInfo> clients;
+  for (size_t i = 0; i < 100; ++i) {
+    clients.push_back({i, i < 10 ? 10.0 : 0.1, 1.0});
+  }
+  OortLikeSelector selector(/*exploration_fraction=*/0.5);
+  Rng rng(32);
+  const auto chosen = selector.Select(clients, 20, rng);
+  EXPECT_EQ(chosen.size(), 20u);
+  // At least some picks outside the top-10 utility set.
+  size_t outside = 0;
+  for (size_t c : chosen) {
+    if (c >= 10) {
+      ++outside;
+    }
+  }
+  EXPECT_GT(outside, 0u);
+}
+
+}  // namespace
+}  // namespace totoro

@@ -1,0 +1,176 @@
+// Property-style tests of the bandit path planner, swept over graph shapes and seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/bandit/kl_ucb.h"
+#include "src/bandit/planner.h"
+
+namespace totoro {
+namespace {
+
+// ---------- KL-UCB analytic properties ----------
+
+class KlUcbSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KlUcbSweepTest, BoundMonotoneInBudgetAndAntitoneInTrials) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const double theta = rng.Uniform(0.01, 0.99);
+    const uint64_t trials = 1 + rng.NextBelow(10000);
+    const double budget = rng.Uniform(0.1, 20.0);
+    const double u = KlUcbUpperBound(theta, trials, budget);
+    EXPECT_GE(u, theta);
+    EXPECT_LE(u, 1.0);
+    // More exploration budget never shrinks the bound.
+    EXPECT_GE(KlUcbUpperBound(theta, trials, budget * 2) + 1e-9, u);
+    // More observations never widen it.
+    EXPECT_LE(KlUcbUpperBound(theta, trials * 4, budget), u + 1e-9);
+  }
+}
+
+TEST_P(KlUcbSweepTest, CostIsAtLeastOneSlot) {
+  Rng rng(GetParam() ^ 0xC0);
+  for (int i = 0; i < 50; ++i) {
+    const double theta = rng.Uniform(0.0, 1.0);
+    const uint64_t trials = rng.NextBelow(1000);
+    const double tau = 1.0 + rng.Uniform(0.0, 1e6);
+    EXPECT_GE(KlUcbLinkCost(theta, trials, tau), 1.0 - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KlUcbSweepTest, ::testing::Range<uint64_t>(90, 96));
+
+// ---------- Path validity across policies and graphs ----------
+
+struct BanditSweepParams {
+  int layers;
+  int width;
+  uint64_t seed;
+};
+
+void PrintTo(const BanditSweepParams& p, std::ostream* os) {
+  *os << "layers=" << p.layers << " width=" << p.width << " seed=" << p.seed;
+}
+
+class PolicySweepTest : public ::testing::TestWithParam<BanditSweepParams> {};
+
+bool IsValidPath(const LinkGraph& g, const std::vector<LinkId>& path, BanditNode s,
+                 BanditNode d) {
+  if (path.empty()) {
+    return false;
+  }
+  BanditNode at = s;
+  std::set<BanditNode> visited = {s};
+  for (LinkId id : path) {
+    const auto& link = g.link(id);
+    if (link.from != at) {
+      return false;
+    }
+    at = link.to;
+    if (!visited.insert(at).second) {
+      return false;  // Loop.
+    }
+  }
+  return at == d;
+}
+
+TEST_P(PolicySweepTest, EveryPolicyAlwaysEmitsValidLoopFreePaths) {
+  const auto p = GetParam();
+  Rng graph_rng(p.seed);
+  const LinkGraph g = LinkGraph::MakeLayered(p.layers, p.width, 0.1, 0.95, graph_rng);
+  const BanditNode s = 0;
+  const BanditNode d = g.num_nodes() - 1;
+  std::vector<std::unique_ptr<PathPolicy>> policies;
+  policies.push_back(MakeTotoroHopByHop(&g, s, d));
+  policies.push_back(MakeNextHopGreedy(&g, s, d));
+  policies.push_back(MakeEndToEndLcb(&g, s, d));
+  policies.push_back(MakeUcb1HopByHop(&g, s, d));
+  policies.push_back(MakeEpsGreedyHopByHop(&g, s, d, 0.1, p.seed));
+  for (auto& policy : policies) {
+    Rng rng(p.seed + 1);
+    for (uint64_t k = 1; k <= 200; ++k) {
+      const auto path = policy->ChoosePath(k);
+      ASSERT_TRUE(IsValidPath(g, path, s, d)) << policy->name() << " packet " << k;
+      PacketFeedback feedback;
+      feedback.path = path;
+      for (LinkId id : path) {
+        const uint64_t attempts = rng.Geometric(g.link(id).theta);
+        feedback.attempts.push_back(attempts);
+        feedback.total_delay += static_cast<double>(attempts);
+      }
+      policy->Observe(feedback);
+    }
+  }
+}
+
+TEST_P(PolicySweepTest, RegretNonNegativeInExpectationAndBounded) {
+  const auto p = GetParam();
+  Rng graph_rng(p.seed);
+  const LinkGraph g = LinkGraph::MakeLayered(p.layers, p.width, 0.1, 0.95, graph_rng);
+  const BanditNode d = g.num_nodes() - 1;
+  auto policy = MakeTotoroHopByHop(&g, 0, d);
+  Rng rng(p.seed + 2);
+  const auto result = RunEpisode(g, 0, d, *policy, 2000, rng);
+  // Worst loop-free path has at most num_links links of mean delay <= 1/0.1.
+  const double worst = static_cast<double>(g.num_links()) * 10.0 * 2000.0;
+  EXPECT_LT(result.FinalRegret(), worst);
+  // A learning policy can beat the expectation by luck but not by much.
+  EXPECT_GT(result.FinalRegret(), -0.5 * result.optimal_expected_delay * 2000.0);
+}
+
+TEST_P(PolicySweepTest, TotoroBeatsNextHopOnAverage) {
+  const auto p = GetParam();
+  double totoro_sum = 0.0;
+  double next_hop_sum = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Rng graph_rng(p.seed + static_cast<uint64_t>(rep) * 101);
+    const LinkGraph g = LinkGraph::MakeLayered(p.layers, p.width, 0.1, 0.95, graph_rng);
+    const BanditNode d = g.num_nodes() - 1;
+    {
+      auto policy = MakeTotoroHopByHop(&g, 0, d);
+      Rng rng(p.seed + 3);
+      totoro_sum += RunEpisode(g, 0, d, *policy, 3000, rng).FinalRegret();
+    }
+    {
+      auto policy = MakeNextHopGreedy(&g, 0, d);
+      Rng rng(p.seed + 3);
+      next_hop_sum += RunEpisode(g, 0, d, *policy, 3000, rng).FinalRegret();
+    }
+  }
+  EXPECT_LT(totoro_sum, next_hop_sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PolicySweepTest,
+                         ::testing::Values(BanditSweepParams{1, 2, 1},
+                                           BanditSweepParams{2, 3, 2},
+                                           BanditSweepParams{3, 3, 3},
+                                           BanditSweepParams{4, 2, 4},
+                                           BanditSweepParams{2, 5, 5}));
+
+// ---------- Episode accounting ----------
+
+class EpisodeAccountingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpisodeAccountingTest, CumulativeRegretMatchesPerPacketDelays) {
+  Rng graph_rng(GetParam());
+  const LinkGraph g = LinkGraph::MakeLayered(2, 2, 0.3, 0.9, graph_rng);
+  const BanditNode d = g.num_nodes() - 1;
+  auto policy = MakeTotoroHopByHop(&g, 0, d);
+  Rng rng(GetParam() + 1);
+  const auto result = RunEpisode(g, 0, d, *policy, 500, rng);
+  ASSERT_EQ(result.per_packet_delay.size(), 500u);
+  ASSERT_EQ(result.cumulative_regret.size(), 500u);
+  double acc = 0.0;
+  for (size_t k = 0; k < 500; ++k) {
+    acc += result.per_packet_delay[k] - result.optimal_expected_delay;
+    EXPECT_NEAR(result.cumulative_regret[k], acc, 1e-9);
+    EXPECT_GE(result.per_packet_delay[k], 1.0);  // At least one slot per link.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpisodeAccountingTest, ::testing::Range<uint64_t>(110, 116));
+
+}  // namespace
+}  // namespace totoro

@@ -1,0 +1,146 @@
+// Differential fuzzing of U128 against the compiler's native unsigned __int128.
+//
+// Every arithmetic, comparison, shift and digit operation is checked against the native
+// type on random inputs (including adversarial patterns: all-ones, single bits, values
+// straddling the 64-bit word boundary).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/u128.h"
+
+namespace totoro {
+namespace {
+
+using Native = unsigned __int128;
+
+Native ToNative(const U128& v) {
+  return (static_cast<Native>(v.hi()) << 64) | v.lo();
+}
+
+class U128FuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Mix of uniform values and adversarial patterns.
+  U128 NextValue(Rng& rng) {
+    switch (rng.NextBelow(6)) {
+      case 0:
+        return U128(rng.Next(), rng.Next());
+      case 1:
+        return U128(0, rng.Next());  // Low word only.
+      case 2:
+        return U128(rng.Next(), 0);  // High word only.
+      case 3:
+        return U128::Max();
+      case 4: {
+        const int bit = static_cast<int>(rng.NextBelow(128));
+        return U128(0, 1) << bit;  // Single bit.
+      }
+      default:
+        return U128(0, rng.NextBelow(4));  // Tiny.
+    }
+  }
+};
+
+TEST_P(U128FuzzTest, ArithmeticMatchesNative) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const U128 a = NextValue(rng);
+    const U128 b = NextValue(rng);
+    const Native na = ToNative(a);
+    const Native nb = ToNative(b);
+    EXPECT_EQ(ToNative(a + b), static_cast<Native>(na + nb));
+    EXPECT_EQ(ToNative(a - b), static_cast<Native>(na - nb));
+    EXPECT_EQ(ToNative(a & b), static_cast<Native>(na & nb));
+    EXPECT_EQ(ToNative(a | b), static_cast<Native>(na | nb));
+    EXPECT_EQ(ToNative(a ^ b), static_cast<Native>(na ^ nb));
+    EXPECT_EQ(ToNative(~a), static_cast<Native>(~na));
+    EXPECT_EQ(a < b, na < nb);
+    EXPECT_EQ(a <= b, na <= nb);
+    EXPECT_EQ(a == b, na == nb);
+    EXPECT_EQ(a > b, na > nb);
+  }
+}
+
+TEST_P(U128FuzzTest, ShiftsMatchNative) {
+  Rng rng(GetParam() ^ 0x11);
+  for (int i = 0; i < 2000; ++i) {
+    const U128 a = NextValue(rng);
+    const Native na = ToNative(a);
+    const int s = static_cast<int>(rng.NextBelow(128));  // Native UB at >= 128.
+    EXPECT_EQ(ToNative(a << s), static_cast<Native>(na << s)) << "<< " << s;
+    EXPECT_EQ(ToNative(a >> s), static_cast<Native>(na >> s)) << ">> " << s;
+  }
+  // Our type defines shifts >= 128 as zero (useful for digit math); verify explicitly.
+  EXPECT_EQ(U128::Max() << 128, U128(0, 0));
+  EXPECT_EQ(U128::Max() >> 128, U128(0, 0));
+  EXPECT_EQ(U128::Max() << 200, U128(0, 0));
+}
+
+TEST_P(U128FuzzTest, DigitsReassembleTheValue) {
+  Rng rng(GetParam() ^ 0x22);
+  for (int bits : {1, 2, 4, 8}) {
+    const int digits = 128 / bits;
+    for (int i = 0; i < 200; ++i) {
+      const U128 a = NextValue(rng);
+      Native reassembled = 0;
+      for (int d = 0; d < digits; ++d) {
+        reassembled = (reassembled << bits) | a.Digit(d, bits);
+      }
+      EXPECT_EQ(reassembled, ToNative(a)) << "bits=" << bits;
+    }
+  }
+}
+
+TEST_P(U128FuzzTest, CommonPrefixDigitsIsConsistentWithDigits) {
+  Rng rng(GetParam() ^ 0x33);
+  for (int i = 0; i < 500; ++i) {
+    const U128 a = NextValue(rng);
+    const U128 b = NextValue(rng);
+    const int prefix = a.CommonPrefixDigits(b, 4);
+    for (int d = 0; d < prefix; ++d) {
+      EXPECT_EQ(a.Digit(d, 4), b.Digit(d, 4));
+    }
+    if (prefix < 32) {
+      EXPECT_NE(a.Digit(prefix, 4), b.Digit(prefix, 4));
+    } else {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST_P(U128FuzzTest, RingDistanceIsSymmetricMinimalArc) {
+  Rng rng(GetParam() ^ 0x44);
+  for (int i = 0; i < 1000; ++i) {
+    const U128 a = NextValue(rng);
+    const U128 b = NextValue(rng);
+    const Native na = ToNative(a);
+    const Native nb = ToNative(b);
+    const Native d1 = na - nb;
+    const Native d2 = nb - na;
+    const Native expected = d1 < d2 ? d1 : d2;
+    EXPECT_EQ(ToNative(U128::RingDistance(a, b)), expected);
+    EXPECT_EQ(U128::RingDistance(a, b), U128::RingDistance(b, a));
+  }
+}
+
+TEST_P(U128FuzzTest, HexRoundTripsRandomValues) {
+  Rng rng(GetParam() ^ 0x55);
+  for (int i = 0; i < 500; ++i) {
+    const U128 a = NextValue(rng);
+    EXPECT_EQ(U128::FromHex(a.ToHex()), a);
+  }
+}
+
+TEST_P(U128FuzzTest, Hash64SpreadsValues) {
+  Rng rng(GetParam() ^ 0x66);
+  std::set<uint64_t> hashes;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    hashes.insert(U128(rng.Next(), rng.Next()).Hash64());
+  }
+  EXPECT_EQ(hashes.size(), static_cast<size_t>(n));  // No collisions at this scale.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U128FuzzTest, ::testing::Range<uint64_t>(500, 506));
+
+}  // namespace
+}  // namespace totoro
