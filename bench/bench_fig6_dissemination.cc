@@ -6,6 +6,7 @@
 //
 // When N grows exponentially, both times must grow only linearly (tree depth).
 #include "bench/bench_util.h"
+#include "src/obs/metrics_registry.h"
 
 namespace totoro {
 namespace {
@@ -31,36 +32,35 @@ Timing MeasureTree(size_t n, int bits_per_digit, uint64_t seed, double latency_l
   timing.depth = stats.depth;
   const size_t root = stack.forest->RootOf(topic);
 
-  // 6a: dissemination = last subscriber delivery - root send.
-  double last_delivery = 0.0;
-  size_t deliveries = 0;
-  for (size_t i = 0; i < stack.forest->size(); ++i) {
-    stack.forest->scribe(i).SetOnBroadcast(
-        [&, i](const NodeId&, uint64_t, const ScribeBroadcast& bc) {
-          last_delivery = std::max(last_delivery, stack.sim.Now() - bc.origin_time);
-          ++deliveries;
-        });
-  }
+  // 6a: dissemination = last subscriber delivery - root send, read from the shared
+  // latency histogram every subscriber delivery feeds (max over one broadcast).
+  Histogram& dissemination = GlobalMetrics().GetHistogram(
+      "pubsub.broadcast.latency_ms", Histogram::DefaultLatencyBoundsMs());
+  dissemination.Reset();
   stack.forest->scribe(root).Broadcast(topic, 1, std::make_shared<int>(0), 100000);
   stack.sim.Run();
-  timing.dissemination_ms = last_delivery;
-  CHECK_EQ(deliveries, stack.forest->size());
+  CHECK_EQ(dissemination.count(), stack.forest->size());
+  timing.dissemination_ms = dissemination.max();
 
-  // 6b: aggregation = all leaves submit at t0; time until the root total lands.
-  const double t0 = stack.sim.Now();
-  double root_done = 0.0;
+  // 6b: aggregation = all leaves submit at t0; time until the root total lands. The
+  // root observes exactly one end-to-end latency into the aggregation histogram.
+  Histogram& aggregation = GlobalMetrics().GetHistogram(
+      "pubsub.aggregate.latency_ms", Histogram::DefaultLatencyBoundsMs());
+  aggregation.Reset();
+  bool root_done = false;
   stack.forest->scribe(root).SetOnRootAggregate(
       [&](const NodeId&, uint64_t, const AggregationPiece& total) {
         CHECK_EQ(total.count, stack.forest->size());
-        root_done = stack.sim.Now();
+        root_done = true;
       });
   for (size_t i = 0; i < stack.forest->size(); ++i) {
     AggregationPiece piece;
     stack.forest->scribe(i).SubmitUpdate(topic, 2, std::move(piece), 100000);
   }
   stack.sim.Run();
-  CHECK_GT(root_done, 0.0);
-  timing.aggregation_ms = root_done - t0;
+  CHECK(root_done);
+  CHECK_EQ(aggregation.count(), 1u);
+  timing.aggregation_ms = aggregation.max();
   return timing;
 }
 

@@ -9,10 +9,16 @@
 // subtrees and the model still converges.
 //
 //   build/examples/unreliable_links
+// Emits observability artifacts next to the working directory:
+//   unreliable_links.trace.json    — Chrome trace (open in ui.perfetto.dev)
+//   unreliable_links.metrics.json  — metrics snapshot
 #include <cstdio>
 
 #include "src/bandit/planner.h"
 #include "src/core/engine.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/pubsub/forest.h"
 
 namespace {
@@ -94,6 +100,9 @@ void ChurnDemo() {
 
   // Let a few rounds finish, then kill 10% of the overlay (sparing the master).
   sim.RunFor(2000.0);
+  // The first 2000 virtual ms (a handful of clean rounds) is plenty for the trace;
+  // disabling here keeps the exported file small while metrics keep accumulating.
+  totoro::GlobalTracer().SetEnabled(false);
   const size_t master = forest.RootOf(topic);
   Rng fail_rng(58);
   size_t killed = 0;
@@ -116,11 +125,24 @@ void ChurnDemo() {
               "the app\n",
               static_cast<unsigned long long>(result.rounds_completed),
               result.final_accuracy * 100.0);
+
+  // Export the observability artifacts: the trace covers the clean rounds before the
+  // failure; the metrics snapshot folds in the network's byte/drop accounting.
+  net.metrics().PublishTo(GlobalMetrics());
+  const char* trace_path = "unreliable_links.trace.json";
+  const char* metrics_path = "unreliable_links.metrics.json";
+  if (WriteStringToFile(trace_path, TraceToChromeJson(GlobalTracer())) &&
+      WriteStringToFile(metrics_path, MetricsToJson(GlobalMetrics()))) {
+    std::printf("wrote %s (%zu spans — load it in ui.perfetto.dev or chrome://tracing)\n",
+                trace_path, GlobalTracer().num_spans());
+    std::printf("wrote %s\n", metrics_path);
+  }
 }
 
 }  // namespace
 
 int main() {
+  totoro::GlobalTracer().SetEnabled(true);
   BanditDemo();
   ChurnDemo();
   return 0;

@@ -2,13 +2,23 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 
 #include "src/common/check.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 
 EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode dest,
                          PathPolicy& policy, uint64_t packets, Rng& rng, bool rank_paths) {
+  TraceSpan episode_span = GlobalTracer().Begin("bandit.episode", "bandit", source);
+  if (episode_span.active()) {
+    episode_span.AddArg("packets", std::to_string(packets));
+  }
+  static Histogram* delay_hist = &GlobalMetrics().GetHistogram(
+      "bandit.packet.delay_slots", Histogram::DefaultLatencyBoundsMs());
+  Counter& packet_counter = GlobalMetrics().GetCounter("bandit.episode.packets");
   EpisodeResult result;
   const std::vector<LinkId> optimal = graph.TrueShortestPath(source, dest);
   CHECK(!optimal.empty());
@@ -28,9 +38,19 @@ EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode d
   }
 
   double cumulative = 0.0;
+  std::vector<LinkId> previous_path;
   for (uint64_t k = 1; k <= packets; ++k) {
     const std::vector<LinkId> path = policy.ChoosePath(k);
     CHECK(!path.empty());
+    // Bandit episodes run outside the simulator clock; use the packet index as the
+    // virtual timestamp so path switches line up on a per-packet axis in the trace.
+    if (path != previous_path) {
+      GlobalTracer().InstantAt("bandit.path.switch", "bandit", source,
+                               static_cast<double>(k), episode_span.context(),
+                               {{"packet", std::to_string(k)},
+                                {"path_len", std::to_string(path.size())}});
+      previous_path = path;
+    }
     PacketFeedback feedback;
     feedback.path = path;
     feedback.attempts.reserve(path.size());
@@ -41,6 +61,8 @@ EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode d
     }
     policy.Observe(feedback);
 
+    delay_hist->Observe(feedback.total_delay);
+    packet_counter.Increment();
     cumulative += feedback.total_delay - result.optimal_expected_delay;
     result.per_packet_delay.push_back(feedback.total_delay);
     result.cumulative_regret.push_back(cumulative);
@@ -49,6 +71,7 @@ EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode d
       result.chosen_path_rank.push_back(it == rank_of.end() ? -1 : it->second);
     }
   }
+  GlobalMetrics().GetGauge("bandit.path.regret").Set(cumulative);
   return result;
 }
 

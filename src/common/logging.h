@@ -2,6 +2,10 @@
 //
 // Protocol layers log at kDebug/kInfo; benches run with kWarn so output stays clean.
 // Severity is a process-global because the simulator is single-threaded by design.
+//
+// The TOTORO_LOG_LEVEL environment variable (debug/info/warn/error/off, or 0-4)
+// overrides the programmatic level unconditionally — it is parsed once, on first use,
+// so a user can crank verbosity on any binary without recompiling.
 #ifndef SRC_COMMON_LOGGING_H_
 #define SRC_COMMON_LOGGING_H_
 
@@ -13,6 +17,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Re-reads TOTORO_LOG_LEVEL. Called automatically on first Logf/GetLogLevel; exposed
+// so tests can exercise the parser after setenv(). Returns true when the variable was
+// present and valid.
+bool InitLogLevelFromEnv();
+
+// Registers the active simulator's virtual clock (ms). When set, every log line is
+// prefixed with the current virtual time. The Simulator constructor registers itself.
+void SetLogTimeSource(const double* now_ms);
+const double* GetLogTimeSource();
 
 // printf-style logging; drops messages below the global level.
 void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

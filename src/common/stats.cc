@@ -79,13 +79,13 @@ void Summary::EnsureSorted() const {
   }
 }
 
-Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+AsciiHistogram::AsciiHistogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
   CHECK_LT(lo, hi);
   CHECK_GT(bins, 0);
   buckets_.assign(static_cast<size_t>(bins), 0);
 }
 
-void Histogram::Add(double x) {
+void AsciiHistogram::Add(double x) {
   ++count_;
   if (x < lo_) {
     ++underflow_;
@@ -103,15 +103,15 @@ void Histogram::Add(double x) {
   ++buckets_[i];
 }
 
-double Histogram::BucketLow(int i) const {
+double AsciiHistogram::BucketLow(int i) const {
   return lo_ + (hi_ - lo_) * i / static_cast<double>(buckets_.size());
 }
 
-double Histogram::BucketHigh(int i) const {
+double AsciiHistogram::BucketHigh(int i) const {
   return lo_ + (hi_ - lo_) * (i + 1) / static_cast<double>(buckets_.size());
 }
 
-std::string Histogram::Render(int max_bar_width) const {
+std::string AsciiHistogram::Render(int max_bar_width) const {
   size_t peak = 1;
   for (size_t b : buckets_) {
     peak = std::max(peak, b);

@@ -40,10 +40,11 @@ class Summary {
   double sum_ = 0.0;
 };
 
-// Fixed-width histogram over [lo, hi) with `bins` buckets plus overflow/underflow.
-class Histogram {
+// Fixed-width ASCII-rendered histogram over [lo, hi) for bench output (the metrics
+// registry's Histogram in src/obs/ is the canonical series type).
+class AsciiHistogram {
  public:
-  Histogram(double lo, double hi, int bins);
+  AsciiHistogram(double lo, double hi, int bins);
 
   void Add(double x);
   size_t count() const { return count_; }

@@ -1,9 +1,12 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 namespace {
@@ -180,6 +183,12 @@ void TotoroEngine::StartAll() {
 void TotoroEngine::StartRound(AppRuntime& app) {
   app.round += 1;
   app.last_progress_ms = forest_->pastry().network()->sim()->Now();
+  // The round span stays open across many virtual ms; allocate its context now so the
+  // broadcast (and everything downstream of it) parents to the round, and emit the
+  // record when the round closes.
+  app.round_start_ms = app.last_progress_ms;
+  app.round_trace = GlobalTracer().AllocateContext();
+  ScopedTraceContext round_scope(app.round_trace);
   auto payload = std::make_shared<RoundPayload>();
   payload->weights = app.global_weights;
   // Participant selection: the application's selection function picks this round's
@@ -247,14 +256,27 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
 
   const uint64_t wire_bytes = update.wire_bytes;
   const double compute_ms = update.compute_time_ms;
+  // Local training covers [now, now + compute_ms] of virtual time on this worker; the
+  // context is re-entered in the completion callback so the submitted update (and its
+  // up-tree hops) parents to the training span.
+  Tracer& tracer = GlobalTracer();
+  TraceContext train_ctx;
+  if (tracer.enabled()) {
+    const double train_start = net->sim()->Now();
+    train_ctx = tracer.RecordComplete(
+        "engine.local_train", "engine", forest_->scribe(node_index).host(), train_start,
+        train_start + compute_ms, tracer.current(),
+        {{"round", std::to_string(round)}, {"compute_ms", std::to_string(compute_ms)}});
+  }
   if (app.config.async.has_value()) {
     // Asynchronous protocol: route the update straight to the master; no tree barrier.
     AsyncUpdatePayload async_payload;
     async_payload.topic = topic;
     async_payload.weights = std::move(update.weights);
     async_payload.sample_weight = update.sample_weight;
-    net->sim()->Schedule(compute_ms, [this, node_index, topic, wire_bytes,
+    net->sim()->Schedule(compute_ms, [this, node_index, topic, wire_bytes, train_ctx,
                                       async_payload = std::move(async_payload)]() mutable {
+      ScopedTraceContext scope(train_ctx);
       Message m;
       m.type = kFlAsyncUpdate;
       m.size_bytes = wire_bytes;
@@ -273,7 +295,8 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
   piece.weight = update.sample_weight;
   piece.count = 1;
   net->sim()->Schedule(compute_ms, [this, node_index, topic, round, piece = std::move(piece),
-                                    wire_bytes]() mutable {
+                                    wire_bytes, train_ctx]() mutable {
+    ScopedTraceContext scope(train_ctx);
     forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(piece), wire_bytes);
   });
 }
@@ -332,6 +355,18 @@ void TotoroEngine::EvaluateAndAdvance(AppRuntime& app, uint64_t round) {
   const double accuracy = app.global_model->Accuracy(app.test_set);
   const double now = net->sim()->Now();
   app.last_progress_ms = now;
+  if (app.round_trace.valid()) {
+    GlobalTracer().EmitSpan(app.round_trace, /*parent_span_id=*/0, "engine.round", "engine",
+                            forest_->scribe(app.master_index).host(), app.round_start_ms,
+                            now,
+                            {{"app", app.config.name},
+                             {"round", std::to_string(round)},
+                             {"accuracy", std::to_string(accuracy)}});
+    app.round_trace = TraceContext{};
+  }
+  static Histogram* round_hist = &GlobalMetrics().GetHistogram(
+      "engine.round.duration_ms", Histogram::DefaultLatencyBoundsMs());
+  round_hist->Observe(now - app.round_start_ms);
   if (failover_enabled_) {
     ReplicateCheckpoint(app);
   }

@@ -16,6 +16,7 @@
 #include "src/core/app.h"
 #include "src/fl/aggregation.h"
 #include "src/fl/selection.h"
+#include "src/obs/trace.h"
 #include "src/pubsub/forest.h"
 
 namespace totoro {
@@ -79,6 +80,11 @@ class TotoroEngine {
     double launch_time_ms = 0.0;
     bool started = false;
     bool done = false;
+    // Tracing: the round span's context is allocated at StartRound so every child
+    // (broadcast, training, aggregation) can parent to it; the span record itself is
+    // emitted when the round closes in EvaluateAndAdvance.
+    double round_start_ms = 0.0;
+    TraceContext round_trace;
     // Participant selection state.
     std::unique_ptr<ClientSelector> selector;
     // Async-protocol state.

@@ -1,12 +1,22 @@
 #include "src/dht/pastry_node.h"
 
+#include <string>
+
 #include "src/common/logging.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 namespace {
 
 // State-byte accounting granularity: one table entry's in-memory footprint.
 constexpr int64_t kEntryStateBytes = 48;
+
+Histogram& RouteHopsHistogram() {
+  static Histogram* h =
+      &GlobalMetrics().GetHistogram("dht.route.hops", Histogram::HopCountBounds());
+  return *h;
+}
 
 }  // namespace
 
@@ -61,6 +71,10 @@ RouteEntry PastryNode::ComputeNextHop(const NodeId& key) const {
 }
 
 void PastryNode::Route(const NodeId& key, Message inner) {
+  TraceSpan span = GlobalTracer().Begin("dht.route", "dht", host_);
+  if (span.active()) {
+    span.AddArg("key", key.ToHex());
+  }
   RouteEnvelope env;
   env.key = key;
   env.inner = std::move(inner);
@@ -74,7 +88,7 @@ void PastryNode::ForwardOrDeliver(RouteEnvelope env) {
   if (egress_filter_ && !egress_filter_(env.key)) {
     TLOG_DEBUG("host %u: egress filter blocked packet for key %s", host_,
                env.key.ToHex().c_str());
-    net_->metrics().RecordDrop();
+    net_->metrics().RecordDrop(host_, env.inner.traffic);
     return;
   }
   const RouteEntry next = ComputeNextHop(env.key);
@@ -90,6 +104,7 @@ void PastryNode::ForwardOrDeliver(RouteEnvelope env) {
     HandleJoinRequestAt(env, /*is_destination=*/next.host == host_);
   }
   if (next.host == host_) {
+    RouteHopsHistogram().Observe(static_cast<double>(env.hops));
     auto del = deliver_handlers_.find(env.inner.type);
     if (del != deliver_handlers_.end()) {
       del->second(env.key, env.inner, env.hops);
@@ -370,6 +385,12 @@ void PastryNode::HandleLeafRepair(const Message& msg) {
 void PastryNode::HandleEnvelope(const Message& msg) {
   // Copy the envelope (cheap: inner payload is shared) so hops can be advanced.
   RouteEnvelope env = msg.As<RouteEnvelope>();
+  // The hop span parents to the incoming transmission (msg.trace) and scopes any
+  // forwarded wrapper, chaining the whole route together.
+  TraceSpan span = GlobalTracer().BeginWithParent("dht.route.hop", "dht", host_, msg.trace);
+  if (span.active()) {
+    span.AddArg("hops", std::to_string(env.hops));
+  }
   ForwardOrDeliver(std::move(env));
 }
 

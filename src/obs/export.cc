@@ -1,0 +1,212 @@
+#include "src/obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace totoro {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out->append(buffer, static_cast<size_t>(std::min(n, static_cast<int>(sizeof(buffer) - 1))));
+  }
+}
+
+// Numbers must stay valid JSON: NaN/inf have no literal, so clamp them.
+void AppendJsonNumber(std::string* out, double value) {
+  if (std::isnan(value)) {
+    out->append("0");
+  } else if (std::isinf(value)) {
+    out->append(value > 0 ? "1e308" : "-1e308");
+  } else {
+    AppendF(out, "%.6g", value);
+  }
+}
+
+void AppendArgs(std::string* out, const SpanRecord& span) {
+  AppendF(out, "\"args\":{\"trace_id\":%" PRIu64 ",\"span_id\":%" PRIu64
+               ",\"parent_span_id\":%" PRIu64,
+          span.trace_id, span.span_id, span.parent_span_id);
+  for (const auto& [key, value] : span.args) {
+    out->append(",\"");
+    out->append(JsonEscape(key));
+    out->append("\":\"");
+    out->append(JsonEscape(value));
+    out->append("\"");
+  }
+  out->append("}");
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(&out, "\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string TraceToChromeJson(const Tracer& tracer) {
+  std::string out;
+  out.reserve(tracer.spans().size() * 160 + 64);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  for (const SpanRecord& span : tracer.spans()) {
+    if (!first) {
+      out.append(",");
+    }
+    first = false;
+    out.append("{\"name\":\"");
+    out.append(JsonEscape(span.name));
+    out.append("\",\"cat\":\"");
+    out.append(JsonEscape(span.category));
+    // Virtual ms -> trace-event microseconds.
+    const double ts_us = span.start_ms * 1000.0;
+    if (span.instant) {
+      AppendF(&out, "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f", ts_us);
+    } else {
+      const double dur_us = (span.end_ms - span.start_ms) * 1000.0;
+      AppendF(&out, "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f", ts_us, dur_us);
+    }
+    AppendF(&out, ",\"pid\":0,\"tid\":%" PRIu64 ",",
+            static_cast<uint64_t>(span.host));
+    AppendArgs(&out, span);
+    out.append("}");
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::string out;
+  out.append("{\"counters\":{");
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    if (!first) {
+      out.append(",");
+    }
+    first = false;
+    AppendF(&out, "\"%s\":%" PRIu64, JsonEscape(name).c_str(), counter->value());
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    if (!first) {
+      out.append(",");
+    }
+    first = false;
+    out.append("\"");
+    out.append(JsonEscape(name));
+    out.append("\":");
+    AppendJsonNumber(&out, gauge->value());
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, histogram] : registry.histograms()) {
+    if (!first) {
+      out.append(",");
+    }
+    first = false;
+    out.append("\"");
+    out.append(JsonEscape(name));
+    out.append("\":{");
+    AppendF(&out, "\"count\":%" PRIu64 ",", histogram->count());
+    out.append("\"sum\":");
+    AppendJsonNumber(&out, histogram->sum());
+    out.append(",\"min\":");
+    AppendJsonNumber(&out, histogram->min());
+    out.append(",\"max\":");
+    AppendJsonNumber(&out, histogram->max());
+    out.append(",\"buckets\":[");
+    for (size_t i = 0; i < histogram->num_buckets(); ++i) {
+      if (i > 0) {
+        out.append(",");
+      }
+      const double bound = histogram->bucket_upper_bound(i);
+      out.append("{\"le\":");
+      if (std::isinf(bound)) {
+        out.append("\"+Inf\"");
+      } else {
+        AppendJsonNumber(&out, bound);
+      }
+      AppendF(&out, ",\"count\":%" PRIu64 "}", histogram->bucket_count(i));
+    }
+    out.append("]}");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string MetricsToCsv(const MetricsRegistry& registry) {
+  std::string out("kind,name,field,value\n");
+  for (const auto& [name, counter] : registry.counters()) {
+    AppendF(&out, "counter,%s,value,%" PRIu64 "\n", name.c_str(), counter->value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    AppendF(&out, "gauge,%s,value,%.9g\n", name.c_str(), gauge->value());
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    AppendF(&out, "histogram,%s,count,%" PRIu64 "\n", name.c_str(), histogram->count());
+    AppendF(&out, "histogram,%s,sum,%.9g\n", name.c_str(), histogram->sum());
+    AppendF(&out, "histogram,%s,min,%.9g\n", name.c_str(), histogram->min());
+    AppendF(&out, "histogram,%s,max,%.9g\n", name.c_str(), histogram->max());
+    AppendF(&out, "histogram,%s,mean,%.9g\n", name.c_str(), histogram->mean());
+    AppendF(&out, "histogram,%s,p50,%.9g\n", name.c_str(), histogram->ApproxQuantile(0.5));
+    AppendF(&out, "histogram,%s,p99,%.9g\n", name.c_str(), histogram->ApproxQuantile(0.99));
+  }
+  return out;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    TLOG_ERROR("cannot open %s for writing", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    TLOG_ERROR("short write to %s (%zu of %zu bytes)", path.c_str(), written,
+               content.size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace totoro

@@ -1,0 +1,36 @@
+// Exporters for traces and metric snapshots.
+//
+// Three formats:
+//  - Chrome trace-event JSON (TraceToChromeJson): load the file in chrome://tracing or
+//    https://ui.perfetto.dev. Virtual time is the clock — `ts` is virtual microseconds,
+//    `pid` is 0 (one simulated world), `tid` is the HostId, and every event carries
+//    trace_id / span_id / parent_span_id args so causal chains survive the export.
+//  - JSON metrics snapshot (MetricsToJson): counters, gauges, and full histogram bucket
+//    vectors, machine-readable.
+//  - CSV metrics dump (MetricsToCsv): `kind,name,field,value` rows consumable by the
+//    bench/ harnesses and spreadsheets.
+//
+// Output is deterministic: spans export in record order, metrics in name order.
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+
+namespace totoro {
+
+std::string TraceToChromeJson(const Tracer& tracer);
+std::string MetricsToJson(const MetricsRegistry& registry);
+std::string MetricsToCsv(const MetricsRegistry& registry);
+
+// Writes `content` to `path`; returns false (and logs) on failure.
+bool WriteStringToFile(const std::string& path, const std::string& content);
+
+// Escapes a string for embedding in a JSON string literal (quotes not included).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace totoro
+
+#endif  // SRC_OBS_EXPORT_H_

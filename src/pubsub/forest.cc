@@ -1,10 +1,12 @@
 #include "src/pubsub/forest.h"
 
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 
@@ -22,6 +24,11 @@ NodeId Forest::CreateTopic(const std::string& app_name, const std::string& creat
 
 void Forest::SubscribeAll(const NodeId& topic, const std::vector<size_t>& members,
                           double settle_ms) {
+  // Harness-level span (no single host): covers JOIN fan-out plus the settle window.
+  TraceSpan span = GlobalTracer().Begin("pubsub.subscribe_all", "pubsub", UINT32_MAX);
+  if (span.active()) {
+    span.AddArg("members", std::to_string(members.size()));
+  }
   for (size_t i : members) {
     CHECK_LT(i, scribes_.size());
     scribes_[i]->Subscribe(topic);

@@ -38,6 +38,8 @@ struct ScribeBroadcast {
 
 // Up-tree payload (gradient aggregation). `weight` carries FedAvg sample counts;
 // `count` is how many leaf contributions are folded into this partial aggregate.
+// `origin_time` is the earliest leaf submission folded in, carried up so the root can
+// measure end-to-end aggregation latency.
 struct ScribeUpdate {
   NodeId topic;
   uint64_t round = 0;
@@ -45,6 +47,7 @@ struct ScribeUpdate {
   double weight = 1.0;
   uint64_t count = 1;
   uint64_t size_bytes = 0;
+  SimTime origin_time = 0.0;
 };
 
 struct ScribeParentHeartbeat {

@@ -1,6 +1,10 @@
 #include "src/pubsub/scribe_node.h"
 
+#include <string>
+
 #include "src/common/logging.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 namespace {
@@ -8,6 +12,21 @@ namespace {
 constexpr int64_t kChildEntryBytes = 40;
 constexpr int64_t kTopicStateBytes = 96;
 constexpr uint64_t kControlMsgBytes = 48;
+
+// Time from root send to each subscriber's delivery (Fig. 6a's dissemination time is
+// this histogram's max over one broadcast).
+Histogram& BroadcastLatencyHistogram() {
+  static Histogram* h = &GlobalMetrics().GetHistogram("pubsub.broadcast.latency_ms",
+                                                      Histogram::DefaultLatencyBoundsMs());
+  return *h;
+}
+
+// Time from the earliest leaf submission to the root total landing (Fig. 6b).
+Histogram& AggregateLatencyHistogram() {
+  static Histogram* h = &GlobalMetrics().GetHistogram("pubsub.aggregate.latency_ms",
+                                                      Histogram::DefaultLatencyBoundsMs());
+  return *h;
+}
 
 AggregationPiece DefaultCombine(const std::vector<AggregationPiece>& pieces) {
   // Weight/count bookkeeping with pass-through data; timing-only experiments use this.
@@ -157,6 +176,10 @@ void ScribeNode::OnJoinDeliver(const NodeId& key, const Message& inner, int hops
 
 void ScribeNode::Broadcast(const NodeId& topic, uint64_t round,
                            std::shared_ptr<const void> data, uint64_t size_bytes) {
+  TraceSpan span = GlobalTracer().Begin("pubsub.broadcast", "pubsub", host());
+  if (span.active()) {
+    span.AddArg("round", std::to_string(round));
+  }
   TopicState& state = GetOrCreate(topic);
   ScribeBroadcast bc;
   bc.topic = topic;
@@ -164,8 +187,11 @@ void ScribeNode::Broadcast(const NodeId& topic, uint64_t round,
   bc.data = std::move(data);
   bc.origin_time = pastry_->net()->sim()->Now();
   bc.depth = 0;
-  if (state.subscribed && on_broadcast_) {
-    on_broadcast_(topic, round, bc);
+  if (state.subscribed) {
+    BroadcastLatencyHistogram().Observe(0.0);  // The root delivers to itself instantly.
+    if (on_broadcast_) {
+      on_broadcast_(topic, round, bc);
+    }
   }
   ForwardBroadcastToChildren(state, bc, size_bytes);
 }
@@ -188,25 +214,38 @@ void ScribeNode::ForwardBroadcastToChildren(const TopicState& state, const Scrib
 
 void ScribeNode::HandleBroadcast(const Message& msg) {
   const auto& bc = msg.As<ScribeBroadcast>();
+  TraceSpan span =
+      GlobalTracer().BeginWithParent("pubsub.broadcast.hop", "pubsub", host(), msg.trace);
+  if (span.active()) {
+    span.AddArg("depth", std::to_string(bc.depth));
+  }
   auto it = topics_.find(bc.topic);
   if (it == topics_.end()) {
     return;  // Stale edge; we already left this tree.
   }
   TopicState& state = it->second;
-  if (state.subscribed && on_broadcast_) {
-    on_broadcast_(bc.topic, bc.round, bc);
+  if (state.subscribed) {
+    BroadcastLatencyHistogram().Observe(pastry_->net()->sim()->Now() - bc.origin_time);
+    if (on_broadcast_) {
+      on_broadcast_(bc.topic, bc.round, bc);
+    }
   }
   ForwardBroadcastToChildren(state, bc, msg.size_bytes);
 }
 
 void ScribeNode::SubmitUpdate(const NodeId& topic, uint64_t round, AggregationPiece piece,
                               uint64_t size_bytes) {
+  TraceSpan span = GlobalTracer().Begin("pubsub.update.submit", "pubsub", host());
+  if (span.active()) {
+    span.AddArg("round", std::to_string(round));
+  }
   TopicState& state = GetOrCreate(topic);
-  AccumulateUpdate(state, round, std::move(piece), /*from_child=*/kInvalidHost, size_bytes);
+  AccumulateUpdate(state, round, std::move(piece), /*from_child=*/kInvalidHost, size_bytes,
+                   pastry_->net()->sim()->Now());
 }
 
 void ScribeNode::AccumulateUpdate(TopicState& state, uint64_t round, AggregationPiece piece,
-                                  HostId from_child, uint64_t size_bytes) {
+                                  HostId from_child, uint64_t size_bytes, SimTime origin_ms) {
   RoundState& rs = state.rounds[round];
   if (rs.forwarded) {
     return;  // Straggler past the cut-off; drop.
@@ -218,6 +257,9 @@ void ScribeNode::AccumulateUpdate(TopicState& state, uint64_t round, Aggregation
   }
   rs.pieces.push_back(std::move(piece));
   rs.max_piece_bytes = std::max(rs.max_piece_bytes, size_bytes);
+  if (rs.earliest_submit_ms < 0.0 || origin_ms < rs.earliest_submit_ms) {
+    rs.earliest_submit_ms = origin_ms;
+  }
   // Arm the straggler cut-off on first activity.
   if (config_.aggregation_timeout_ms > 0.0 && rs.pieces.size() == 1) {
     const NodeId topic = state.topic;
@@ -276,9 +318,12 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
                                        static_cast<double>(rs.pieces.size()));
   AggregationPiece total = combine_(rs.pieces);
   const uint64_t size_bytes = rs.max_piece_bytes;
+  const SimTime now = pastry_->net()->sim()->Now();
+  const SimTime origin = rs.earliest_submit_ms >= 0.0 ? rs.earliest_submit_ms : now;
   state.rounds.erase(round_it);
 
   if (state.is_root) {
+    AggregateLatencyHistogram().Observe(now - origin);
     if (on_root_aggregate_) {
       on_root_aggregate_(state.topic, round, total);
     }
@@ -291,6 +336,7 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
     fresh.own_submitted = true;
     fresh.pieces.push_back(std::move(total));
     fresh.max_piece_bytes = size_bytes;
+    fresh.earliest_submit_ms = origin;
     fresh.forwarded = false;
     return;
   }
@@ -306,12 +352,19 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
   upd.weight = total.weight;
   upd.count = total.count;
   upd.size_bytes = size_bytes;
+  upd.origin_time = origin;
   m.SetPayload(std::move(upd));
   pastry_->SendDirect(state.parent, std::move(m));
 }
 
 void ScribeNode::HandleUpdate(const Message& msg) {
   const auto& upd = msg.As<ScribeUpdate>();
+  TraceSpan span =
+      GlobalTracer().BeginWithParent("pubsub.update.hop", "pubsub", host(), msg.trace);
+  if (span.active()) {
+    span.AddArg("round", std::to_string(upd.round));
+    span.AddArg("count", std::to_string(upd.count));
+  }
   auto it = topics_.find(upd.topic);
   if (it == topics_.end()) {
     return;
@@ -320,7 +373,8 @@ void ScribeNode::HandleUpdate(const Message& msg) {
   piece.data = upd.data;
   piece.weight = upd.weight;
   piece.count = upd.count;
-  AccumulateUpdate(it->second, upd.round, std::move(piece), msg.src, upd.size_bytes);
+  AccumulateUpdate(it->second, upd.round, std::move(piece), msg.src, upd.size_bytes,
+                   upd.origin_time);
 }
 
 void ScribeNode::HandleParentHeartbeat(const Message& msg) {

@@ -107,6 +107,9 @@ class ScribeNode {
     bool own_submitted = false;
     bool forwarded = false;
     uint64_t max_piece_bytes = 0;
+    // Earliest leaf submission folded into this round (virtual ms); < 0 until the first
+    // piece arrives. Carried up-tree so the root can measure aggregation latency.
+    SimTime earliest_submit_ms = -1.0;
     EventHandle timeout;
   };
 
@@ -138,8 +141,9 @@ class ScribeNode {
   void ForwardBroadcastToChildren(const TopicState& state, const ScribeBroadcast& bc,
                                   uint64_t size_bytes);
   // Folds a piece into the round and forwards the partial aggregate if complete.
+  // `origin_ms` is the submission time of the earliest leaf behind the piece.
   void AccumulateUpdate(TopicState& state, uint64_t round, AggregationPiece piece,
-                        HostId from_child, uint64_t size_bytes);
+                        HostId from_child, uint64_t size_bytes, SimTime origin_ms);
   void MaybeForwardAggregate(TopicState& state, uint64_t round, bool timed_out);
   void MaintenanceTick();
   void ChargeState(int64_t delta);

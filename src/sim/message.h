@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 
@@ -28,6 +29,23 @@ enum class TrafficClass : uint8_t {
 };
 inline constexpr int kNumTrafficClasses = 5;
 
+// Stable lowercase names for metric series and trace args.
+inline const char* TrafficClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kControl:
+      return "control";
+    case TrafficClass::kDhtMaintenance:
+      return "dht_maintenance";
+    case TrafficClass::kTreeControl:
+      return "tree_control";
+    case TrafficClass::kModel:
+      return "model";
+    case TrafficClass::kGradient:
+      return "gradient";
+  }
+  return "unknown";
+}
+
 enum class Transport : uint8_t { kTcp = 0, kUdp = 1 };
 
 struct Message {
@@ -37,6 +55,10 @@ struct Message {
   uint64_t size_bytes = 64;
   TrafficClass traffic = TrafficClass::kControl;
   Transport transport = Transport::kUdp;
+  // Causal trace context. Network::Send stamps it (inheriting the sender's open span
+  // when unset) so a broadcast can be reconstructed hop by hop; empty when tracing is
+  // disabled.
+  TraceContext trace;
   std::shared_ptr<const void> payload;
 
   template <typename T>

@@ -33,6 +33,13 @@ void NetworkMetrics::RecordDelivery(const Message& msg) {
   t.bytes_recv += msg.size_bytes;
 }
 
+void NetworkMetrics::RecordDrop(HostId host, TrafficClass traffic) {
+  CHECK_LT(host, traffic_.size());
+  ++traffic_[host].msgs_dropped;
+  ++drops_by_class_[static_cast<size_t>(traffic)];
+  ++dropped_messages_;
+}
+
 void NetworkMetrics::ChargeWork(HostId host, WorkKind kind, double units) {
   CHECK_LT(host, work_.size());
   work_[host].work_units[static_cast<size_t>(kind)] += units;
@@ -84,6 +91,32 @@ int64_t NetworkMetrics::TotalStateBytes() const {
   return total;
 }
 
+void NetworkMetrics::PublishTo(MetricsRegistry& registry) const {
+  uint64_t msgs_sent = 0;
+  uint64_t hosts_with_drops = 0;
+  for (const auto& t : traffic_) {
+    msgs_sent += t.msgs_sent;
+    hosts_with_drops += t.msgs_dropped > 0 ? 1 : 0;
+  }
+  registry.GetGauge("net.msgs.sent").Set(static_cast<double>(msgs_sent));
+  registry.GetGauge("net.msgs.dropped").Set(static_cast<double>(dropped_messages_));
+  registry.GetGauge("net.hosts.with_drops").Set(static_cast<double>(hosts_with_drops));
+  registry.GetGauge("net.bytes.sent").Set(static_cast<double>(total_bytes_));
+  registry.GetGauge("net.bytes.tcp").Set(static_cast<double>(TotalBytesTcp()));
+  registry.GetGauge("net.bytes.udp").Set(static_cast<double>(TotalBytesUdp()));
+  for (int c = 0; c < kNumTrafficClasses; ++c) {
+    const auto traffic_class = static_cast<TrafficClass>(c);
+    const std::string suffix = TrafficClassName(traffic_class);
+    registry.GetGauge("net.bytes.class." + suffix)
+        .Set(static_cast<double>(TotalBytesByClass(traffic_class)));
+    registry.GetGauge("net.drops.class." + suffix)
+        .Set(static_cast<double>(DroppedByClass(traffic_class)));
+  }
+  registry.GetGauge("work.fl.units").Set(TotalWork(WorkKind::kFlTask));
+  registry.GetGauge("work.dht.units").Set(TotalWork(WorkKind::kDhtTask));
+  registry.GetGauge("state.bytes.total").Set(static_cast<double>(TotalStateBytes()));
+}
+
 void NetworkMetrics::Reset() {
   for (auto& t : traffic_) {
     t = HostTraffic{};
@@ -94,6 +127,7 @@ void NetworkMetrics::Reset() {
   total_messages_ = 0;
   total_bytes_ = 0;
   dropped_messages_ = 0;
+  drops_by_class_.fill(0);
 }
 
 }  // namespace totoro

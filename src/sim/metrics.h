@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics_registry.h"
 #include "src/sim/message.h"
 
 namespace totoro {
@@ -19,6 +20,7 @@ namespace totoro {
 struct HostTraffic {
   uint64_t msgs_sent = 0;
   uint64_t msgs_recv = 0;
+  uint64_t msgs_dropped = 0;  // Drops attributed to this host (down, lossy, filtered).
   uint64_t bytes_sent = 0;
   uint64_t bytes_recv = 0;
   uint64_t bytes_sent_tcp = 0;
@@ -55,7 +57,15 @@ class NetworkMetrics {
   uint64_t total_messages() const { return total_messages_; }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t dropped_messages() const { return dropped_messages_; }
-  void RecordDrop() { ++dropped_messages_; }
+
+  // Records a drop attributed to `host` (the host where the message died: the sender
+  // when it was down or the link lost the packet, the receiver when it was down, the
+  // filtering node for egress rejections), split by traffic class so churn experiments
+  // can see which layer loses messages.
+  void RecordDrop(HostId host, TrafficClass traffic);
+  uint64_t DroppedByClass(TrafficClass c) const {
+    return drops_by_class_[static_cast<size_t>(c)];
+  }
 
   // Aggregates across hosts.
   uint64_t TotalBytesTcp() const;
@@ -63,6 +73,11 @@ class NetworkMetrics {
   uint64_t TotalBytesByClass(TrafficClass c) const;
   double TotalWork(WorkKind kind) const;
   int64_t TotalStateBytes() const;
+
+  // Snapshots the accounting into the named-metrics registry as gauges
+  // (net.bytes.sent, net.drops.class.<class>, work.fl.units, ...), so exporters emit
+  // one unified view. Gauge semantics: repeated calls overwrite, never double-count.
+  void PublishTo(MetricsRegistry& registry) const;
 
   void Reset();
 
@@ -72,6 +87,7 @@ class NetworkMetrics {
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t dropped_messages_ = 0;
+  std::array<uint64_t, kNumTrafficClasses> drops_by_class_{};
 };
 
 }  // namespace totoro

@@ -1,8 +1,11 @@
 #include "src/sim/network.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
 
@@ -43,12 +46,12 @@ void Network::Send(Message msg) {
   CHECK_LT(msg.dst, hosts_.size());
   auto& src = hosts_[msg.src];
   if (!src.up) {
-    metrics_.RecordDrop();
+    metrics_.RecordDrop(msg.src, msg.traffic);
     return;
   }
   metrics_.RecordSend(msg);
   if (loss_fn_ && loss_fn_(msg)) {
-    metrics_.RecordDrop();
+    metrics_.RecordDrop(msg.src, msg.traffic);
     return;
   }
 
@@ -70,10 +73,22 @@ void Network::Send(Message msg) {
     delivery = dst.rx_free_at;
   }
 
+  Tracer& tracer = GlobalTracer();
+  if (tracer.enabled()) {
+    // The transmission itself is a span [send, delivery] on the sender, parented to the
+    // message's existing context (multi-hop forwarding) or the sender's open span.
+    const TraceContext parent = msg.trace.valid() ? msg.trace : tracer.current();
+    msg.trace = tracer.RecordComplete(
+        "net.msg", "net", msg.src, now, delivery, parent,
+        {{"dst", std::to_string(msg.dst)},
+         {"bytes", std::to_string(msg.size_bytes)},
+         {"class", TrafficClassName(msg.traffic)}});
+  }
+
   sim_->ScheduleAt(delivery, [this, msg = std::move(msg)]() {
     auto& dst_state = hosts_[msg.dst];
     if (!dst_state.up) {
-      metrics_.RecordDrop();
+      metrics_.RecordDrop(msg.dst, msg.traffic);
       return;
     }
     metrics_.RecordDelivery(msg);

@@ -1,8 +1,24 @@
 #include "src/sim/simulator.h"
 
 #include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace totoro {
+
+Simulator::Simulator() {
+  GlobalTracer().SetClockSource(&now_);
+  SetLogTimeSource(&now_);
+}
+
+Simulator::~Simulator() {
+  if (GlobalTracer().clock_source() == &now_) {
+    GlobalTracer().SetClockSource(nullptr);
+  }
+  if (GetLogTimeSource() == &now_) {
+    SetLogTimeSource(nullptr);
+  }
+}
 
 EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
   CHECK_GE(delay, 0.0);

@@ -15,6 +15,14 @@ namespace totoro {
 
 class Simulator {
  public:
+  // Registers this simulator's clock as the process-wide virtual-time source for the
+  // tracer and the logger; the destructor deregisters it (only if still the active
+  // source, so nested/successive simulators behave sanely).
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` virtual ms from now. delay must be >= 0.

@@ -266,7 +266,7 @@ TEST(SummaryTest, PercentileInterpolates) {
 }
 
 TEST(HistogramTest, BucketsAndOverflow) {
-  Histogram h(0.0, 10.0, 10);
+  AsciiHistogram h(0.0, 10.0, 10);
   h.Add(-1.0);
   h.Add(0.0);
   h.Add(9.99);
