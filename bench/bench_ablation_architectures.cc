@@ -7,6 +7,7 @@
 // Totoro's per-app masters stay flat as app count grows.
 #include <set>
 
+#include "bench/parallel_runner.h"
 #include "bench/tta_common.h"
 #include "src/baselines/hierarchical_engine.h"
 
@@ -53,15 +54,26 @@ void Run() {
   bench::PrintHeader(
       "Ablation: architecture classes, last-app time-to-target (femnist task)");
   AsciiTable table({"#apps", "centralized (s)", "hierarchical (s)", "Totoro (s)"});
-  for (int apps : {1, 5, 10, 20}) {
-    const auto central =
-        bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 4000);
-    const double hier = RunHierarchical(profile, apps, 4000);
-    const auto totoro_run = bench::RunTotoroTta(profile, apps, /*fanout_bits=*/4, 4000);
-    table.AddRow({AsciiTable::Int(apps),
-                  AsciiTable::Num(central.last_target_ms / 1000.0, 2),
-                  AsciiTable::Num(hier / 1000.0, 2),
-                  AsciiTable::Num(totoro_run.last_target_ms / 1000.0, 2)});
+  // Each (architecture, #apps) cell is an independent world; fan the 3x4 grid over the
+  // trial pool with the sequential seeds and fold to last-app time-to-target.
+  const std::vector<int> apps_axis = {1, 5, 10, 20};
+  const auto cells = bench::RunTrials<double>(apps_axis.size() * 3, [&](size_t i) {
+    const int apps = apps_axis[i / 3];
+    switch (i % 3) {
+      case 0:
+        return bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 4000)
+            .last_target_ms;
+      case 1:
+        return RunHierarchical(profile, apps, 4000);
+      default:
+        return bench::RunTotoroTta(profile, apps, /*fanout_bits=*/4, 4000).last_target_ms;
+    }
+  });
+  for (size_t row = 0; row < apps_axis.size(); ++row) {
+    table.AddRow({AsciiTable::Int(apps_axis[row]),
+                  AsciiTable::Num(cells[row * 3 + 0] / 1000.0, 2),
+                  AsciiTable::Num(cells[row * 3 + 1] / 1000.0, 2),
+                  AsciiTable::Num(cells[row * 3 + 2] / 1000.0, 2)});
   }
   std::printf("%s", table.Render().c_str());
   std::printf("hierarchy relieves the cloud's downlink but keeps the serial coordinator;\n"

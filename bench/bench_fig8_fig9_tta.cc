@@ -5,6 +5,7 @@
 // number of apps grows (coordinator queueing); (2) Totoro's total training time is
 // nearly flat in the number of apps (the paper reports 15.41h for 1 model vs 15.47h for
 // 20 at fanout 32).
+#include "bench/parallel_runner.h"
 #include "bench/tta_common.h"
 
 namespace totoro {
@@ -14,11 +15,35 @@ void RunFigure(const bench::TaskProfile& profile, const char* figure) {
   bench::PrintHeader(std::string(figure) + ": time-to-accuracy, " + profile.name);
   AsciiTable table({"#apps", "system", "last-app time-to-target (s)", "all reached"});
   std::vector<double> totoro_times;
-  for (int apps : {1, 5, 10, 20}) {
-    const auto totoro_run = bench::RunTotoroTta(profile, apps, /*fanout_bits=*/5, 3000);
-    const auto openfl = bench::RunCentralTta(profile, apps, bench::OpenFlConfig(), 3000);
-    const auto fedscale =
-        bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 3000);
+  // 3 systems x 4 app counts, plus the two trajectory runs at the end — all
+  // independent worlds, so the whole figure fans out over the trial pool with the
+  // same seeds the sequential loop used.
+  const std::vector<int> apps_axis = {1, 5, 10, 20};
+  const size_t kCurveTotoro = apps_axis.size() * 3;
+  const size_t kCurveFedscale = kCurveTotoro + 1;
+  const auto outcomes = bench::RunTrials<bench::TtaOutcome>(
+      apps_axis.size() * 3 + 2, [&](size_t i) {
+        if (i == kCurveTotoro) {
+          return bench::RunTotoroTta(profile, 10, /*fanout_bits=*/5, 3100);
+        }
+        if (i == kCurveFedscale) {
+          return bench::RunCentralTta(profile, 10, bench::FedScaleConfig(), 3100);
+        }
+        const int apps = apps_axis[i / 3];
+        switch (i % 3) {
+          case 0:
+            return bench::RunTotoroTta(profile, apps, /*fanout_bits=*/5, 3000);
+          case 1:
+            return bench::RunCentralTta(profile, apps, bench::OpenFlConfig(), 3000);
+          default:
+            return bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 3000);
+        }
+      });
+  for (size_t row = 0; row < apps_axis.size(); ++row) {
+    const int apps = apps_axis[row];
+    const auto& totoro_run = outcomes[row * 3 + 0];
+    const auto& openfl = outcomes[row * 3 + 1];
+    const auto& fedscale = outcomes[row * 3 + 2];
     totoro_times.push_back(totoro_run.last_target_ms);
     table.AddRow({AsciiTable::Int(apps), "Totoro (fanout 32)",
                   AsciiTable::Num(totoro_run.last_target_ms / 1000.0, 2),
@@ -36,9 +61,9 @@ void RunFigure(const bench::TaskProfile& profile, const char* figure) {
               totoro_times.back() / totoro_times.front());
 
   // One representative accuracy curve per system at 10 apps (the per-round trajectory
-  // the paper plots).
-  const auto totoro_run = bench::RunTotoroTta(profile, 10, 5, 3100);
-  const auto fedscale = bench::RunCentralTta(profile, 10, bench::FedScaleConfig(), 3100);
+  // the paper plots) — computed with the grid above.
+  const auto& totoro_run = outcomes[kCurveTotoro];
+  const auto& fedscale = outcomes[kCurveFedscale];
   std::printf("\naccuracy trajectory of the LAST app to finish (10 concurrent apps):\n");
   auto print_curve = [](const char* system, const std::vector<AppResult>& results) {
     const AppResult* last = &results.front();

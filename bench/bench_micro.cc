@@ -1,14 +1,88 @@
-// Google-benchmark micro benchmarks of the hot primitives: overlay routing decisions,
-// SHA-1 id derivation, KL-UCB index computation, MLP training steps, FedAvg merging.
+// Google-benchmark micro benchmarks of the hot primitives: simulator event-queue
+// operations, overlay routing decisions, SHA-1 id derivation, KL-UCB index computation,
+// MLP training steps, FedAvg merging.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
 #include "src/bandit/kl_ucb.h"
 #include "src/fl/aggregation.h"
 #include "src/ml/serialize.h"
+#include "src/sim/event_queue.h"
 
 namespace totoro {
 namespace {
+
+// Schedule/fire churn at a fixed pending depth: the steady-state cost of one event
+// through the slab + 4-ary heap, with captures representative of delivery closures.
+void BM_Schedule(benchmark::State& state) {
+  EventQueue q;
+  q.Reserve(1024);
+  SimTime t = 0.0;
+  uint64_t sink = 0;
+  // Keep 512 events pending so sift paths see a realistic tree depth.
+  for (int i = 0; i < 512; ++i) {
+    q.Push(t + static_cast<SimTime>(i % 97), [&sink]() { ++sink; });
+  }
+  SimTime at = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    char payload[48] = {};
+    payload[0] = static_cast<char>(t);
+    q.Push(t + static_cast<SimTime>(static_cast<int>(t) % 97),
+           [&sink, payload]() { sink += 1 + 0 * static_cast<uint64_t>(payload[0]); });
+    q.PopAndRun(&at);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Schedule);
+
+// Schedule + cancel + skip: the timeout pattern (most timeouts are cancelled before
+// firing). Measures handle resolution and lazy heap skipping.
+void BM_CancelChurn(benchmark::State& state) {
+  EventQueue q;
+  q.Reserve(64);
+  SimTime t = 0.0;
+  uint64_t fired = 0;
+  SimTime at = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    EventHandle timeout = q.Push(t + 100.0, [&fired]() { ++fired; });
+    q.Push(t, [&fired]() { ++fired; });
+    benchmark::DoNotOptimize(timeout.Cancel());
+    q.PopAndRun(&at);  // Runs the live event; the dead one is skipped when surfaced.
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_CancelChurn);
+
+// Pop of a moved-out callback holding a move-only capture — regression guard for the
+// move-not-copy PopNext contract (a copying queue would not compile this, and a
+// shared_ptr workaround would show up as time here).
+void BM_PopNextMove(benchmark::State& state) {
+  EventQueue q;
+  q.Reserve(16);
+  SimTime at = 0.0;
+  uint64_t sink = 0;
+  auto buffer = std::make_unique<uint64_t[]>(8);
+  for (auto _ : state) {
+    q.Push(1.0, [&sink, p = buffer.get()]() { sink += p[0]; });
+    EventFn fn;
+    benchmark::DoNotOptimize(q.PopNext(&at, &fn));
+    fn();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PopNextMove);
+
+// Run() on an empty queue: the idle-check fast path engines hit between rounds.
+void BM_EmptyRun(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.Run());
+  }
+}
+BENCHMARK(BM_EmptyRun);
 
 void BM_Sha1AppId(benchmark::State& state) {
   int i = 0;

@@ -1,0 +1,78 @@
+// Scale smoke: builds a large Pastry overlay (default 100k nodes — the paper's edge
+// deployments target this order), drives random lookups through it, and reports
+// events-per-second plus routing statistics. This is the engine-scalability check:
+// it passes when the overlay builds, every lookup resolves, and the hop count stays
+// at the O(log_{2^b} N) bound; the printed throughput is the number EXPERIMENTS.md
+// tracks for the simulator hot path at scale.
+//
+// Usage: bench_scale_smoke [nodes] [routes]   (defaults: 100000 nodes, 20000 routes)
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/obs/metrics_registry.h"
+
+namespace totoro {
+namespace {
+
+int Run(size_t nodes, size_t routes) {
+  std::printf("building %zu-node overlay (oracle construction)...\n", nodes);
+  bench::Stack stack(nodes, 20240807, PastryConfig{}, ScribeConfig{},
+                     /*model_bandwidth=*/false);
+  stack.sim.ReserveEvents(4096);
+
+  uint64_t delivered = 0;
+  uint64_t total_hops = 0;
+  for (size_t i = 0; i < stack.pastry->size(); ++i) {
+    stack.pastry->node(i).SetDeliverHandler(
+        1200, [&delivered, &total_hops](const NodeId&, const Message&, int hops) {
+          ++delivered;
+          total_hops += static_cast<uint64_t>(hops);
+        });
+  }
+
+  Rng rng(20240808);
+  for (size_t r = 0; r < routes; ++r) {
+    Message m;
+    m.type = 1200;
+    stack.pastry->node(rng.NextBelow(stack.pastry->size()))
+        .Route(RandomNodeId(rng), std::move(m));
+    stack.sim.Run();
+  }
+
+  stack.sim.PublishThroughputMetrics();
+  const double mean_hops =
+      delivered == 0 ? 0.0 : static_cast<double>(total_hops) / static_cast<double>(delivered);
+  std::printf("routes issued:      %zu\n", routes);
+  std::printf("routes delivered:   %llu\n", static_cast<unsigned long long>(delivered));
+  std::printf("mean hops:          %.3f\n", mean_hops);
+  std::printf("events fired:       %llu\n",
+              static_cast<unsigned long long>(stack.sim.events_fired()));
+  std::printf("events/sec (wall):  %.0f\n", stack.sim.EventsPerSecond());
+  std::printf("sim.events_per_sec gauge: %.0f\n",
+              GlobalMetrics().GetGauge("sim.events_per_sec").value());
+
+  if (delivered != routes) {
+    std::printf("FAIL: %llu routes lost\n",
+                static_cast<unsigned long long>(routes - delivered));
+    return 1;
+  }
+  // Pastry's bound with the default 4-bit digits: ceil(log16 N) rows plus slack for
+  // leaf-set termination. 100k nodes => ~4.2; anything near double that means routing
+  // state degenerated.
+  if (mean_hops > 8.0) {
+    std::printf("FAIL: mean hops %.3f exceeds the O(log N) sanity bound\n", mean_hops);
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace totoro
+
+int main(int argc, char** argv) {
+  const size_t nodes = argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 100000;
+  const size_t routes = argc > 2 ? static_cast<size_t>(std::atoll(argv[2])) : 20000;
+  return totoro::Run(nodes, routes);
+}

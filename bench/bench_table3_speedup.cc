@@ -8,22 +8,43 @@
 // number of concurrent applications.
 #include <set>
 
+#include "bench/parallel_runner.h"
 #include "bench/tta_common.h"
 
 namespace totoro {
 namespace {
+
+// Trials per #apps value: OpenFL-like, FedScale-like, and Totoro at three fanouts.
+constexpr size_t kTrialsPerApps = 5;
 
 void RunTask(const bench::TaskProfile& profile) {
   bench::PrintHeader("Table 3: " + profile.name + " (target " +
                      AsciiTable::Num(profile.target_accuracy * 100, 1) + "% top-1)");
   AsciiTable table({"#apps", "fanout", "Totoro TTT (s)", "OpenFL-like TTT (s)",
                     "FedScale-like TTT (s)", "speedup vs OpenFL", "speedup vs FedScale"});
-  for (int apps : {5, 10, 20}) {
-    const auto openfl = bench::RunCentralTta(profile, apps, bench::OpenFlConfig(), 1000);
-    const auto fedscale =
-        bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 1000);
+  // All cells are independent worlds keyed only by (apps, system, fanout), so run the
+  // whole grid through the trial pool; seeds match the sequential loop exactly.
+  const std::vector<int> apps_axis = {5, 10, 20};
+  const auto outcomes = bench::RunTrials<bench::TtaOutcome>(
+      apps_axis.size() * kTrialsPerApps, [&](size_t i) {
+        const int apps = apps_axis[i / kTrialsPerApps];
+        switch (i % kTrialsPerApps) {
+          case 0:
+            return bench::RunCentralTta(profile, apps, bench::OpenFlConfig(), 1000);
+          case 1:
+            return bench::RunCentralTta(profile, apps, bench::FedScaleConfig(), 1000);
+          default: {
+            const int b = 3 + static_cast<int>(i % kTrialsPerApps) - 2;
+            return bench::RunTotoroTta(profile, apps, b, 2000 + b);
+          }
+        }
+      });
+  for (size_t row = 0; row < apps_axis.size(); ++row) {
+    const int apps = apps_axis[row];
+    const auto& openfl = outcomes[row * kTrialsPerApps + 0];
+    const auto& fedscale = outcomes[row * kTrialsPerApps + 1];
     for (int b : {3, 4, 5}) {
-      const auto totoro_run = bench::RunTotoroTta(profile, apps, b, 2000 + b);
+      const auto& totoro_run = outcomes[row * kTrialsPerApps + 2 + static_cast<size_t>(b - 3)];
       const double speed_openfl = openfl.last_target_ms / totoro_run.last_target_ms;
       const double speed_fedscale = fedscale.last_target_ms / totoro_run.last_target_ms;
       std::string flags;

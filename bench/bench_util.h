@@ -37,6 +37,7 @@ struct Stack {
         &sim, std::make_unique<PairwiseUniformLatency>(latency_lo, latency_hi, seed ^ 0xFEED),
         net_config);
     pastry = std::make_unique<PastryNetwork>(net.get(), pastry_config);
+    pastry->Reserve(nodes);
     for (size_t i = 0; i < nodes; ++i) {
       pastry->AddRandomNode(rng);
     }

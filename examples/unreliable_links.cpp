@@ -127,8 +127,16 @@ void ChurnDemo() {
               result.final_accuracy * 100.0);
 
   // Export the observability artifacts: the trace covers the clean rounds before the
-  // failure; the metrics snapshot folds in the network's byte/drop accounting.
+  // failure; the metrics snapshot folds in the network's byte/drop accounting plus the
+  // simulator's event counters (sim.events_fired / sim.events_cancelled, recorded by
+  // Run). The wall-clock throughput summary goes to stderr only — stdout and the
+  // exported JSON stay bit-identical across runs, which the repo's determinism checks
+  // diff for.
   net.metrics().PublishTo(GlobalMetrics());
+  std::fprintf(stderr, "simulator: %llu events fired, %llu cancelled, %.0f events/sec wall\n",
+               static_cast<unsigned long long>(sim.events_fired()),
+               static_cast<unsigned long long>(sim.events_cancelled()),
+               sim.EventsPerSecond());
   const char* trace_path = "unreliable_links.trace.json";
   const char* metrics_path = "unreliable_links.metrics.json";
   if (WriteStringToFile(trace_path, TraceToChromeJson(GlobalTracer())) &&

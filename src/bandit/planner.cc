@@ -16,7 +16,7 @@ EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode d
   if (episode_span.active()) {
     episode_span.AddArg("packets", std::to_string(packets));
   }
-  static Histogram* delay_hist = &GlobalMetrics().GetHistogram(
+  static thread_local Histogram* delay_hist = &GlobalMetrics().GetHistogram(
       "bandit.packet.delay_slots", Histogram::DefaultLatencyBoundsMs());
   Counter& packet_counter = GlobalMetrics().GetCounter("bandit.episode.packets");
   EpisodeResult result;

@@ -66,6 +66,7 @@ CentralizedEngine::CentralizedEngine(Simulator* sim, CentralConfig config, size_
       std::make_unique<PairwiseUniformLatency>(config_.latency_lo_ms, config_.latency_hi_ms,
                                                seed ^ 0xBA5E),
       net_config);
+  network_->ReserveHosts(num_clients + 1);
   server_ = std::make_unique<ServerHost>(this);
   server_host_ = network_->AddHost(server_.get());
   network_->SetHostBandwidth(server_host_, config_.server_bandwidth_bytes_per_ms);
@@ -115,7 +116,7 @@ void CentralizedEngine::StartAll() {
   }
 }
 
-void CentralizedEngine::EnqueueCoordinatorWork(double service_ms, std::function<void()> fn) {
+void CentralizedEngine::EnqueueCoordinatorWork(double service_ms, EventFn fn) {
   // One logical coordinator thread: work is served FCFS, which is exactly the queueing
   // delay §7.4 attributes the baselines' slowdown to.
   const SimTime start = std::max(coordinator_free_at_, sim_->Now());

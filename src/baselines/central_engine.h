@@ -69,7 +69,7 @@ class CentralizedEngine {
   void OnModelAtClient(size_t client_index, const Message& msg);
   void FinishRound(AppRuntime& app);
   // Enqueues serial coordinator work; `fn` runs when the coordinator reaches it.
-  void EnqueueCoordinatorWork(double service_ms, std::function<void()> fn);
+  void EnqueueCoordinatorWork(double service_ms, EventFn fn);
 
   Simulator* sim_;
   CentralConfig config_;

@@ -90,6 +90,7 @@ HierarchicalEngine::HierarchicalEngine(Simulator* sim, HierarchicalConfig config
       std::make_unique<PairwiseUniformLatency>(config_.latency_lo_ms, config_.latency_hi_ms,
                                                seed ^ 0x41ED6E),
       net_config);
+  network_->ReserveHosts(1 + config_.num_edge_servers + num_clients);
   cloud_ = std::make_unique<CloudHost>(this);
   CHECK_EQ(network_->AddHost(cloud_.get()), CloudHostId());
   network_->SetHostBandwidth(CloudHostId(), config_.cloud_bandwidth_bytes_per_ms);
@@ -144,7 +145,7 @@ void HierarchicalEngine::StartAll() {
   }
 }
 
-void HierarchicalEngine::EnqueueCloudWork(double service_ms, std::function<void()> fn) {
+void HierarchicalEngine::EnqueueCloudWork(double service_ms, EventFn fn) {
   const SimTime start = std::max(cloud_free_at_, sim_->Now());
   cloud_free_at_ = start + service_ms;
   network_->metrics().ChargeWork(CloudHostId(), WorkKind::kFlTask,

@@ -83,7 +83,7 @@ class HierarchicalEngine {
   void OnClientUpdateAtEdge(size_t edge, const Message& msg);
   void OnEdgeUpdateAtCloud(const Message& msg);
   void FinishRound(AppRuntime& app);
-  void EnqueueCloudWork(double service_ms, std::function<void()> fn);
+  void EnqueueCloudWork(double service_ms, EventFn fn);
 
   Simulator* sim_;
   HierarchicalConfig config_;

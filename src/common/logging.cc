@@ -12,7 +12,7 @@ LogLevel g_level = LogLevel::kWarn;
 // value and g_env_override marks it active.
 bool g_env_override = false;
 LogLevel g_env_level = LogLevel::kWarn;
-const double* g_time_source = nullptr;
+thread_local const double* g_time_source = nullptr;  // Per-thread: one simulator per thread.
 
 const char* LevelName(LogLevel level) {
   switch (level) {

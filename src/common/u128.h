@@ -7,6 +7,7 @@
 #ifndef SRC_COMMON_U128_H_
 #define SRC_COMMON_U128_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 
@@ -89,15 +90,20 @@ class U128 {
     return static_cast<uint32_t>(shifted.lo_) & ((1u << bits) - 1u);
   }
 
-  // Number of leading digits (base 2^bits) shared with `other`.
+  // Number of leading digits (base 2^bits) shared with `other`. Computed from the
+  // position of the first differing bit: digit floor(clz/bits) is the first digit that
+  // contains a differing bit, so exactly that many leading digits match. One XOR +
+  // count-leading-zeros instead of a digit-by-digit shift loop — this sits on the
+  // Pastry per-hop routing path (RoutingTable::NextHop).
   constexpr int CommonPrefixDigits(const U128& other, int bits) const {
+    const uint64_t xhi = hi_ ^ other.hi_;
+    const uint64_t xlo = lo_ ^ other.lo_;
+    const int leading =
+        xhi != 0 ? std::countl_zero(xhi)
+                 : (xlo != 0 ? 64 + std::countl_zero(xlo) : 128);
     const int digits = 128 / bits;
-    for (int i = 0; i < digits; ++i) {
-      if (Digit(i, bits) != other.Digit(i, bits)) {
-        return i;
-      }
-    }
-    return digits;
+    const int shared = leading / bits;
+    return shared < digits ? shared : digits;
   }
 
   // Minimal circular distance between two points in the 2^128 identifier ring.

@@ -364,7 +364,7 @@ void TotoroEngine::EvaluateAndAdvance(AppRuntime& app, uint64_t round) {
                              {"accuracy", std::to_string(accuracy)}});
     app.round_trace = TraceContext{};
   }
-  static Histogram* round_hist = &GlobalMetrics().GetHistogram(
+  static thread_local Histogram* round_hist = &GlobalMetrics().GetHistogram(
       "engine.round.duration_ms", Histogram::DefaultLatencyBoundsMs());
   round_hist->Observe(now - app.round_start_ms);
   if (failover_enabled_) {

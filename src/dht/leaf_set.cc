@@ -5,36 +5,12 @@
 #include "src/common/check.h"
 
 namespace totoro {
-namespace {
-
-// Insert into a side list kept sorted by distance (nearest first), capped at `cap`.
-bool InsertSide(std::vector<RouteEntry>& side, const RouteEntry& entry, const U128& dist,
-                const NodeId& self, bool clockwise, size_t cap) {
-  auto dist_of = [&](const RouteEntry& e) {
-    return clockwise ? U128::ClockwiseDistance(self, e.id) : U128::ClockwiseDistance(e.id, self);
-  };
-  for (const auto& e : side) {
-    if (e.id == entry.id) {
-      return false;
-    }
-  }
-  auto it = std::lower_bound(side.begin(), side.end(), dist,
-                             [&](const RouteEntry& e, const U128& d) { return dist_of(e) < d; });
-  if (side.size() >= cap && it == side.end()) {
-    return false;
-  }
-  side.insert(it, entry);
-  if (side.size() > cap) {
-    side.pop_back();
-  }
-  return true;
-}
-
-}  // namespace
 
 LeafSet::LeafSet(NodeId self, int size) : self_(self), size_(size) {
   CHECK_GE(size_, 2);
   CHECK_EQ(size_ % 2, 0);
+  // +1: Consider briefly holds one extra entry between insert and same-side evict.
+  entries_.reserve(static_cast<size_t>(size_) + 1);
 }
 
 bool LeafSet::Consider(const RouteEntry& entry) {
@@ -42,39 +18,73 @@ bool LeafSet::Consider(const RouteEntry& entry) {
     return false;
   }
   const size_t cap = static_cast<size_t>(size_ / 2);
-  const U128 cw_dist = U128::ClockwiseDistance(self_, entry.id);
-  const U128 ccw_dist = U128::ClockwiseDistance(entry.id, self_);
   bool changed = false;
   // A node can be in both sides of a sparse ring (fewer than L nodes total); that is
-  // correct — coverage then spans the full circle.
-  changed |= InsertSide(cw_, entry, cw_dist, self_, /*clockwise=*/true, cap);
-  changed |= InsertSide(ccw_, entry, ccw_dist, self_, /*clockwise=*/false, cap);
+  // correct — coverage then spans the full circle. `first`/`count` delimit one side
+  // within the shared buffer.
+  auto insert_side = [&](size_t first, size_t count, const U128& dist, bool clockwise) {
+    auto dist_of = [&](const RouteEntry& e) {
+      return clockwise ? U128::ClockwiseDistance(self_, e.id)
+                       : U128::ClockwiseDistance(e.id, self_);
+    };
+    const auto begin = entries_.begin() + static_cast<ptrdiff_t>(first);
+    const auto end = begin + static_cast<ptrdiff_t>(count);
+    for (auto it = begin; it != end; ++it) {
+      if (it->id == entry.id) {
+        return false;
+      }
+    }
+    const auto pos = std::lower_bound(
+        begin, end, dist,
+        [&](const RouteEntry& e, const U128& d) { return dist_of(e) < d; });
+    if (count >= cap && pos == end) {
+      return false;
+    }
+    entries_.insert(pos, entry);
+    if (count + 1 > cap) {
+      // Evict the side's farthest member (now one past the old end).
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(first + cap));
+      return true;
+    }
+    return true;
+  };
+  const U128 cw_dist = U128::ClockwiseDistance(self_, entry.id);
+  const U128 ccw_dist = U128::ClockwiseDistance(entry.id, self_);
+  if (insert_side(0, cw_count_, cw_dist, /*clockwise=*/true)) {
+    if (cw_count_ + 1 <= cap) {
+      ++cw_count_;
+    }
+    changed = true;
+  }
+  if (insert_side(ccw_begin(), entries_.size() - ccw_begin(), ccw_dist,
+                  /*clockwise=*/false)) {
+    changed = true;
+  }
   return changed;
 }
 
 bool LeafSet::Remove(NodeId id) {
   bool changed = false;
-  auto drop = [&](std::vector<RouteEntry>& side) {
-    for (auto it = side.begin(); it != side.end(); ++it) {
-      if (it->id == id) {
-        side.erase(it);
-        changed = true;
-        return;
-      }
+  for (size_t i = 0; i < cw_count_; ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      --cw_count_;
+      changed = true;
+      break;
     }
-  };
-  drop(cw_);
-  drop(ccw_);
+  }
+  for (size_t i = ccw_begin(); i < entries_.size(); ++i) {
+    if (entries_[i].id == id) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      changed = true;
+      break;
+    }
+  }
   return changed;
 }
 
 bool LeafSet::Contains(NodeId id) const {
-  for (const auto& e : cw_) {
-    if (e.id == id) {
-      return true;
-    }
-  }
-  for (const auto& e : ccw_) {
+  for (const auto& e : entries_) {
     if (e.id == id) {
       return true;
     }
@@ -84,43 +94,96 @@ bool LeafSet::Contains(NodeId id) const {
 
 bool LeafSet::Full() const {
   const size_t cap = static_cast<size_t>(size_ / 2);
-  return cw_.size() >= cap && ccw_.size() >= cap;
+  return cw_count_ >= cap && entries_.size() - cw_count_ >= cap;
 }
 
 bool LeafSet::Covers(const NodeId& key) const {
   if (!Full()) {
     return true;
   }
-  // Interval [ccw_.back(), cw_.back()] around self, measured clockwise from ccw_.back().
-  const U128 span = U128::ClockwiseDistance(ccw_.back().id, cw_.back().id);
-  const U128 offset = U128::ClockwiseDistance(ccw_.back().id, key);
+  // Interval [farthest ccw, farthest cw] around self, measured clockwise from the
+  // farthest ccw member.
+  const NodeId& cw_far = entries_[cw_count_ - 1].id;
+  const NodeId& ccw_far = entries_.back().id;
+  const U128 span = U128::ClockwiseDistance(ccw_far, cw_far);
+  const U128 offset = U128::ClockwiseDistance(ccw_far, key);
   return offset <= span;
 }
 
-RouteEntry LeafSet::Closest(const NodeId& key, HostId self_host,
-                            const std::function<bool(const RouteEntry&)>* alive) const {
-  RouteEntry best{self_, self_host, 0.0};
-  U128 best_dist = U128::RingDistance(self_, key);
-  auto scan = [&](const std::vector<RouteEntry>& side) {
-    for (const auto& e : side) {
-      if (alive != nullptr && !(*alive)(e)) {
-        continue;
-      }
-      const U128 d = U128::RingDistance(e.id, key);
-      if (d < best_dist || (d == best_dist && e.id < best.id)) {
-        best_dist = d;
-        best = e;
+RouteEntry LeafSet::Closest(const NodeId& key, HostId self_host, AliveFn alive) const {
+  // Fast path (no liveness filter, both sides populated and covering disjoint arcs —
+  // the steady state on any ring with more than L nodes): the buffer, read as
+  // [cw side, ccw side reversed], is sorted by clockwise position around self, so the
+  // two ring-neighbors of `key` can be found by binary search. The numerically closest
+  // member is always one of those two neighbors (circular distance is unimodal in ring
+  // position, so its minimum over a set of positions is attained at an extreme), which
+  // replaces L ring-distance computations with ~log2(L) position compares plus three
+  // distance computations. Sparse rings where the sides overlap fall through to the
+  // exhaustive scan below; both paths implement min by (distance, id) over
+  // {self} ∪ members and therefore return bit-identical results.
+  const size_t n = entries_.size();
+  if (!alive && cw_count_ > 0 && cw_count_ < n &&
+      U128::ClockwiseDistance(self_, entries_[cw_count_ - 1].id) <
+          U128::ClockwiseDistance(self_, entries_.back().id)) {
+    // Virtual index i walks the buffer in ascending clockwise position from self.
+    const auto at = [&](size_t i) -> const RouteEntry& {
+      return i < cw_count_ ? entries_[i] : entries_[n - 1 - (i - cw_count_)];
+    };
+    const U128 kp = U128::ClockwiseDistance(self_, key);
+    size_t lo = 0;
+    size_t hi = n;  // First virtual index whose position is >= kp (n if none).
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (U128::ClockwiseDistance(self_, at(mid).id) < kp) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
       }
     }
-  };
-  scan(cw_);
-  scan(ccw_);
+    const RouteEntry& succ = at(lo % n);
+    const RouteEntry& pred = at((lo + n - 1) % n);
+    RouteEntry best{self_, self_host, 0.0};
+    U128 best_dist = U128::RingDistance(self_, key);
+    for (const RouteEntry* e : {&succ, &pred}) {
+      const U128 d = U128::RingDistance(e->id, key);
+      if (d < best_dist || (d == best_dist && e->id < best.id)) {
+        best_dist = d;
+        best = *e;
+      }
+    }
+    return best;
+  }
+
+  RouteEntry best{self_, self_host, 0.0};
+  U128 best_dist = U128::RingDistance(self_, key);
+  for (const auto& e : entries_) {
+    if (alive && !alive(e)) {
+      continue;
+    }
+    const U128 d = U128::RingDistance(e.id, key);
+    if (d < best_dist || (d == best_dist && e.id < best.id)) {
+      best_dist = d;
+      best = e;
+    }
+  }
   return best;
 }
 
+std::vector<RouteEntry> LeafSet::clockwise() const {
+  return std::vector<RouteEntry>(entries_.begin(),
+                                 entries_.begin() + static_cast<ptrdiff_t>(cw_count_));
+}
+
+std::vector<RouteEntry> LeafSet::counter_clockwise() const {
+  return std::vector<RouteEntry>(entries_.begin() + static_cast<ptrdiff_t>(ccw_begin()),
+                                 entries_.end());
+}
+
 std::vector<RouteEntry> LeafSet::All() const {
-  std::vector<RouteEntry> out = cw_;
-  for (const auto& e : ccw_) {
+  std::vector<RouteEntry> out(entries_.begin(),
+                              entries_.begin() + static_cast<ptrdiff_t>(cw_count_));
+  for (size_t i = ccw_begin(); i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
     bool dup = false;
     for (const auto& o : out) {
       if (o.id == e.id) {
@@ -136,17 +199,17 @@ std::vector<RouteEntry> LeafSet::All() const {
 }
 
 std::optional<RouteEntry> LeafSet::CwNeighbor() const {
-  if (cw_.empty()) {
+  if (cw_count_ == 0) {
     return std::nullopt;
   }
-  return cw_.front();
+  return entries_.front();
 }
 
 std::optional<RouteEntry> LeafSet::CcwNeighbor() const {
-  if (ccw_.empty()) {
+  if (ccw_begin() >= entries_.size()) {
     return std::nullopt;
   }
-  return ccw_.front();
+  return entries_[ccw_begin()];
 }
 
 void LeafSet::ForEach(const std::function<void(const RouteEntry&)>& fn) const {

@@ -4,6 +4,11 @@
 // delivered to the numerically closest member) and anchors failure recovery: when a
 // routing-table entry dies the leaf set is consulted to rebuild, and leaf-set members
 // monitor each other with keep-alives.
+//
+// Both sides live in one contiguous buffer (clockwise side first, then
+// counter-clockwise, each sorted nearest-first). Covers/Closest run on every routing
+// hop, and a single allocation means one cache stream per lookup instead of two
+// pointer-chased vectors.
 #ifndef SRC_DHT_LEAF_SET_H_
 #define SRC_DHT_LEAF_SET_H_
 
@@ -11,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/prefetch.h"
 #include "src/dht/routing_table.h"
 
 namespace totoro {
@@ -36,13 +42,12 @@ class LeafSet {
   // Member (or self) numerically closest to key. `self_host` is returned for self.
   // When `alive` is provided, members failing the predicate are skipped (self is always
   // eligible) — used to route around hosts whose transport connection is known-dead.
-  RouteEntry Closest(const NodeId& key, HostId self_host,
-                     const std::function<bool(const RouteEntry&)>* alive = nullptr) const;
+  RouteEntry Closest(const NodeId& key, HostId self_host, AliveFn alive = {}) const;
 
-  std::vector<RouteEntry> clockwise() const { return cw_; }
-  std::vector<RouteEntry> counter_clockwise() const { return ccw_; }
+  std::vector<RouteEntry> clockwise() const;
+  std::vector<RouteEntry> counter_clockwise() const;
   std::vector<RouteEntry> All() const;
-  size_t NumEntries() const { return cw_.size() + ccw_.size(); }
+  size_t NumEntries() const { return entries_.size(); }
   int capacity() const { return size_; }
   bool Full() const;
 
@@ -52,12 +57,26 @@ class LeafSet {
 
   void ForEach(const std::function<void(const RouteEntry&)>& fn) const;
 
+  // Hints the whole entry buffer (see prefetch.h): Covers reads the far end of each
+  // side and Closest scans it all, so issue the lines up front and let the misses
+  // overlap with whatever runs before the lookup.
+  void Prefetch() const {
+    const char* data = reinterpret_cast<const char*>(entries_.data());
+    const size_t bytes = entries_.size() * sizeof(RouteEntry);
+    for (size_t off = 0; off < bytes; off += 64) {
+      PrefetchRead(data + off);
+    }
+  }
+
  private:
+  size_t ccw_begin() const { return cw_count_; }
+
   NodeId self_;
   int size_;
-  // Sorted by clockwise / counter-clockwise distance from self, nearest first.
-  std::vector<RouteEntry> cw_;
-  std::vector<RouteEntry> ccw_;
+  // [0, cw_count_) clockwise side, [cw_count_, size()) counter-clockwise side; each
+  // sorted by distance from self, nearest first.
+  std::vector<RouteEntry> entries_;
+  size_t cw_count_ = 0;
 };
 
 }  // namespace totoro

@@ -23,12 +23,14 @@ enum DhtMsgType : int {
   kDhtLeafRepairReply = 8,
 };
 
-// Envelope for key-based routing. `inner` is the application message; `hops` counts
-// overlay forwarding steps taken so far (0 at the origin).
+// Envelope for key-based routing. `inner` is the application message. The envelope is
+// immutable once wrapped: every hop forwards the same shared payload allocation and the
+// per-hop counter travels in the wrapper Message's `hops` header field, so an entire
+// route costs one envelope allocation (a forward handler that rewrites `inner` forces a
+// fresh envelope — the rare, already-allocating path).
 struct RouteEnvelope {
   NodeId key;
   Message inner;
-  int hops = 0;
   HostId origin = kInvalidHost;
 };
 

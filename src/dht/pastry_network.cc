@@ -9,6 +9,13 @@ namespace totoro {
 
 PastryNetwork::PastryNetwork(Network* net, PastryConfig config) : net_(net), config_(config) {}
 
+void PastryNetwork::Reserve(size_t num_nodes) {
+  nodes_.reserve(num_nodes);
+  by_host_.reserve(num_nodes);
+  by_id_.reserve(num_nodes);
+  net_->ReserveHosts(num_nodes);
+}
+
 size_t PastryNetwork::AddNode(NodeId id) {
   CHECK(by_id_.find(id) == by_id_.end());
   auto node = std::make_unique<PastryNode>(net_, id, config_);

@@ -33,6 +33,10 @@ class PastryNetwork {
   size_t AddNode(NodeId id);
   size_t AddRandomNode(Rng& rng);
 
+  // Pre-sizes node storage, lookup maps, and the underlying network's host table for a
+  // topology whose final size is known (benches, 100k-node scale runs).
+  void Reserve(size_t num_nodes);
+
   PastryNode& node(size_t i) { return *nodes_[i]; }
   const PastryNode& node(size_t i) const { return *nodes_[i]; }
   size_t size() const { return nodes_.size(); }

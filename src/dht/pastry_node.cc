@@ -13,7 +13,7 @@ namespace {
 constexpr int64_t kEntryStateBytes = 48;
 
 Histogram& RouteHopsHistogram() {
-  static Histogram* h =
+  static thread_local Histogram* h =
       &GlobalMetrics().GetHistogram("dht.route.hops", Histogram::HopCountBounds());
   return *h;
 }
@@ -31,12 +31,36 @@ PastryNode::PastryNode(Network* net, NodeId id, PastryConfig config)
   host_ = net_->AddHost(this);
 }
 
+namespace {
+
+// Linear scan of a flat handler table (see the member comment in pastry_node.h).
+template <typename Fn>
+Fn* FindHandler(std::vector<std::pair<int, Fn>>& table, int type) {
+  for (auto& [t, fn] : table) {
+    if (t == type) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+template <typename Fn>
+void SetHandler(std::vector<std::pair<int, Fn>>& table, int type, Fn fn) {
+  if (Fn* existing = FindHandler(table, type); existing != nullptr) {
+    *existing = std::move(fn);
+    return;
+  }
+  table.emplace_back(type, std::move(fn));
+}
+
+}  // namespace
+
 void PastryNode::SetDeliverHandler(int app_type, DeliverFn fn) {
-  deliver_handlers_[app_type] = std::move(fn);
+  SetHandler(deliver_handlers_, app_type, std::move(fn));
 }
 
 void PastryNode::SetForwardHandler(int app_type, ForwardFn fn) {
-  forward_handlers_[app_type] = std::move(fn);
+  SetHandler(forward_handlers_, app_type, std::move(fn));
 }
 
 RouteEntry PastryNode::SelfEntry() const { return RouteEntry{id_, host_, 0.0}; }
@@ -52,22 +76,34 @@ RouteEntry PastryNode::ComputeNextHop(const NodeId& key) const {
   // this models the transport layer refusing the connection and Pastry falling back to
   // an alternate entry, which is FreePastry's behaviour under churn (lazy table repair
   // happens separately via ReportDead / keep-alives).
-  const std::function<bool(const RouteEntry&)> alive = [this](const RouteEntry& e) {
-    return net_->IsUp(e.host);
-  };
+  const AliveFn alive{
+      [](const void* ctx, const RouteEntry& e) {
+        return static_cast<const Network*>(ctx)->IsUp(e.host);
+      },
+      net_};
+  // (ForwardOrDeliver already issued prefetches for the leaf-set buffer and the
+  // routing-table slot, so both lookups below usually hit warm lines.)
   // 1. Leaf set covers the key: deliver to the numerically closest member (maybe self).
   if (leaf_set_.Covers(key)) {
-    return leaf_set_.Closest(key, host_, &alive);
+    // Fast path: pick without liveness filtering (all-up is the overwhelmingly common
+    // case) and only rescan with the predicate when the winner is actually down —
+    // one IsUp check instead of one per leaf-set member.
+    const RouteEntry hop = leaf_set_.Closest(key, host_);
+    if (hop.host == host_ || net_->IsUp(hop.host)) {
+      return hop;
+    }
+    return leaf_set_.Closest(key, host_, alive);
   }
   // 2. Routing table: entry sharing a strictly longer prefix with the key.
-  if (auto hop = routing_table_.NextHop(key); hop.has_value() && net_->IsUp(hop->host)) {
+  if (const RouteEntry* hop = routing_table_.NextHopPtr(key);
+      hop != nullptr && net_->IsUp(hop->host)) {
     return *hop;
   }
   // 3. Rare fallback: any known node closer to the key with at least as long a prefix.
-  if (auto hop = routing_table_.CloserFallback(key, &alive); hop.has_value()) {
+  if (auto hop = routing_table_.CloserFallback(key, alive); hop.has_value()) {
     return *hop;
   }
-  return leaf_set_.Closest(key, host_, &alive);
+  return leaf_set_.Closest(key, host_, alive);
 }
 
 void PastryNode::Route(const NodeId& key, Message inner) {
@@ -78,48 +114,53 @@ void PastryNode::Route(const NodeId& key, Message inner) {
   RouteEnvelope env;
   env.key = key;
   env.inner = std::move(inner);
-  env.hops = 0;
   env.origin = host_;
-  ForwardOrDeliver(std::move(env));
+  ForwardOrDeliver(std::make_shared<const RouteEnvelope>(std::move(env)), /*hops=*/0);
 }
 
-void PastryNode::ForwardOrDeliver(RouteEnvelope env) {
+void PastryNode::ForwardOrDeliver(std::shared_ptr<const RouteEnvelope> env, int hops) {
+  // Issue the next-hop lookup's cold reads (leaf-set buffer, routing-table slot) before
+  // the accounting and filter work so the misses overlap with it.
+  leaf_set_.Prefetch();
+  routing_table_.PrefetchNextHop(env->key);
   ChargeDhtWork(1.0);
-  if (egress_filter_ && !egress_filter_(env.key)) {
+  if (egress_filter_ && !egress_filter_(env->key)) {
     TLOG_DEBUG("host %u: egress filter blocked packet for key %s", host_,
-               env.key.ToHex().c_str());
-    net_->metrics().RecordDrop(host_, env.inner.traffic);
+               env->key.ToHex().c_str());
+    net_->metrics().RecordDrop(host_, env->inner.traffic);
     return;
   }
-  const RouteEntry next = ComputeNextHop(env.key);
+  const RouteEntry next = ComputeNextHop(env->key);
   // Give the layer above a chance to consume the message at this hop (Scribe-style
-  // rendezvous interception).
-  auto fwd = forward_handlers_.find(env.inner.type);
-  if (fwd != forward_handlers_.end()) {
-    if (!fwd->second(env.key, env.inner, next.host)) {
+  // rendezvous interception). The handler takes a mutable inner message, so this path
+  // works on a private copy of the envelope and re-wraps it; types without a forward
+  // handler keep sharing the original allocation.
+  if (ForwardFn* fwd = FindHandler(forward_handlers_, env->inner.type); fwd != nullptr) {
+    RouteEnvelope mut = *env;
+    if (!(*fwd)(mut.key, mut.inner, next.host)) {
       return;
     }
+    env = std::make_shared<const RouteEnvelope>(std::move(mut));
   }
-  if (env.inner.type == kDhtJoinRequest) {
-    HandleJoinRequestAt(env, /*is_destination=*/next.host == host_);
+  if (env->inner.type == kDhtJoinRequest) {
+    HandleJoinRequestAt(*env, /*is_destination=*/next.host == host_);
   }
   if (next.host == host_) {
-    RouteHopsHistogram().Observe(static_cast<double>(env.hops));
-    auto del = deliver_handlers_.find(env.inner.type);
-    if (del != deliver_handlers_.end()) {
-      del->second(env.key, env.inner, env.hops);
+    RouteHopsHistogram().Observe(static_cast<double>(hops));
+    if (DeliverFn* del = FindHandler(deliver_handlers_, env->inner.type); del != nullptr) {
+      (*del)(env->key, env->inner, hops);
     }
     return;
   }
-  env.hops += 1;
   Message wrapper;
   wrapper.type = kDhtRouteEnvelope;
   wrapper.src = host_;
   wrapper.dst = next.host;
-  wrapper.size_bytes = env.inner.size_bytes + 32;  // Envelope header overhead.
-  wrapper.traffic = env.inner.traffic;
-  wrapper.transport = env.inner.transport;
-  wrapper.SetPayload(std::move(env));
+  wrapper.size_bytes = env->inner.size_bytes + 32;  // Envelope header overhead.
+  wrapper.traffic = env->inner.traffic;
+  wrapper.transport = env->inner.transport;
+  wrapper.hops = static_cast<uint8_t>(hops + 1);
+  wrapper.payload = std::move(env);
   net_->Send(std::move(wrapper));
 }
 
@@ -141,7 +182,6 @@ void PastryNode::Join(HostId bootstrap) {
   RouteEnvelope env;
   env.key = id_;
   env.inner = std::move(inner);
-  env.hops = 0;
   env.origin = host_;
 
   Message wrapper;
@@ -383,15 +423,15 @@ void PastryNode::HandleLeafRepair(const Message& msg) {
 }
 
 void PastryNode::HandleEnvelope(const Message& msg) {
-  // Copy the envelope (cheap: inner payload is shared) so hops can be advanced.
-  RouteEnvelope env = msg.As<RouteEnvelope>();
+  // Adopt the shared envelope as-is; the hop count travels in the wrapper header.
+  auto env = std::static_pointer_cast<const RouteEnvelope>(msg.payload);
   // The hop span parents to the incoming transmission (msg.trace) and scopes any
   // forwarded wrapper, chaining the whole route together.
   TraceSpan span = GlobalTracer().BeginWithParent("dht.route.hop", "dht", host_, msg.trace);
   if (span.active()) {
-    span.AddArg("hops", std::to_string(env.hops));
+    span.AddArg("hops", std::to_string(msg.hops));
   }
-  ForwardOrDeliver(std::move(env));
+  ForwardOrDeliver(std::move(env), msg.hops);
 }
 
 void PastryNode::HandleMessage(const Message& msg) {
@@ -418,9 +458,8 @@ void PastryNode::HandleMessage(const Message& msg) {
     default: {
       // Direct (non-routed) application message: dispatch to the deliver handler with
       // the local id as the key and zero overlay hops.
-      auto it = deliver_handlers_.find(msg.type);
-      if (it != deliver_handlers_.end()) {
-        it->second(id_, msg, 0);
+      if (DeliverFn* del = FindHandler(deliver_handlers_, msg.type); del != nullptr) {
+        (*del)(id_, msg, 0);
         return;
       }
       TLOG_WARN("host %u dropping message with unknown type %d", host_, msg.type);

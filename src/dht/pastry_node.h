@@ -15,8 +15,10 @@
 #define SRC_DHT_PASTRY_NODE_H_
 
 #include <functional>
-#include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/dht/leaf_set.h"
 #include "src/dht/messages.h"
@@ -101,7 +103,7 @@ class PastryNode : public Host {
 
  private:
   void HandleEnvelope(const Message& msg);
-  void ForwardOrDeliver(RouteEnvelope env);
+  void ForwardOrDeliver(std::shared_ptr<const RouteEnvelope> env, int hops);
   void HandleJoinRequestAt(const RouteEnvelope& env, bool is_destination);
   void HandleJoinState(const Message& msg);
   void HandleAnnounce(const Message& msg);
@@ -121,8 +123,11 @@ class PastryNode : public Host {
   RoutingTable routing_table_;
   LeafSet leaf_set_;
   NeighborhoodSet neighborhood_set_;
-  std::map<int, DeliverFn> deliver_handlers_;
-  std::map<int, ForwardFn> forward_handlers_;
+  // Handler tables are flat vectors scanned linearly: a node registers a handful of
+  // app types at most, and the per-hop lookup in ForwardOrDeliver beats a tree or hash
+  // walk at that size.
+  std::vector<std::pair<int, DeliverFn>> deliver_handlers_;
+  std::vector<std::pair<int, ForwardFn>> forward_handlers_;
   FailureFn failure_fn_;
   EgressFilterFn egress_filter_;
   // Keep-alive bookkeeping: host -> last ack virtual time.

@@ -8,6 +8,21 @@ RoutingTable::RoutingTable(NodeId self, int bits_per_digit) : self_(self), bits_
   CHECK_GE(bits_, 1);
   CHECK_LE(bits_, 7);
   CHECK_EQ(128 % bits_ == 0 ? 0 : 128 % bits_, 128 % bits_);  // Digits need not divide 128
+  inline_offset_.fill(-1);
+  row_offset_.assign(static_cast<size_t>(digits()), -1);
+}
+
+std::optional<RouteEntry>* RoutingTable::MaterializeRow(int row) {
+  if (std::optional<RouteEntry>* slots = RowSlots(row); slots != nullptr) {
+    return slots;
+  }
+  const size_t off = arena_.size();
+  arena_.resize(off + static_cast<size_t>(columns()));
+  row_offset_[static_cast<size_t>(row)] = static_cast<int32_t>(off);
+  if (row < kInlineRows) {
+    inline_offset_[static_cast<size_t>(row)] = static_cast<int32_t>(off);
+  }
+  return arena_.data() + off;
 }
 
 bool RoutingTable::Consider(const RouteEntry& entry) {
@@ -20,11 +35,7 @@ bool RoutingTable::Consider(const RouteEntry& entry) {
   }
   const uint32_t col = entry.id.Digit(row, bits_);
   DCHECK(col != self_.Digit(row, bits_));
-  auto it = rows_.find(row);
-  if (it == rows_.end()) {
-    it = rows_.emplace(row, std::vector<std::optional<RouteEntry>>(columns())).first;
-  }
-  auto& slot = it->second[col];
+  auto& slot = MaterializeRow(row)[col];
   if (!slot.has_value()) {
     slot = entry;
     return true;
@@ -47,12 +58,14 @@ bool RoutingTable::Consider(const RouteEntry& entry) {
 
 bool RoutingTable::Remove(NodeId id) {
   const int row = self_.CommonPrefixDigits(id, bits_);
-  auto it = rows_.find(row);
-  if (it == rows_.end()) {
+  if (row >= digits()) {
     return false;
   }
-  const uint32_t col = id.Digit(row, bits_);
-  auto& slot = it->second[col];
+  std::optional<RouteEntry>* slots = RowSlots(row);
+  if (slots == nullptr) {
+    return false;
+  }
+  auto& slot = slots[id.Digit(row, bits_)];
   if (slot.has_value() && slot->id == id) {
     slot.reset();
     return true;
@@ -61,37 +74,52 @@ bool RoutingTable::Remove(NodeId id) {
 }
 
 std::optional<RouteEntry> RoutingTable::Get(int row, uint32_t col) const {
-  auto it = rows_.find(row);
-  if (it == rows_.end()) {
+  CHECK_GE(row, 0);
+  CHECK_LT(row, digits());
+  CHECK_LT(col, static_cast<uint32_t>(columns()));
+  const std::optional<RouteEntry>* slots = RowSlots(row);
+  if (slots == nullptr) {
     return std::nullopt;
   }
-  CHECK_LT(col, it->second.size());
-  return it->second[col];
+  return slots[col];
 }
 
 std::optional<RouteEntry> RoutingTable::NextHop(const NodeId& key) const {
-  const int row = self_.CommonPrefixDigits(key, bits_);
-  if (row >= digits()) {
-    return std::nullopt;  // key == self.
-  }
-  return Get(row, key.Digit(row, bits_));
+  const RouteEntry* hop = NextHopPtr(key);
+  return hop != nullptr ? std::optional<RouteEntry>(*hop) : std::nullopt;
 }
 
-std::optional<RouteEntry> RoutingTable::CloserFallback(
-    const NodeId& key, const std::function<bool(const RouteEntry&)>* alive) const {
+const RouteEntry* RoutingTable::NextHopPtr(const NodeId& key) const {
+  const int row = self_.CommonPrefixDigits(key, bits_);
+  if (row >= digits()) {
+    return nullptr;  // key == self.
+  }
+  const std::optional<RouteEntry>* slots = RowSlots(row);
+  if (slots == nullptr) {
+    return nullptr;
+  }
+  const std::optional<RouteEntry>& slot = slots[key.Digit(row, bits_)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+std::optional<RouteEntry> RoutingTable::CloserFallback(const NodeId& key,
+                                                       AliveFn alive) const {
   const int self_prefix = self_.CommonPrefixDigits(key, bits_);
   const U128 self_dist = U128::RingDistance(self_, key);
   std::optional<RouteEntry> best;
   U128 best_dist = self_dist;
-  for (const auto& [row, cols] : rows_) {
-    if (row < self_prefix) {
-      continue;  // Shorter shared prefix than we already have.
+  // Rows below self_prefix hold shorter shared prefixes than we already have.
+  for (int row = self_prefix; row < digits(); ++row) {
+    const std::optional<RouteEntry>* slots = RowSlots(row);
+    if (slots == nullptr) {
+      continue;
     }
-    for (const auto& slot : cols) {
+    for (int col = 0; col < columns(); ++col) {
+      const auto& slot = slots[col];
       if (!slot.has_value()) {
         continue;
       }
-      if (alive != nullptr && !(*alive)(*slot)) {
+      if (alive && !alive(*slot)) {
         continue;
       }
       if (slot->id.CommonPrefixDigits(key, bits_) < self_prefix) {
@@ -109,23 +137,35 @@ std::optional<RouteEntry> RoutingTable::CloserFallback(
 
 size_t RoutingTable::NumEntries() const {
   size_t n = 0;
-  for (const auto& [row, cols] : rows_) {
-    (void)row;
-    for (const auto& slot : cols) {
-      if (slot.has_value()) {
-        ++n;
-      }
+  for (const auto& slot : arena_) {
+    if (slot.has_value()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t RoutingTable::NumRows() const {
+  size_t n = 0;
+  for (const int32_t off : row_offset_) {
+    if (off >= 0) {
+      ++n;
     }
   }
   return n;
 }
 
 void RoutingTable::ForEach(const std::function<void(const RouteEntry&)>& fn) const {
-  for (const auto& [row, cols] : rows_) {
-    (void)row;
-    for (const auto& slot : cols) {
-      if (slot.has_value()) {
-        fn(*slot);
+  // Row-major order (matching iteration before the arena layout): rows may have been
+  // materialized out of order, so walk via the offset table.
+  for (int row = 0; row < digits(); ++row) {
+    const std::optional<RouteEntry>* slots = RowSlots(row);
+    if (slots == nullptr) {
+      continue;
+    }
+    for (int col = 0; col < columns(); ++col) {
+      if (slots[col].has_value()) {
+        fn(*slots[col]);
       }
     }
   }
@@ -133,13 +173,16 @@ void RoutingTable::ForEach(const std::function<void(const RouteEntry&)>& fn) con
 
 std::vector<RouteEntry> RoutingTable::Row(int row) const {
   std::vector<RouteEntry> out;
-  auto it = rows_.find(row);
-  if (it == rows_.end()) {
+  if (row < 0 || row >= digits()) {
     return out;
   }
-  for (const auto& slot : it->second) {
-    if (slot.has_value()) {
-      out.push_back(*slot);
+  const std::optional<RouteEntry>* slots = RowSlots(row);
+  if (slots == nullptr) {
+    return out;
+  }
+  for (int col = 0; col < columns(); ++col) {
+    if (slots[col].has_value()) {
+      out.push_back(*slots[col]);
     }
   }
   return out;

@@ -9,11 +9,13 @@
 #ifndef SRC_DHT_ROUTING_TABLE_H_
 #define SRC_DHT_ROUTING_TABLE_H_
 
+#include <array>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "src/common/prefetch.h"
 #include "src/dht/node_id.h"
 #include "src/sim/message.h"
 
@@ -23,6 +25,19 @@ struct RouteEntry {
   NodeId id;
   HostId host = kInvalidHost;
   double proximity_ms = 0.0;
+};
+
+// Non-owning liveness predicate: a plain function pointer plus untyped context, cheap
+// enough to build and invoke on the per-hop routing path (a std::function here cost a
+// measurable slice of route time in indirect-call overhead). Default-constructed means
+// "no filtering".
+struct AliveFn {
+  using Thunk = bool (*)(const void* ctx, const RouteEntry& entry);
+  Thunk fn = nullptr;
+  const void* ctx = nullptr;
+
+  explicit operator bool() const { return fn != nullptr; }
+  bool operator()(const RouteEntry& entry) const { return fn(ctx, entry); }
 };
 
 class RoutingTable {
@@ -46,25 +61,68 @@ class RoutingTable {
   // Routing-table step of Pastry routing: the entry at row = shared prefix digits of
   // (self, key), column = key's next digit. Empty if no such entry is known.
   std::optional<RouteEntry> NextHop(const NodeId& key) const;
+  // Copy-free variant for the per-hop path; the pointer is invalidated by any mutation
+  // of the table.
+  const RouteEntry* NextHopPtr(const NodeId& key) const;
+  // Hints the slot NextHopPtr(key) would read (see prefetch.h) — issued before the
+  // leaf-set scan so the two lookups' cache misses overlap.
+  void PrefetchNextHop(const NodeId& key) const {
+    const int row = self_.CommonPrefixDigits(key, bits_);
+    if (row >= digits()) {
+      return;
+    }
+    if (const std::optional<RouteEntry>* slots = RowSlots(row); slots != nullptr) {
+      const std::optional<RouteEntry>* slot = slots + key.Digit(row, bits_);
+      // A slot is larger than a cache line's remainder at most alignments; hint both
+      // lines it can straddle.
+      PrefetchRead(slot);
+      PrefetchRead(reinterpret_cast<const char*>(slot) + sizeof(*slot) - 1);
+    }
+  }
 
   // Any known node strictly numerically closer to `key` than self whose shared prefix
   // with key is at least as long — Pastry's rare "fallback" case. Entries failing the
   // optional `alive` predicate are skipped.
-  std::optional<RouteEntry> CloserFallback(
-      const NodeId& key, const std::function<bool(const RouteEntry&)>* alive = nullptr) const;
+  std::optional<RouteEntry> CloserFallback(const NodeId& key, AliveFn alive = {}) const;
 
   size_t NumEntries() const;
-  size_t NumRows() const { return rows_.size(); }
+  size_t NumRows() const;
   void ForEach(const std::function<void(const RouteEntry&)>& fn) const;
 
   // Entries of row `row` (for join-protocol state transfer).
   std::vector<RouteEntry> Row(int row) const;
 
  private:
+  // With N nodes only ~log_{2^b} N rows are ever consulted, so the offsets of the
+  // first kInlineRows rows are mirrored into a fixed member array. The array lives in
+  // the owning node's leading cache lines (which the delivery path prefetches), making
+  // the per-hop offset read a warm load instead of a dependent DRAM miss that would
+  // stall before the slot prefetch can even issue.
+  static constexpr int kInlineRows = 8;
+
+  // Slots of row r live at arena_[offset .. offset + columns()), or nowhere when the
+  // offset is < 0 (unmaterialized). One arena allocation for all materialized rows
+  // keeps the per-hop NextHop lookup to a single indexed load instead of a per-row
+  // vector chase; rows are never unmaterialized, so offsets are stable.
+  int32_t RowOffset(int row) const {
+    return row < kInlineRows ? inline_offset_[static_cast<size_t>(row)]
+                             : row_offset_[static_cast<size_t>(row)];
+  }
+  std::optional<RouteEntry>* RowSlots(int row) {
+    const int32_t off = RowOffset(row);
+    return off < 0 ? nullptr : arena_.data() + off;
+  }
+  const std::optional<RouteEntry>* RowSlots(int row) const {
+    const int32_t off = RowOffset(row);
+    return off < 0 ? nullptr : arena_.data() + off;
+  }
+  std::optional<RouteEntry>* MaterializeRow(int row);
+
   NodeId self_;
   int bits_;
-  // row index -> columns() optional entries.
-  std::map<int, std::vector<std::optional<RouteEntry>>> rows_;
+  std::array<int32_t, kInlineRows> inline_offset_;  // Mirror of row_offset_[0..kInlineRows).
+  std::vector<int32_t> row_offset_;  // digits() entries; -1 = row not materialized.
+  std::vector<std::optional<RouteEntry>> arena_;
 };
 
 }  // namespace totoro

@@ -137,7 +137,10 @@ void MetricsRegistry::ResetValues() {
 }
 
 MetricsRegistry& GlobalMetrics() {
-  static MetricsRegistry* registry = new MetricsRegistry();
+  // One registry per THREAD (see GlobalTracer): parallel bench trials record into
+  // their worker thread's registry, keeping hot-path recording lock-free. Hot-path
+  // caches of series pointers must therefore be thread_local too.
+  static thread_local MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 

@@ -7,9 +7,11 @@
 // Registration returns a stable reference that is never invalidated (the registry only
 // ever resets values, never deletes series), so hot paths cache the pointer once:
 //
-//   static Histogram* hops =
+//   static thread_local Histogram* hops =
 //       &GlobalMetrics().GetHistogram("dht.route.hops", Histogram::HopCountBounds());
 //   hops->Observe(env.hops);
+//
+// (thread_local because the registry itself is per-thread — see GlobalMetrics().)
 //
 // Everything is deterministic: iteration order is the series name order (std::map), and
 // recording has no effect on simulation behaviour, so metrics stay on even in
@@ -117,7 +119,9 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
-// The process-wide registry (single-threaded simulation; series live forever).
+// The thread-wide registry (series live for the thread's lifetime). Each thread gets
+// its own instance so the parallel bench runner's per-thread trials never contend or
+// interleave; single-threaded programs see exactly the old process-wide behaviour.
 MetricsRegistry& GlobalMetrics();
 
 }  // namespace totoro

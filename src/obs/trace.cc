@@ -131,7 +131,11 @@ void Tracer::Clear() {
 }
 
 Tracer& GlobalTracer() {
-  static Tracer* tracer = new Tracer();
+  // One tracer per THREAD: the simulation itself is single-threaded, but the parallel
+  // bench runner fans independent Simulators across worker threads, and each must see
+  // its own isolated span sink for trials to stay bit-identical to sequential runs.
+  // Intentionally leaked so destruction order never races thread teardown.
+  static thread_local Tracer* tracer = new Tracer();
   return *tracer;
 }
 

@@ -203,8 +203,9 @@ class Tracer {
   std::vector<SpanRecord> spans_;
 };
 
-// The process-wide tracer. The simulation is single-threaded by design; one tracer
-// serves whichever simulator is currently registered as the clock source.
+// The thread-wide tracer. The simulation is single-threaded by design; one tracer per
+// thread serves whichever of that thread's simulators is registered as the clock
+// source, and parallel bench trials on worker threads each get an isolated span sink.
 Tracer& GlobalTracer();
 
 }  // namespace totoro

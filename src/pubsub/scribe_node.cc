@@ -16,14 +16,14 @@ constexpr uint64_t kControlMsgBytes = 48;
 // Time from root send to each subscriber's delivery (Fig. 6a's dissemination time is
 // this histogram's max over one broadcast).
 Histogram& BroadcastLatencyHistogram() {
-  static Histogram* h = &GlobalMetrics().GetHistogram("pubsub.broadcast.latency_ms",
+  static thread_local Histogram* h = &GlobalMetrics().GetHistogram("pubsub.broadcast.latency_ms",
                                                       Histogram::DefaultLatencyBoundsMs());
   return *h;
 }
 
 // Time from the earliest leaf submission to the root total landing (Fig. 6b).
 Histogram& AggregateLatencyHistogram() {
-  static Histogram* h = &GlobalMetrics().GetHistogram("pubsub.aggregate.latency_ms",
+  static thread_local Histogram* h = &GlobalMetrics().GetHistogram("pubsub.aggregate.latency_ms",
                                                       Histogram::DefaultLatencyBoundsMs());
   return *h;
 }

@@ -1,0 +1,114 @@
+// Small-buffer-optimized, move-only callable for simulator events.
+//
+// Every scheduled event used to carry a std::function<void()>, which heap-allocates for
+// any capture larger than the library's tiny inline buffer (16 bytes in libstdc++) and
+// requires the callable to be copyable. The simulator's hottest callback — the network
+// delivery lambda capturing a 64-byte Message plus the Network pointer — is 72 bytes, so
+// literally every message in flight paid one allocation plus a deep Message copy when
+// the priority queue duplicated the std::function.
+//
+// EventFn fixes both: kInlineSize bytes of in-object storage sized to fit the delivery
+// lambda (Network::Send static_asserts the fit so a Message field added later is caught
+// at compile time), a heap fallback only for oversized or over-aligned captures, and
+// move-only semantics so unique-ownership captures (std::unique_ptr, moved-in buffers)
+// schedule directly. Dispatch is one operations-table pointer per callable type — no
+// virtual bases, no RTTI — and relocation is noexcept so slab vectors can grow by move.
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace totoro {
+
+class EventFn {
+ public:
+  // Fits [Network* + Message] (72 bytes) — the per-message delivery capture that
+  // dominates event traffic. Captures beyond this size (engine round closures with
+  // payload vectors) take the heap path, which is rare per event fired.
+  static constexpr size_t kInlineSize = 72;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function.
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // Destroys the held callable (no-op when empty).
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's (raw relocation).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*static_cast<D*>(s))(); },
+      [](void* dst, void* src) {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { static_cast<D*>(s)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**static_cast<D**>(s))(); },
+      [](void* dst, void* src) { ::new (dst) D*(*static_cast<D**>(src)); },
+      [](void* s) { delete *static_cast<D**>(s); },
+  };
+
+  void MoveFrom(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace totoro
+
+#endif  // SRC_SIM_EVENT_FN_H_

@@ -55,6 +55,10 @@ struct Message {
   uint64_t size_bytes = 64;
   TrafficClass traffic = TrafficClass::kControl;
   Transport transport = Transport::kUdp;
+  // Overlay forwarding hop count (a TTL-style header field). Multi-hop routing layers
+  // stamp it on each forwarded wrapper instead of mutating the shared payload, so one
+  // payload allocation can serve an entire route. 0 for direct messages.
+  uint8_t hops = 0;
   // Causal trace context. Network::Send stamps it (inheriting the sender's open span
   // when unset) so a broadcast can be reconstructed hop by hop; empty when tracing is
   // disabled.

@@ -4,16 +4,17 @@
 
 namespace totoro {
 
+void NetworkMetrics::Reserve(size_t n) { hosts_.reserve(n); }
+
 void NetworkMetrics::EnsureHosts(size_t n) {
-  if (traffic_.size() < n) {
-    traffic_.resize(n);
-    work_.resize(n);
+  if (hosts_.size() < n) {
+    hosts_.resize(n);
   }
 }
 
 void NetworkMetrics::RecordSend(const Message& msg) {
-  CHECK_LT(msg.src, traffic_.size());
-  auto& t = traffic_[msg.src];
+  CHECK_LT(msg.src, hosts_.size());
+  auto& t = hosts_[msg.src].traffic;
   ++t.msgs_sent;
   t.bytes_sent += msg.size_bytes;
   if (msg.transport == Transport::kTcp) {
@@ -27,33 +28,34 @@ void NetworkMetrics::RecordSend(const Message& msg) {
 }
 
 void NetworkMetrics::RecordDelivery(const Message& msg) {
-  CHECK_LT(msg.dst, traffic_.size());
-  auto& t = traffic_[msg.dst];
+  CHECK_LT(msg.dst, hosts_.size());
+  auto& t = hosts_[msg.dst].traffic;
   ++t.msgs_recv;
   t.bytes_recv += msg.size_bytes;
 }
 
 void NetworkMetrics::RecordDrop(HostId host, TrafficClass traffic) {
-  CHECK_LT(host, traffic_.size());
-  ++traffic_[host].msgs_dropped;
+  CHECK_LT(host, hosts_.size());
+  ++hosts_[host].traffic.msgs_dropped;
   ++drops_by_class_[static_cast<size_t>(traffic)];
   ++dropped_messages_;
 }
 
 void NetworkMetrics::ChargeWork(HostId host, WorkKind kind, double units) {
-  CHECK_LT(host, work_.size());
-  work_[host].work_units[static_cast<size_t>(kind)] += units;
+  CHECK_LT(host, hosts_.size());
+  hosts_[host].work.work_units[static_cast<size_t>(kind)] += units;
 }
 
 void NetworkMetrics::AdjustStateBytes(HostId host, int64_t delta) {
-  CHECK_LT(host, work_.size());
-  work_[host].state_bytes += delta;
-  CHECK_GE(work_[host].state_bytes, 0);
+  CHECK_LT(host, hosts_.size());
+  hosts_[host].work.state_bytes += delta;
+  CHECK_GE(hosts_[host].work.state_bytes, 0);
 }
 
 uint64_t NetworkMetrics::TotalBytesTcp() const {
   uint64_t total = 0;
-  for (const auto& t : traffic_) {
+  for (const auto& h : hosts_) {
+    const auto& t = h.traffic;
     total += t.bytes_sent_tcp;
   }
   return total;
@@ -61,7 +63,8 @@ uint64_t NetworkMetrics::TotalBytesTcp() const {
 
 uint64_t NetworkMetrics::TotalBytesUdp() const {
   uint64_t total = 0;
-  for (const auto& t : traffic_) {
+  for (const auto& h : hosts_) {
+    const auto& t = h.traffic;
     total += t.bytes_sent_udp;
   }
   return total;
@@ -69,7 +72,8 @@ uint64_t NetworkMetrics::TotalBytesUdp() const {
 
 uint64_t NetworkMetrics::TotalBytesByClass(TrafficClass c) const {
   uint64_t total = 0;
-  for (const auto& t : traffic_) {
+  for (const auto& h : hosts_) {
+    const auto& t = h.traffic;
     total += t.bytes_sent_by_class[static_cast<size_t>(c)];
   }
   return total;
@@ -77,16 +81,16 @@ uint64_t NetworkMetrics::TotalBytesByClass(TrafficClass c) const {
 
 double NetworkMetrics::TotalWork(WorkKind kind) const {
   double total = 0;
-  for (const auto& w : work_) {
-    total += w.work_units[static_cast<size_t>(kind)];
+  for (const auto& h : hosts_) {
+    total += h.work.work_units[static_cast<size_t>(kind)];
   }
   return total;
 }
 
 int64_t NetworkMetrics::TotalStateBytes() const {
   int64_t total = 0;
-  for (const auto& w : work_) {
-    total += w.state_bytes;
+  for (const auto& h : hosts_) {
+    total += h.work.state_bytes;
   }
   return total;
 }
@@ -94,7 +98,8 @@ int64_t NetworkMetrics::TotalStateBytes() const {
 void NetworkMetrics::PublishTo(MetricsRegistry& registry) const {
   uint64_t msgs_sent = 0;
   uint64_t hosts_with_drops = 0;
-  for (const auto& t : traffic_) {
+  for (const auto& h : hosts_) {
+    const auto& t = h.traffic;
     msgs_sent += t.msgs_sent;
     hosts_with_drops += t.msgs_dropped > 0 ? 1 : 0;
   }
@@ -118,11 +123,8 @@ void NetworkMetrics::PublishTo(MetricsRegistry& registry) const {
 }
 
 void NetworkMetrics::Reset() {
-  for (auto& t : traffic_) {
-    t = HostTraffic{};
-  }
-  for (auto& w : work_) {
-    w = HostWork{};
+  for (auto& h : hosts_) {
+    h = HostAccounting{};
   }
   total_messages_ = 0;
   total_bytes_ = 0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/prefetch.h"
 #include "src/obs/metrics_registry.h"
 #include "src/sim/message.h"
 
@@ -44,15 +45,28 @@ struct HostWork {
 class NetworkMetrics {
  public:
   void EnsureHosts(size_t n);
+  // Pre-sizes per-host accounting for a known-size topology.
+  void Reserve(size_t n);
 
   void RecordSend(const Message& msg);
   void RecordDelivery(const Message& msg);
+  // Hints that `host`'s accounting entry is about to be touched (see prefetch.h). The
+  // entry spans more than one cache line; hint every line so ChargeWork and the
+  // send/recv counters all land warm.
+  void PrefetchHost(HostId host) const {
+    if (host < hosts_.size()) {
+      const char* p = reinterpret_cast<const char*>(&hosts_[host]);
+      for (size_t off = 0; off < sizeof(HostAccounting); off += 64) {
+        PrefetchRead(p + off);
+      }
+    }
+  }
   void ChargeWork(HostId host, WorkKind kind, double units);
   void AdjustStateBytes(HostId host, int64_t delta);
 
-  const HostTraffic& traffic(HostId host) const { return traffic_.at(host); }
-  const HostWork& work(HostId host) const { return work_.at(host); }
-  size_t num_hosts() const { return traffic_.size(); }
+  const HostTraffic& traffic(HostId host) const { return hosts_.at(host).traffic; }
+  const HostWork& work(HostId host) const { return hosts_.at(host).work; }
+  size_t num_hosts() const { return hosts_.size(); }
 
   uint64_t total_messages() const { return total_messages_; }
   uint64_t total_bytes() const { return total_bytes_; }
@@ -82,8 +96,17 @@ class NetworkMetrics {
   void Reset();
 
  private:
-  std::vector<HostTraffic> traffic_;
-  std::vector<HostWork> work_;
+  // Traffic and work for one host share a struct (and so a cache neighbourhood): the
+  // per-hop pattern "charge DHT work, then record the send" on the same host is two
+  // touches of one entry instead of two random-indexed vectors. Work precedes traffic
+  // so the per-hop fields (work units plus the leading recv/send counters) pack into
+  // the entry's first cache lines.
+  struct HostAccounting {
+    HostWork work;
+    HostTraffic traffic;
+  };
+
+  std::vector<HostAccounting> hosts_;
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t dropped_messages_ = 0;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/prefetch.h"
 #include "src/obs/trace.h"
 
 namespace totoro {
@@ -85,15 +86,38 @@ void Network::Send(Message msg) {
          {"class", TrafficClassName(msg.traffic)}});
   }
 
-  sim_->ScheduleAt(delivery, [this, msg = std::move(msg)]() {
+  // The delivery event usually fires as the very next pop; hint its cold reads (the
+  // destination's transport state and accounting entry) now so the misses overlap with
+  // the scheduling work below.
+  PrefetchRead(&hosts_[msg.dst]);
+  metrics_.PrefetchHost(msg.dst);
+
+  auto deliver = [this, msg = std::move(msg)]() {
     auto& dst_state = hosts_[msg.dst];
+    // Pull the receiver object in while RecordDelivery runs; HandleMessage dispatches
+    // into it immediately after and walks a few cache lines of routing state.
+    const char* host_obj = reinterpret_cast<const char*>(dst_state.host);
+    PrefetchRead(host_obj);
+    PrefetchRead(host_obj + 64);
+    PrefetchRead(host_obj + 128);
+    PrefetchRead(host_obj + 192);
     if (!dst_state.up) {
       metrics_.RecordDrop(msg.dst, msg.traffic);
       return;
     }
     metrics_.RecordDelivery(msg);
     dst_state.host->HandleMessage(msg);
-  });
+  };
+  // The delivery closure is the hottest event in the system; it must stay within
+  // EventFn's inline buffer or every message in flight costs a heap allocation.
+  static_assert(sizeof(deliver) <= EventFn::kInlineSize,
+                "Message grew: delivery closure no longer fits EventFn inline storage");
+  sim_->ScheduleAt(delivery, std::move(deliver));
+}
+
+void Network::ReserveHosts(size_t n) {
+  hosts_.reserve(n);
+  metrics_.Reserve(n);
 }
 
 }  // namespace totoro

@@ -43,6 +43,10 @@ class Network {
   HostId AddHost(Host* host);
   size_t num_hosts() const { return hosts_.size(); }
 
+  // Pre-sizes host state (and per-host metrics) for a known-size topology so AddHost
+  // never reallocates during construction of large overlays.
+  void ReserveHosts(size_t n);
+
   void SetHostUp(HostId id, bool up);
   bool IsUp(HostId id) const;
 

@@ -1,17 +1,31 @@
 #include "src/sim/simulator.h"
 
+#include <chrono>
+
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 
 namespace totoro {
 
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
 Simulator::Simulator() {
   GlobalTracer().SetClockSource(&now_);
   SetLogTimeSource(&now_);
+  fired_counter_ = &GlobalMetrics().GetCounter("sim.events_fired");
+  cancelled_counter_ = &GlobalMetrics().GetCounter("sim.events_cancelled");
 }
 
 Simulator::~Simulator() {
+  SyncCancelledCounter();
   if (GlobalTracer().clock_source() == &now_) {
     GlobalTracer().SetClockSource(nullptr);
   }
@@ -20,21 +34,26 @@ Simulator::~Simulator() {
   }
 }
 
-EventHandle Simulator::Schedule(SimTime delay, std::function<void()> fn) {
+EventHandle Simulator::Schedule(SimTime delay, EventFn fn) {
   CHECK_GE(delay, 0.0);
   return queue_.Push(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+EventHandle Simulator::ScheduleAt(SimTime at, EventFn fn) {
   CHECK_GE(at, now_);
   return queue_.Push(at, std::move(fn));
 }
 
-size_t Simulator::Run(size_t max_events) {
+template <typename StopCondition>
+size_t Simulator::RunLoop(size_t max_events, StopCondition keep_going) {
+  if (queue_.Empty()) {
+    return 0;
+  }
+  const auto start = std::chrono::steady_clock::now();
   size_t fired = 0;
-  while (fired < max_events && !queue_.Empty()) {
-    SimTime at = now_;
-    std::function<void()> fn;
+  SimTime at = now_;
+  EventFn fn;
+  while (fired < max_events && !queue_.Empty() && keep_going()) {
     if (!queue_.PopNext(&at, &fn)) {
       break;
     }
@@ -43,24 +62,40 @@ size_t Simulator::Run(size_t max_events) {
     fn();
     ++fired;
   }
+  fn.Reset();  // Destroy the last callback before the timer stops.
+  run_wall_seconds_ += SecondsSince(start);
+  events_fired_ += fired;
+  fired_counter_->Increment(fired);
+  SyncCancelledCounter();
   return fired;
+}
+
+size_t Simulator::Run(size_t max_events) {
+  return RunLoop(max_events, [] { return true; });
 }
 
 size_t Simulator::RunUntil(SimTime t) {
   CHECK_GE(t, now_);
-  size_t fired = 0;
-  while (!queue_.Empty() && queue_.NextTime() <= t) {
-    SimTime at = now_;
-    std::function<void()> fn;
-    if (!queue_.PopNext(&at, &fn)) {
-      break;
-    }
-    now_ = at;
-    fn();
-    ++fired;
-  }
+  const size_t fired = RunLoop(SIZE_MAX, [this, t] { return queue_.NextTime() <= t; });
   now_ = t;
   return fired;
+}
+
+void Simulator::SyncCancelledCounter() {
+  const uint64_t total = queue_.cancelled_total();
+  cancelled_counter_->Increment(total - cancelled_synced_);
+  cancelled_synced_ = total;
+}
+
+double Simulator::EventsPerSecond() const {
+  if (events_fired_ == 0 || run_wall_seconds_ <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(events_fired_) / run_wall_seconds_;
+}
+
+void Simulator::PublishThroughputMetrics() const {
+  GlobalMetrics().GetGauge("sim.events_per_sec").Set(EventsPerSecond());
 }
 
 }  // namespace totoro

@@ -3,19 +3,33 @@
 // The entire repository runs on virtual time. One Simulator instance drives one
 // experiment; every protocol layer schedules callbacks through it. The simulator is
 // single-threaded — determinism is a feature, and the evaluation measures virtual time,
-// not wall-clock time.
+// not wall-clock time. (Independent Simulators may run on different THREADS — the
+// parallel bench runner does — because the tracer/metrics/log sinks they register with
+// are thread-local.)
+//
+// Callbacks are EventFns (see event_fn.h): any callable up to EventFn::kInlineSize
+// bytes schedules without heap allocation, and move-only captures are allowed.
+//
+// Throughput accounting: Run/RunUntil count fired events into the thread's metrics
+// registry (`sim.events_fired`; effective cancellations fold into
+// `sim.events_cancelled`) and accumulate wall-clock spent inside the event loop, so
+// any bench can report simulated events per wall second. The events/sec gauge is only
+// written by an explicit PublishThroughputMetrics() call — it is wall-clock dependent,
+// and implicit writes would break bit-identical metric exports across runs.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
-#include <functional>
+#include <cstdint>
 
 #include "src/sim/event_queue.h"
 
 namespace totoro {
 
+class Counter;
+
 class Simulator {
  public:
-  // Registers this simulator's clock as the process-wide virtual-time source for the
+  // Registers this simulator's clock as the thread-wide virtual-time source for the
   // tracer and the logger; the destructor deregisters it (only if still the active
   // source, so nested/successive simulators behave sanely).
   Simulator();
@@ -26,8 +40,8 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` virtual ms from now. delay must be >= 0.
-  EventHandle Schedule(SimTime delay, std::function<void()> fn);
-  EventHandle ScheduleAt(SimTime at, std::function<void()> fn);
+  EventHandle Schedule(SimTime delay, EventFn fn);
+  EventHandle ScheduleAt(SimTime at, EventFn fn);
 
   // Runs events until the queue drains or `max_events` fire. Returns events fired.
   size_t Run(size_t max_events = SIZE_MAX);
@@ -39,9 +53,33 @@ class Simulator {
   bool Idle() const { return queue_.Empty(); }
   size_t PendingEvents() const { return queue_.Size(); }
 
+  // Pre-sizes the event queue for `n` concurrently pending events.
+  void ReserveEvents(size_t n) { queue_.Reserve(n); }
+
+  // --- Throughput introspection ---
+  uint64_t events_fired() const { return events_fired_; }
+  uint64_t events_cancelled() const { return queue_.cancelled_total(); }
+  // Wall-clock seconds spent inside Run/RunUntil event loops.
+  double run_wall_seconds() const { return run_wall_seconds_; }
+  // Fired events per wall-clock second (0 before any event ran).
+  double EventsPerSecond() const;
+  // Writes the `sim.events_per_sec` gauge into the thread's metrics registry. Never
+  // called implicitly (wall-clock values are not deterministic).
+  void PublishThroughputMetrics() const;
+
  private:
+  template <typename StopCondition>
+  size_t RunLoop(size_t max_events, StopCondition keep_going);
+  // Folds queue-side cancellations observed since the last sync into the counter.
+  void SyncCancelledCounter();
+
   EventQueue queue_;
   SimTime now_ = 0.0;
+  uint64_t events_fired_ = 0;
+  uint64_t cancelled_synced_ = 0;
+  double run_wall_seconds_ = 0.0;
+  Counter* fired_counter_ = nullptr;      // Cached thread-local registry series.
+  Counter* cancelled_counter_ = nullptr;
 };
 
 }  // namespace totoro

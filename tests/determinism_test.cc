@@ -3,8 +3,12 @@
 // repository reproducible.
 #include <gtest/gtest.h>
 
+#include "bench/parallel_runner.h"
 #include "src/bandit/planner.h"
 #include "src/core/engine.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/pubsub/forest.h"
 
 namespace totoro {
@@ -94,6 +98,79 @@ TEST(DeterminismTest, BanditEpisodesReproduce) {
   const auto b = run(77);
   EXPECT_EQ(a.per_packet_delay, b.per_packet_delay);
   EXPECT_EQ(a.cumulative_regret.back(), b.cumulative_regret.back());
+}
+
+TEST(DeterminismTest, EventFiringOrderReproduces) {
+  // The event queue must fire equal-time events FIFO and reproduce the exact firing
+  // sequence across independently built simulators — the heap layout is an
+  // implementation detail, the order is a contract.
+  auto firing_order = [](uint64_t seed) {
+    Simulator sim;
+    Rng rng(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      // Coarse times force plenty of exact ties.
+      const double t = static_cast<double>(rng.NextBelow(50));
+      sim.Schedule(t, [&order, i]() { order.push_back(i); });
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(firing_order(123), firing_order(123));
+  EXPECT_NE(firing_order(123), firing_order(124));
+}
+
+TEST(DeterminismTest, TraceAndMetricsExportsReproduce) {
+  // Same seed => byte-identical observability artifacts (Chrome trace JSON and metrics
+  // JSON), not just equal headline numbers. Wall-clock-dependent series (events/sec)
+  // are only published explicitly, so they cannot leak in here.
+  auto artifacts = [](uint64_t seed) {
+    GlobalTracer().Clear();
+    GlobalTracer().SetEnabled(true);
+    GlobalMetrics().ResetValues();
+    {
+      Simulator sim;
+      Network net(&sim, std::make_unique<PairwiseUniformLatency>(2.0, 30.0, seed),
+                  NetworkConfig{});
+      PastryNetwork pastry(&net, PastryConfig{});
+      Rng rng(seed);
+      for (int i = 0; i < 40; ++i) {
+        pastry.AddRandomNode(rng);
+      }
+      pastry.BuildOracle(rng);
+      for (int i = 0; i < 50; ++i) {
+        Message msg;
+        msg.type = 777;
+        pastry.node(rng.NextBelow(40)).Route(RandomNodeId(rng), msg);
+        sim.Run();
+      }
+    }
+    std::pair<std::string, std::string> out{TraceToChromeJson(GlobalTracer()),
+                                            MetricsToJson(GlobalMetrics())};
+    GlobalTracer().SetEnabled(false);
+    GlobalTracer().Clear();
+    GlobalMetrics().ResetValues();
+    return out;
+  };
+  const auto a = artifacts(2024);
+  const auto b = artifacts(2024);
+  EXPECT_EQ(a.first, b.first) << "trace export not reproducible";
+  EXPECT_EQ(a.second, b.second) << "metrics export not reproducible";
+}
+
+TEST(DeterminismTest, ParallelTrialsMatchSequential) {
+  // The bench thread pool must be invisible in results: trials seed their own worlds
+  // and all observability sinks are thread-local, so a 4-thread run of the same trial
+  // grid is bit-identical to the inline 1-thread run.
+  auto trial = [](size_t i) {
+    const RunOutput out = RunOnce(5000 + static_cast<uint64_t>(i));
+    return std::tuple<double, uint64_t, uint64_t>(out.total_time_ms, out.total_messages,
+                                                  out.total_bytes);
+  };
+  using Result = std::tuple<double, uint64_t, uint64_t>;
+  const auto sequential = bench::RunTrials<Result>(4, trial, /*threads=*/1);
+  const auto parallel = bench::RunTrials<Result>(4, trial, /*threads=*/4);
+  EXPECT_EQ(sequential, parallel);
 }
 
 TEST(DeterminismTest, OverlayConstructionReproduces) {

@@ -111,10 +111,40 @@ TEST(LeafSetTest, ClosestSkipsDeadWithPredicate) {
   LeafSet ls(self, 4);
   ls.Consider(RouteEntry{U128(0, 110), 1, 0.0});
   ls.Consider(RouteEntry{U128(0, 112), 2, 0.0});
-  const std::function<bool(const RouteEntry&)> alive = [](const RouteEntry& e) {
-    return e.host != 1;
-  };
-  EXPECT_EQ(ls.Closest(U128(0, 110), 0, &alive).host, 2u);
+  const AliveFn alive{[](const void*, const RouteEntry& e) { return e.host != 1; },
+                      nullptr};
+  EXPECT_EQ(ls.Closest(U128(0, 110), 0, alive).host, 2u);
+}
+
+TEST(LeafSetTest, ClosestMatchesBruteForceOnRandomRings) {
+  // Closest takes a binary-search fast path when the two sides form disjoint arcs and
+  // an exhaustive scan otherwise; both must implement min by (ring distance, id) over
+  // {self} u members. Cross-check against a brute-force reference on random rings of
+  // varying density (sparse rings exercise the overlapping-sides fallback).
+  Rng rng(97531);
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId self = RandomNodeId(rng);
+    LeafSet ls(self, 8);
+    const int members = 1 + static_cast<int>(rng.NextBelow(12));
+    for (int i = 0; i < members; ++i) {
+      ls.Consider(RouteEntry{RandomNodeId(rng), static_cast<HostId>(i + 1), 0.0});
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      const NodeId key = RandomNodeId(rng);
+      RouteEntry expect{self, 0, 0.0};
+      U128 best = U128::RingDistance(self, key);
+      for (const auto& e : ls.All()) {
+        const U128 d = U128::RingDistance(e.id, key);
+        if (d < best || (d == best && e.id < expect.id)) {
+          best = d;
+          expect = e;
+        }
+      }
+      const RouteEntry got = ls.Closest(key, 0);
+      EXPECT_EQ(got.id, expect.id);
+      EXPECT_EQ(got.host, expect.host);
+    }
+  }
 }
 
 TEST(NeighborhoodSetTest, KeepsClosestByProximity) {
