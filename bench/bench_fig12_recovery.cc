@@ -5,11 +5,15 @@
 // and re-JOIN toward the topic — so many trees repair in parallel and recovery time
 // stays roughly flat as the tree count doubles (the paper's claim).
 #include "bench/bench_util.h"
+#include "src/faultsim/fault_injector.h"
+#include "src/faultsim/fault_script.h"
+#include "src/faultsim/invariant_checker.h"
+#include "src/faultsim/recovery.h"
 
 namespace totoro {
 namespace {
 
-double MeasureRecovery(int num_trees, uint64_t seed) {
+double MeasureTreeRecovery(int num_trees, uint64_t seed) {
   ScribeConfig scribe_config;
   scribe_config.enable_tree_repair = true;
   scribe_config.parent_heartbeat_ms = 100.0;
@@ -51,6 +55,62 @@ double MeasureRecovery(int num_trees, uint64_t seed) {
   return -1.0;  // Did not recover within the horizon.
 }
 
+// Scripted-partition companion: cut the overlay in half for `partition_ms`, heal, and
+// measure the time until the tree's first post-heal publish reaches every subscriber
+// (the faultsim recovery probe), with the invariant checker attached throughout.
+struct PartitionHealRow {
+  double recovery_ms = -1.0;
+  uint64_t partition_drops = 0;
+  size_t violations = 0;
+};
+
+PartitionHealRow MeasurePartitionHealRecovery(double partition_ms, uint64_t seed) {
+  PastryConfig pastry_config;
+  pastry_config.enable_keepalive = true;
+  pastry_config.keepalive_interval_ms = 200.0;
+  pastry_config.keepalive_timeout_ms = 700.0;
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 100.0;
+  scribe_config.parent_timeout_ms = 350.0;
+  scribe_config.join_retry_ms = 400.0;
+  bench::Stack stack(200, seed, pastry_config, scribe_config, /*model_bandwidth=*/false);
+  for (size_t i = 0; i < stack.pastry->size(); ++i) {
+    stack.pastry->node(i).StartKeepAlive();
+  }
+  const NodeId topic = stack.forest->CreateTopic("fig12-partition");
+  stack.forest->SubscribeAll(topic, stack.AllNodes(), /*settle_ms=*/1500.0);
+  stack.forest->StartMaintenance();
+
+  FaultInjector injector(stack.pastry.get(), stack.forest.get(), seed + 3);
+  InvariantCheckerConfig checker_config;
+  checker_config.convergence_grace_ms = 9000.0;
+  InvariantChecker checker(stack.pastry.get(), stack.forest.get(), checker_config);
+  checker.WatchTopic(topic);
+  checker.SetFaultInjector(&injector);
+  checker.Start();
+
+  std::vector<HostId> group_a;
+  std::vector<HostId> group_b;
+  for (size_t i = 0; i < stack.pastry->size(); ++i) {
+    (i < stack.pastry->size() / 2 ? group_a : group_b)
+        .push_back(stack.pastry->node(i).host());
+  }
+  FaultScript script;
+  script.PartitionAt(1000.0, group_a, group_b).HealAt(1000.0 + partition_ms);
+  injector.Schedule(script);
+  stack.sim.RunFor(1000.0 + partition_ms);
+
+  PartitionHealRow row;
+  row.recovery_ms = MeasureRecovery(stack.forest.get(), topic);
+  stack.sim.RunFor(12000.0);  // Convergence tail, then verify the run was clean.
+  checker.CheckConverged();
+  checker.Stop();
+  row.partition_drops = injector.stats().partition_drops;
+  row.violations = checker.violations().size();
+  return row;
+}
+
 }  // namespace
 }  // namespace totoro
 
@@ -60,12 +120,29 @@ int main() {
       "Fig 12: recovery time after 5% simultaneous node failures, vs #trees");
   AsciiTable table({"#trees", "recovery time (ms)"});
   for (int trees : {2, 4, 8, 16, 32, 64}) {
-    const double recovery = totoro::MeasureRecovery(trees, 1200 + trees);
+    const double recovery = totoro::MeasureTreeRecovery(trees, 1200 + trees);
     table.AddRow({AsciiTable::Int(trees),
                   recovery < 0 ? "did not converge" : AsciiTable::Num(recovery, 0)});
   }
   std::printf("%s", table.Render().c_str());
   std::printf("paper shape: recovery time stays stable as tree count doubles (parallel,\n"
               "coordinator-free repair)\n");
+
+  totoro::bench::PrintHeader(
+      "Fig 12 companion: post-heal recovery after a scripted half/half partition");
+  AsciiTable partition_table(
+      {"partition (ms)", "recovery (ms)", "msgs cut", "invariant violations"});
+  for (double partition_ms : {1000.0, 3000.0, 6000.0}) {
+    const auto row = totoro::MeasurePartitionHealRecovery(
+        partition_ms, 1300 + static_cast<uint64_t>(partition_ms));
+    partition_table.AddRow({AsciiTable::Num(partition_ms, 0),
+                            row.recovery_ms < 0 ? "did not converge"
+                                                : AsciiTable::Num(row.recovery_ms, 0),
+                            AsciiTable::Int(static_cast<long>(row.partition_drops)),
+                            AsciiTable::Int(static_cast<long>(row.violations))});
+  }
+  std::printf("%s", partition_table.Render().c_str());
+  std::printf("recovery = virtual time from heal until the first publish reaching every\n"
+              "subscriber; violations = InvariantChecker findings over the whole run\n");
   return 0;
 }

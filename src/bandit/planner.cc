@@ -11,7 +11,8 @@
 namespace totoro {
 
 EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode dest,
-                         PathPolicy& policy, uint64_t packets, Rng& rng, bool rank_paths) {
+                         PathPolicy& policy, uint64_t packets, Rng& rng, bool rank_paths,
+                         const EpisodeFaults* faults) {
   TraceSpan episode_span = GlobalTracer().Begin("bandit.episode", "bandit", source);
   if (episode_span.active()) {
     episode_span.AddArg("packets", std::to_string(packets));
@@ -55,7 +56,18 @@ EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode d
     feedback.path = path;
     feedback.attempts.reserve(path.size());
     for (LinkId id : path) {
-      const uint64_t attempts = rng.Geometric(graph.link(id).theta);
+      double theta = graph.link(id).theta;
+      if (faults != nullptr) {
+        for (const LinkOutage& outage : faults->outages) {
+          if (k >= outage.from_packet && k <= outage.to_packet &&
+              std::find(outage.links.begin(), outage.links.end(), id) !=
+                  outage.links.end()) {
+            theta = faults->outage_theta;
+            break;
+          }
+        }
+      }
+      const uint64_t attempts = rng.Geometric(theta);
       feedback.attempts.push_back(attempts);
       feedback.total_delay += static_cast<double>(attempts);
     }

@@ -20,12 +20,31 @@ struct EpisodeResult {
   }
 };
 
+// A scripted link outage: for packets in [from_packet, to_packet] the listed links'
+// success probability collapses to EpisodeFaults::outage_theta (a near-dead link, e.g.
+// the overlay path crossing a partitioned backhaul). The policy is not told — it must
+// discover the outage through its own feedback and reroute, which is exactly the
+// KL-UCB adaptivity claim the faultsim scenarios exercise.
+struct LinkOutage {
+  uint64_t from_packet = 0;
+  uint64_t to_packet = 0;
+  std::vector<LinkId> links;
+};
+
+struct EpisodeFaults {
+  std::vector<LinkOutage> outages;
+  double outage_theta = 0.02;  // Effective theta of an outaged link.
+};
+
 // Routes `packets` packets from source to dest under `policy`. Link transmissions
 // succeed i.i.d. with the hidden thetas; a link crossing costs Geometric(theta) slots.
 // `rank_paths` enables Fig. 11's per-packet path rank (requires enumerable paths).
+// `faults` optionally injects scripted outage windows; regret stays accounted against
+// the fault-free optimum, so outage windows show up as regret spikes that flatten once
+// the policy reroutes.
 EpisodeResult RunEpisode(const LinkGraph& graph, BanditNode source, BanditNode dest,
                          PathPolicy& policy, uint64_t packets, Rng& rng,
-                         bool rank_paths = false);
+                         bool rank_paths = false, const EpisodeFaults* faults = nullptr);
 
 }  // namespace totoro
 

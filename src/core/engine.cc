@@ -213,6 +213,28 @@ void TotoroEngine::StartRound(AppRuntime& app) {
   const uint64_t bytes = app.global_weights.size() * sizeof(float);
   forest_->scribe(app.master_index)
       .Broadcast(app.topic, app.round, std::move(payload), bytes);
+
+  if (round_deadline_ms_ > 0.0) {
+    app.round_deadline.Cancel();
+    const NodeId topic = app.topic;
+    const uint64_t round = app.round;
+    app.round_deadline = forest_->pastry().network()->sim()->Schedule(
+        round_deadline_ms_, [this, topic, round]() {
+          auto it = apps_.find(topic);
+          if (it == apps_.end() || it->second->done || it->second->round != round) {
+            return;  // The round closed normally (or the app finished).
+          }
+          static thread_local Counter* expired =
+              &GlobalMetrics().GetCounter("engine.round.deadline_expired");
+          expired->Increment();
+          TLOG_INFO("app %s round %llu hit the straggler deadline; closing partial",
+                    it->second->config.name.c_str(), static_cast<unsigned long long>(round));
+          // Partial-aggregation fallback: whatever aggregate reached the master already
+          // updated global_weights via OnRootAggregate-less paths (none if the tree
+          // stalled); close the round with the current weights and move on.
+          EvaluateAndAdvance(*it->second, round);
+        });
+  }
 }
 
 void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t round,
@@ -346,6 +368,7 @@ void TotoroEngine::OnAsyncUpdate(const NodeId& key, const Message& msg) {
 }
 
 void TotoroEngine::EvaluateAndAdvance(AppRuntime& app, uint64_t round) {
+  app.round_deadline.Cancel();
   app.global_model->SetWeights(app.global_weights);
   Network* net = forest_->pastry().network();
   // Evaluation is FL-side master work.

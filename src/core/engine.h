@@ -41,6 +41,13 @@ class TotoroEngine {
   };
   void EnableFailover(FailoverConfig config);
 
+  // Round straggler deadline: if a round has not closed `ms` virtual ms after its
+  // broadcast, the master force-closes it with whatever aggregate arrived (possibly
+  // none — the previous global weights then carry over) and starts the next round.
+  // This is the round-level analogue of the tree's aggregation_timeout_ms: it bounds
+  // progress even when an entire subtree is unreachable. 0 (default) disables it.
+  void SetRoundDeadline(double ms) { round_deadline_ms_ = ms; }
+
   // How long LaunchApp lets the simulator settle after subscribing workers. 0 (default)
   // runs the event queue dry — correct only when no periodic timers (keep-alives,
   // maintenance) are active; with periodic timers, set a bounded settle instead.
@@ -92,6 +99,9 @@ class TotoroEngine {
     // Failover bookkeeping.
     double last_progress_ms = 0.0;
     uint64_t failovers = 0;
+    // Pending straggler-deadline event for the current round (cancelled when the round
+    // closes normally).
+    EventHandle round_deadline;
     AppResult result;
   };
 
@@ -120,6 +130,7 @@ class TotoroEngine {
   bool failover_enabled_ = false;
   FailoverConfig failover_config_;
   double subscribe_settle_ms_ = 0.0;
+  double round_deadline_ms_ = 0.0;
 };
 
 }  // namespace totoro

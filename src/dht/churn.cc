@@ -22,8 +22,8 @@ void ChurnDriver::Start() {
     return;
   }
   running_ = true;
-  pastry_->network()->sim()->Schedule(rng_.Exponential(config_.event_interval_ms),
-                                      [this]() { Tick(); });
+  pending_ = pastry_->network()->sim()->Schedule(rng_.Exponential(config_.event_interval_ms),
+                                                 [this]() { Tick(); });
 }
 
 void ChurnDriver::Tick() {
@@ -66,8 +66,8 @@ void ChurnDriver::Tick() {
                  bootstrap->host());
     }
   }
-  pastry_->network()->sim()->Schedule(rng_.Exponential(config_.event_interval_ms),
-                                      [this]() { Tick(); });
+  pending_ = pastry_->network()->sim()->Schedule(rng_.Exponential(config_.event_interval_ms),
+                                                 [this]() { Tick(); });
 }
 
 }  // namespace totoro

@@ -25,7 +25,13 @@ class ChurnDriver {
 
   // Starts the churn process; it reschedules itself until Stop().
   void Start();
-  void Stop() { running_ = false; }
+  // Stops the process and cancels the pending tick. Without the cancel, an
+  // already-scheduled Tick would still fire after Stop() — and dereference a destroyed
+  // driver if the owner tears it down before the event queue drains.
+  void Stop() {
+    running_ = false;
+    pending_.Cancel();
+  }
 
   size_t leaves() const { return leaves_; }
   size_t joins() const { return joins_; }
@@ -40,6 +46,7 @@ class ChurnDriver {
   bool running_ = false;
   size_t leaves_ = 0;
   size_t joins_ = 0;
+  EventHandle pending_;
 };
 
 }  // namespace totoro

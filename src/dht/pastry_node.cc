@@ -106,6 +106,15 @@ RouteEntry PastryNode::ComputeNextHop(const NodeId& key) const {
   return leaf_set_.Closest(key, host_, alive);
 }
 
+bool PastryNode::IsClosestKnownToKey(const NodeId& key) const {
+  const AliveFn alive{
+      [](const void* ctx, const RouteEntry& e) {
+        return static_cast<const Network*>(ctx)->IsUp(e.host);
+      },
+      net_};
+  return leaf_set_.Closest(key, host_, alive).host == host_;
+}
+
 void PastryNode::Route(const NodeId& key, Message inner) {
   TraceSpan span = GlobalTracer().Begin("dht.route", "dht", host_);
   if (span.active()) {
@@ -281,8 +290,57 @@ void PastryNode::Learn(const RouteEntry& entry) {
   }
 }
 
+void PastryNode::AddSuspect(const RouteEntry& entry) {
+  const SimTime expires = net_->sim()->Now() + config_.suspect_ttl_ms;
+  for (Suspect& s : suspects_) {
+    if (s.entry.host == entry.host) {
+      s.expires_ms = expires;
+      return;
+    }
+  }
+  // Bounded list: drop the entry closest to expiry when full.
+  constexpr size_t kMaxSuspects = 32;
+  if (suspects_.size() >= kMaxSuspects) {
+    auto oldest = suspects_.begin();
+    for (auto it = suspects_.begin(); it != suspects_.end(); ++it) {
+      if (it->expires_ms < oldest->expires_ms) {
+        oldest = it;
+      }
+    }
+    suspects_.erase(oldest);
+  }
+  suspects_.push_back(Suspect{entry, expires});
+}
+
+void PastryNode::ProbeOneSuspect() {
+  const SimTime now = net_->sim()->Now();
+  while (!suspects_.empty()) {
+    if (suspect_cursor_ >= suspects_.size()) {
+      suspect_cursor_ = 0;
+    }
+    if (suspects_[suspect_cursor_].expires_ms <= now) {
+      suspects_.erase(suspects_.begin() + static_cast<ptrdiff_t>(suspect_cursor_));
+      continue;
+    }
+    // A plain keep-alive probe: if the suspect is back (partition healed, host
+    // rejoined), its ack re-learns it here and the leaf-set gossip spreads the news.
+    Message m;
+    m.type = kDhtHeartbeat;
+    m.size_bytes = 16;
+    m.traffic = TrafficClass::kDhtMaintenance;
+    m.transport = Transport::kUdp;
+    m.SetPayload(SelfEntry());
+    SendDirect(suspects_[suspect_cursor_].entry.host, std::move(m));
+    ++suspect_cursor_;
+    return;
+  }
+}
+
 void PastryNode::ReportDead(const NodeId& id, HostId host) {
   ChargeDhtWork(0.5);
+  if (config_.enable_suspect_probe && config_.enable_keepalive && host != host_) {
+    AddSuspect(RouteEntry{id, host, ProximityTo(host)});
+  }
   int64_t delta = 0;
   if (routing_table_.Remove(id)) {
     delta -= kEntryStateBytes;
@@ -368,6 +426,9 @@ void PastryNode::KeepAliveTick() {
       SendDirect(neighbor->host, std::move(m));
     }
   }
+  if (config_.enable_suspect_probe) {
+    ProbeOneSuspect();
+  }
   CheckKeepAliveDeadlines();
   net_->sim()->Schedule(config_.keepalive_interval_ms, [this]() { KeepAliveTick(); });
 }
@@ -388,16 +449,34 @@ void PastryNode::CheckKeepAliveDeadlines() {
 }
 
 void PastryNode::HandleHeartbeat(const Message& msg) {
+  // The probe carries the sender's entry: fold it back in, so a suspect probe from a
+  // node this side declared dead (partition, false positive) restores ring knowledge.
+  if (msg.payload != nullptr) {
+    const auto& sender = msg.As<RouteEntry>();
+    Learn(RouteEntry{sender.id, sender.host, ProximityTo(sender.host)});
+  }
   Message ack;
   ack.type = kDhtHeartbeatAck;
   ack.size_bytes = 16;
   ack.traffic = TrafficClass::kDhtMaintenance;
   ack.transport = Transport::kUdp;
+  ack.SetPayload(SelfEntry());
   SendDirect(msg.src, std::move(ack));
 }
 
 void PastryNode::HandleHeartbeatAck(const Message& msg) {
   last_ack_[msg.src] = net_->sim()->Now();
+  if (msg.payload != nullptr) {
+    const auto& sender = msg.As<RouteEntry>();
+    Learn(RouteEntry{sender.id, sender.host, ProximityTo(sender.host)});
+  }
+  // An answering suspect is alive again; stop probing it.
+  for (auto it = suspects_.begin(); it != suspects_.end(); ++it) {
+    if (it->entry.host == msg.src) {
+      suspects_.erase(it);
+      break;
+    }
+  }
 }
 
 void PastryNode::HandleLeafRepair(const Message& msg) {

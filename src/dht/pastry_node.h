@@ -36,6 +36,13 @@ struct PastryConfig {
   bool enable_keepalive = false;
   double keepalive_interval_ms = 500.0;
   double keepalive_timeout_ms = 1600.0;
+  // Suspect probing (requires keep-alives): a node removed by ReportDead is remembered
+  // as a suspect for `suspect_ttl_ms` and probed round-robin, one per keep-alive tick.
+  // A suspect that answers is re-learned. This is what re-merges the ring after a
+  // network partition heals — without it both sides have purged each other and no
+  // protocol path ever re-introduces them.
+  bool enable_suspect_probe = true;
+  double suspect_ttl_ms = 8000.0;
 };
 
 class PastryNode : public Host {
@@ -101,6 +108,13 @@ class PastryNode : public Host {
   // local node is the destination.
   RouteEntry ComputeNextHop(const NodeId& key) const;
 
+  // True when no live leaf-set member is numerically closer to `key` than this node.
+  // This is the ownership question ("am I still the rendezvous?"), distinct from the
+  // routing question ComputeNextHop answers: mid-repair a leaf set can stop covering
+  // the key, which makes routing defer to a longer-prefix node even though self is
+  // still the closest id on the ring.
+  bool IsClosestKnownToKey(const NodeId& key) const;
+
  private:
   void HandleEnvelope(const Message& msg);
   void ForwardOrDeliver(std::shared_ptr<const RouteEnvelope> env, int hops);
@@ -112,6 +126,8 @@ class PastryNode : public Host {
   void HandleLeafRepair(const Message& msg);
   void KeepAliveTick();
   void CheckKeepAliveDeadlines();
+  void AddSuspect(const RouteEntry& entry);
+  void ProbeOneSuspect();
   void ChargeDhtWork(double units);
   RouteEntry SelfEntry() const;
   double ProximityTo(HostId other) const;
@@ -134,6 +150,13 @@ class PastryNode : public Host {
   std::unordered_map<HostId, SimTime> last_ack_;
   bool keepalive_running_ = false;
   uint64_t keepalive_ticks_ = 0;
+  // Recently removed nodes still worth probing (ring re-merge after partition heal).
+  struct Suspect {
+    RouteEntry entry;
+    SimTime expires_ms = 0.0;
+  };
+  std::vector<Suspect> suspects_;
+  size_t suspect_cursor_ = 0;
 };
 
 }  // namespace totoro

@@ -1,0 +1,218 @@
+#include "src/faultsim/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/obs/metrics_registry.h"
+
+namespace totoro {
+namespace {
+
+Counter& FaultsAppliedCounter() {
+  static thread_local Counter* c = &GlobalMetrics().GetCounter("faultsim.faults.applied");
+  return *c;
+}
+
+Counter& PartitionDropCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("faultsim.msgs.partition_dropped");
+  return *c;
+}
+
+// Builds an indexed membership vector from a host list.
+std::vector<uint8_t> BuildMembership(const std::vector<HostId>& hosts, size_t num_hosts) {
+  std::vector<uint8_t> member(num_hosts, 0);
+  for (HostId h : hosts) {
+    if (h < num_hosts) {
+      member[h] = 1;
+    }
+  }
+  return member;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(PastryNetwork* pastry, Forest* forest, uint64_t seed)
+    : pastry_(pastry), forest_(forest), rng_(seed) {
+  CHECK(pastry_ != nullptr);
+  pastry_->network()->SetFaultFn(
+      [this](const Message& msg, FaultAction* action) { return OnMessage(msg, action); });
+}
+
+FaultInjector::~FaultInjector() { pastry_->network()->SetFaultFn({}); }
+
+void FaultInjector::Schedule(const FaultScript& script) {
+  Simulator* sim = pastry_->network()->sim();
+  const SimTime base = sim->Now();
+  for (const FaultEvent& ev : script.events()) {
+    sim->ScheduleAt(base + ev.at, [this, ev]() { ApplyNow(ev); });
+  }
+}
+
+ScribeNode* FaultInjector::ScribeForHost(HostId host) const {
+  if (forest_ == nullptr) {
+    return nullptr;
+  }
+  for (size_t i = 0; i < forest_->size(); ++i) {
+    if (forest_->scribe(i).host() == host) {
+      return &forest_->scribe(i);
+    }
+  }
+  return nullptr;
+}
+
+HostId FaultInjector::BootstrapFor(HostId host) const {
+  const Network& net = *pastry_->network();
+  for (HostId h = 0; h < static_cast<HostId>(net.num_hosts()); ++h) {
+    if (h != host && net.IsUp(h)) {
+      return h;
+    }
+  }
+  return kInvalidHost;
+}
+
+void FaultInjector::ApplyNow(const FaultEvent& ev) {
+  Network* net = pastry_->network();
+  last_fault_ms_ = net->sim()->Now();
+  FaultsAppliedCounter().Increment();
+  TLOG_DEBUG("faultsim: applying %s at t=%.1fms", FaultKindName(ev.kind), last_fault_ms_);
+  switch (ev.kind) {
+    case FaultKind::kPartition: {
+      ActivePartition p;
+      p.in_a = BuildMembership(ev.group_a, net->num_hosts());
+      p.in_b = BuildMembership(ev.group_b, net->num_hosts());
+      partitions_.push_back(std::move(p));
+      stats_.partitions += 1;
+      return;
+    }
+    case FaultKind::kHeal: {
+      partitions_.clear();
+      stats_.heals += 1;
+      return;
+    }
+    case FaultKind::kCrash: {
+      if (ev.host < net->num_hosts()) {
+        net->SetHostUp(ev.host, false);
+        stats_.crashes += 1;
+      }
+      return;
+    }
+    case FaultKind::kGracefulLeave: {
+      if (ev.host >= net->num_hosts()) {
+        return;
+      }
+      // Detach the host's Scribe state first (sends LEAVEs for cleanly detachable
+      // topics); state where the host is still a forwarder stays and its children
+      // recover through parent-heartbeat timeout, same as a crash.
+      if (ScribeNode* scribe = ScribeForHost(ev.host); scribe != nullptr) {
+        for (const NodeId& topic : scribe->Topics()) {
+          scribe->Unsubscribe(topic);
+        }
+      }
+      net->SetHostUp(ev.host, false);
+      stats_.graceful_leaves += 1;
+      return;
+    }
+    case FaultKind::kRejoin: {
+      if (ev.host >= net->num_hosts() || net->IsUp(ev.host)) {
+        return;
+      }
+      net->SetHostUp(ev.host, true);
+      PastryNode* node = pastry_->FindByHost(ev.host);
+      CHECK(node != nullptr);
+      const HostId bootstrap = BootstrapFor(ev.host);
+      if (bootstrap != kInvalidHost) {
+        node->Join(bootstrap);
+      }
+      // Periodic drivers noticed the death and stopped; restart them (no-ops when the
+      // corresponding feature is disabled in config).
+      node->StartKeepAlive();
+      if (ScribeNode* scribe = ScribeForHost(ev.host); scribe != nullptr) {
+        scribe->StartMaintenance();
+      }
+      stats_.rejoins += 1;
+      return;
+    }
+    case FaultKind::kPerturbBegin: {
+      ActivePerturb p;
+      p.id = ev.perturb_id;
+      p.rule = ev.perturb;
+      p.in_a = BuildMembership(ev.perturb.endpoints_a, net->num_hosts());
+      p.in_b = BuildMembership(ev.perturb.endpoints_b, net->num_hosts());
+      perturbs_.push_back(std::move(p));
+      return;
+    }
+    case FaultKind::kPerturbEnd: {
+      perturbs_.erase(std::remove_if(perturbs_.begin(), perturbs_.end(),
+                                     [&](const ActivePerturb& p) { return p.id == ev.perturb_id; }),
+                      perturbs_.end());
+      return;
+    }
+  }
+}
+
+bool FaultInjector::Reachable(HostId a, HostId b) const {
+  for (const ActivePartition& p : partitions_) {
+    const bool cross = (a < p.in_a.size() && b < p.in_b.size() && p.in_a[a] && p.in_b[b]) ||
+                       (b < p.in_a.size() && a < p.in_b.size() && p.in_a[b] && p.in_b[a]);
+    if (cross) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultInjector::PerturbMatches(const ActivePerturb& p, const Message& msg) const {
+  if (p.rule.class_mask != 0 &&
+      (p.rule.class_mask & (1u << static_cast<uint32_t>(msg.traffic))) == 0) {
+    return false;
+  }
+  const bool has_a = !p.rule.endpoints_a.empty();
+  const bool has_b = !p.rule.endpoints_b.empty();
+  if (has_a && has_b) {
+    // Directional pair rule: the message must cross between the two sets.
+    return (msg.src < p.in_a.size() && msg.dst < p.in_b.size() && p.in_a[msg.src] &&
+            p.in_b[msg.dst]) ||
+           (msg.dst < p.in_a.size() && msg.src < p.in_b.size() && p.in_a[msg.dst] &&
+            p.in_b[msg.src]);
+  }
+  if (has_a) {
+    return (msg.src < p.in_a.size() && p.in_a[msg.src]) ||
+           (msg.dst < p.in_a.size() && p.in_a[msg.dst]);
+  }
+  return true;  // Wildcard rule.
+}
+
+bool FaultInjector::OnMessage(const Message& msg, FaultAction* action) {
+  if (!Reachable(msg.src, msg.dst)) {
+    action->drop = true;
+    stats_.partition_drops += 1;
+    PartitionDropCounter().Increment();
+    return true;
+  }
+  bool affected = false;
+  for (const ActivePerturb& p : perturbs_) {
+    if (!PerturbMatches(p, msg)) {
+      continue;
+    }
+    if (p.rule.drop_prob > 0.0 && rng_.Bernoulli(p.rule.drop_prob)) {
+      action->drop = true;
+      stats_.perturb_drops += 1;
+      return true;
+    }
+    if (p.rule.duplicate_prob > 0.0 && rng_.Bernoulli(p.rule.duplicate_prob)) {
+      action->extra_copies += 1;
+      stats_.duplicates += 1;
+      affected = true;
+    }
+    if (p.rule.delay_spike_prob > 0.0 && rng_.Bernoulli(p.rule.delay_spike_prob)) {
+      action->extra_delay_ms += p.rule.delay_spike_ms;
+      stats_.delay_spikes += 1;
+      affected = true;
+    }
+  }
+  return affected;
+}
+
+}  // namespace totoro

@@ -1,0 +1,88 @@
+// Executes FaultScripts against a live overlay, deterministically.
+//
+// The injector installs itself as the Network's fault hook (partitions and link
+// perturbations act on messages in flight) and schedules each scripted event through
+// the event queue (crashes, leaves, rejoins act on host state). All probabilistic
+// decisions come from one seeded Rng, so a scripted run replays bit-identically.
+//
+// The injector also exposes the ground truth the InvariantChecker needs: whether a
+// partition is active (eventual invariants are only meaningful once reachability is
+// restored) and when the last fault fired (convergence grace).
+#ifndef SRC_FAULTSIM_FAULT_INJECTOR_H_
+#define SRC_FAULTSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/faultsim/fault_script.h"
+#include "src/pubsub/forest.h"
+
+namespace totoro {
+
+class FaultInjector {
+ public:
+  struct Stats {
+    uint64_t partitions = 0;
+    uint64_t heals = 0;
+    uint64_t crashes = 0;
+    uint64_t graceful_leaves = 0;
+    uint64_t rejoins = 0;
+    uint64_t partition_drops = 0;  // Messages cut by an active partition.
+    uint64_t perturb_drops = 0;    // Messages dropped by a probabilistic rule.
+    uint64_t duplicates = 0;       // Extra copies injected.
+    uint64_t delay_spikes = 0;     // Messages given a delay spike.
+  };
+
+  // `forest` may be null when only DHT-level scenarios run (graceful leaves then skip
+  // the Scribe detach and degrade to crashes). The injector owns the network fault
+  // hook for its lifetime.
+  FaultInjector(PastryNetwork* pastry, Forest* forest, uint64_t seed);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules every event of `script` relative to the current virtual time. May be
+  // called more than once (scripts compose on the same timeline).
+  void Schedule(const FaultScript& script);
+
+  // Applies one event immediately (tests drive single faults without a timeline).
+  void ApplyNow(const FaultEvent& event);
+
+  // True when no active partition separates hosts a and b.
+  bool Reachable(HostId a, HostId b) const;
+  bool PartitionActive() const { return !partitions_.empty(); }
+  // Virtual time of the most recently applied fault event (0 before the first).
+  SimTime last_fault_ms() const { return last_fault_ms_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct ActivePartition {
+    std::vector<uint8_t> in_a;  // Indexed by HostId.
+    std::vector<uint8_t> in_b;
+  };
+  struct ActivePerturb {
+    uint64_t id = 0;
+    LinkPerturbation rule;
+    std::vector<uint8_t> in_a;  // Prebuilt membership; empty => wildcard side.
+    std::vector<uint8_t> in_b;
+  };
+
+  bool OnMessage(const Message& msg, FaultAction* action);
+  bool PerturbMatches(const ActivePerturb& p, const Message& msg) const;
+  // Deterministic bootstrap choice for a rejoining host: lowest live host id != host.
+  HostId BootstrapFor(HostId host) const;
+  ScribeNode* ScribeForHost(HostId host) const;
+
+  PastryNetwork* pastry_;
+  Forest* forest_;  // Nullable.
+  Rng rng_;
+  std::vector<ActivePartition> partitions_;
+  std::vector<ActivePerturb> perturbs_;
+  Stats stats_;
+  SimTime last_fault_ms_ = 0.0;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_FAULTSIM_FAULT_INJECTOR_H_

@@ -24,6 +24,11 @@ struct ScribeJoin {
   NodeId topic;
   HostId child_host = kInvalidHost;
   NodeId child_id;
+  // When set, intermediate hops must not graft this JOIN — it grafts only at the
+  // rendezvous. Used by a demoting ex-root whose whole subtree still hangs off it:
+  // grafting at a forwarder could pick one of its own descendants and close a parent
+  // cycle, leaving the subtree unreachable from any root.
+  bool direct = false;
 };
 
 // Down-tree payload (model broadcast). `origin_time` stamps the root's send for

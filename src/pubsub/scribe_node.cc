@@ -1,5 +1,6 @@
 #include "src/pubsub/scribe_node.h"
 
+#include <algorithm>
 #include <string>
 
 #include "src/common/logging.h"
@@ -26,6 +27,30 @@ Histogram& AggregateLatencyHistogram() {
   static thread_local Histogram* h = &GlobalMetrics().GetHistogram("pubsub.aggregate.latency_ms",
                                                       Histogram::DefaultLatencyBoundsMs());
   return *h;
+}
+
+// Resilience accounting: JOIN retransmissions, duplicate child reports dropped, late
+// pieces for already-closed rounds dropped, and stale roots demoted after a heal.
+Counter& JoinRetriesCounter() {
+  static thread_local Counter* c = &GlobalMetrics().GetCounter("pubsub.join.retries");
+  return *c;
+}
+
+Counter& DuplicateDropCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("pubsub.update.duplicates_dropped");
+  return *c;
+}
+
+Counter& ClosedRoundDropCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("pubsub.update.closed_round_dropped");
+  return *c;
+}
+
+Counter& RootDemotionsCounter() {
+  static thread_local Counter* c = &GlobalMetrics().GetCounter("pubsub.root.demotions");
+  return *c;
 }
 
 AggregationPiece DefaultCombine(const std::vector<AggregationPiece>& pieces) {
@@ -92,15 +117,20 @@ void ScribeNode::AddChild(TopicState& state, HostId child_host, const NodeId& ch
   pastry_->SendDirect(child_host, std::move(m));
 }
 
-void ScribeNode::SendJoin(const NodeId& topic) {
+void ScribeNode::SendJoin(const NodeId& topic, bool direct) {
   TopicState& state = GetOrCreate(topic);
   state.join_pending = true;
+  state.join_direct = direct;
+  state.join_sent_ms = pastry_->net()->sim()->Now();
+  if (state.join_backoff_ms <= 0.0) {
+    state.join_backoff_ms = config_.join_retry_ms;
+  }
   Message inner;
   inner.type = kScribeJoin;
   inner.size_bytes = kControlMsgBytes;
   inner.traffic = TrafficClass::kTreeControl;
   inner.transport = Transport::kTcp;
-  inner.SetPayload(ScribeJoin{topic, host(), pastry_->id()});
+  inner.SetPayload(ScribeJoin{topic, host(), pastry_->id(), direct});
   pastry_->Route(topic, std::move(inner));
 }
 
@@ -146,6 +176,9 @@ bool ScribeNode::OnJoinForward(const NodeId& key, Message& inner, HostId next_ho
   if (next_hop == host()) {
     return true;  // We are the rendezvous; the deliver handler grafts and roots.
   }
+  if (join.direct) {
+    return true;  // Demotion re-join: graft only at the rendezvous (see ScribeJoin).
+  }
   TopicState& state = GetOrCreate(join.topic);
   const bool was_in_tree = state.is_root || state.parent != kInvalidHost ||
                            state.join_pending;
@@ -155,6 +188,11 @@ bool ScribeNode::OnJoinForward(const NodeId& key, Message& inner, HostId next_ho
   }
   // Graft ourselves: continue the JOIN toward the root on our own behalf.
   state.join_pending = true;
+  state.join_direct = false;
+  state.join_sent_ms = pastry_->net()->sim()->Now();
+  if (state.join_backoff_ms <= 0.0) {
+    state.join_backoff_ms = config_.join_retry_ms;
+  }
   join.child_host = host();
   join.child_id = pastry_->id();
   inner.SetPayload(join);
@@ -168,6 +206,8 @@ void ScribeNode::OnJoinDeliver(const NodeId& key, const Message& inner, int hops
   (void)key;
   state.is_root = true;
   state.join_pending = false;
+  state.join_direct = false;
+  state.join_backoff_ms = 0.0;
   state.parent = kInvalidHost;
   if (join.child_host != host()) {
     AddChild(state, join.child_host, join.child_id);
@@ -246,6 +286,14 @@ void ScribeNode::SubmitUpdate(const NodeId& topic, uint64_t round, AggregationPi
 
 void ScribeNode::AccumulateUpdate(TopicState& state, uint64_t round, AggregationPiece piece,
                                   HostId from_child, uint64_t size_bytes, SimTime origin_ms) {
+  // A round whose aggregate already left this node is closed: stragglers past the
+  // cut-off and duplicates arriving after the forward must not resurrect it (the old
+  // code erased the RoundState on forward, so a late piece re-created the round fresh
+  // and could re-fire a root aggregate).
+  if (state.any_closed && round <= state.max_closed_round) {
+    ClosedRoundDropCounter().Increment();
+    return;
+  }
   RoundState& rs = state.rounds[round];
   if (rs.forwarded) {
     return;  // Straggler past the cut-off; drop.
@@ -253,6 +301,12 @@ void ScribeNode::AccumulateUpdate(TopicState& state, uint64_t round, Aggregation
   if (from_child == kInvalidHost) {
     rs.own_submitted = true;
   } else {
+    // One contribution per child per round: a duplicated message (faulty link) or a
+    // child resubmitting after a rejoin must not be double-counted.
+    if (auto seen = rs.received_from.find(from_child); seen != rs.received_from.end()) {
+      DuplicateDropCounter().Increment();
+      return;
+    }
     rs.received_from[from_child] = true;
   }
   rs.pieces.push_back(std::move(piece));
@@ -323,7 +377,12 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
   state.rounds.erase(round_it);
 
   if (state.is_root) {
+    state.any_closed = true;
+    state.max_closed_round = std::max(state.max_closed_round, round);
     AggregateLatencyHistogram().Observe(now - origin);
+    if (aggregate_audit_) {
+      aggregate_audit_(state.topic, round, total);
+    }
     if (on_root_aggregate_) {
       on_root_aggregate_(state.topic, round, total);
     }
@@ -340,6 +399,8 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
     fresh.forwarded = false;
     return;
   }
+  state.any_closed = true;
+  state.max_closed_round = std::max(state.max_closed_round, round);
   Message m;
   m.type = kScribeUpdate;
   m.size_bytes = size_bytes;
@@ -404,6 +465,9 @@ void ScribeNode::HandleParentHeartbeat(const Message& msg) {
   if (state.parent == msg.src) {
     state.parent_id = hb.parent_id;
     state.last_parent_heartbeat = now;
+    state.join_pending = false;
+    state.join_direct = false;
+    state.join_backoff_ms = 0.0;
     return;
   }
   // A different node claims to be our parent. Only adopt it if our current parent is
@@ -422,6 +486,8 @@ void ScribeNode::HandleParentHeartbeat(const Message& msg) {
   state.parent = msg.src;
   state.parent_id = hb.parent_id;
   state.join_pending = false;
+  state.join_direct = false;
+  state.join_backoff_ms = 0.0;
   state.last_parent_heartbeat = now;
 }
 
@@ -465,6 +531,18 @@ void ScribeNode::StartMaintenance() {
     return;
   }
   maintenance_running_ = true;
+  // Failure detection starts now: parent-heartbeat stamps predating this moment come
+  // from graft time, not from a live keep-alive exchange. Left stale, the first tick
+  // would mass-declare every long-established parent dead (ReportDead on live nodes
+  // erodes leaf sets ring-wide) purely because tree construction took longer than the
+  // timeout.
+  const SimTime now = pastry_->net()->sim()->Now();
+  for (auto& [topic_key, state] : topics_) {
+    (void)topic_key;
+    if (state.parent != kInvalidHost) {
+      state.last_parent_heartbeat = std::max(state.last_parent_heartbeat, now);
+    }
+  }
   pastry_->net()->sim()->Schedule(config_.parent_heartbeat_ms, [this]() { MaintenanceTick(); });
 }
 
@@ -476,6 +554,25 @@ void ScribeNode::MaintenanceTick() {
   const SimTime now = pastry_->net()->sim()->Now();
   for (auto& [topic_key, state] : topics_) {
     (void)topic_key;
+    // Root self-check: after a partition heals (or a crashed rendezvous rejoins), two
+    // roots can coexist — one per former side. A root that can see a live node
+    // numerically closer to the topic key demotes itself and grafts onto the true
+    // root, merging the split trees. The test is deliberately the ownership question
+    // (leaf-set numeric closeness), not the routing one: mid-repair a leaf set can
+    // stop covering the key, which makes ComputeNextHop defer to a longer-prefix node
+    // even though this node is still the closest id on the ring, and demoting on that
+    // transient would leave the tree rootless.
+    if (state.is_root && !pastry_->IsClosestKnownToKey(state.topic)) {
+      TLOG_DEBUG("scribe host %u: no longer rendezvous for topic %s; demoting root",
+                 host(), state.topic.ToHex().c_str());
+      state.is_root = false;
+      state.parent = kInvalidHost;
+      RootDemotionsCounter().Increment();
+      // The whole former subtree still hangs off this node, so the re-join must not
+      // graft at a forwarder: picking one of our own descendants as parent would close
+      // a parent cycle with no root in it.
+      SendJoin(state.topic, /*direct=*/true);
+    }
     // Parent side: refresh children.
     for (const auto& [child_host, child_id] : state.children) {
       (void)child_id;
@@ -498,6 +595,16 @@ void ScribeNode::MaintenanceTick() {
     } else if (!state.is_root && state.parent == kInvalidHost && !state.join_pending &&
                (state.subscribed || !state.children.empty())) {
       SendJoin(state.topic);
+    } else if (config_.join_retry_ms > 0.0 && state.join_pending &&
+               now - state.join_sent_ms >= state.join_backoff_ms) {
+      // The pending JOIN (or its graft reply) was lost; retransmit with exponential
+      // backoff so a flapping link does not amplify into a JOIN storm.
+      state.join_backoff_ms =
+          std::min(state.join_backoff_ms * 2.0, config_.join_retry_max_ms);
+      JoinRetriesCounter().Increment();
+      const double backoff = state.join_backoff_ms;
+      SendJoin(state.topic, state.join_direct);
+      state.join_backoff_ms = backoff;  // SendJoin must not reset the doubled value.
     }
   }
   pastry_->net()->sim()->Schedule(config_.parent_heartbeat_ms, [this]() { MaintenanceTick(); });

@@ -50,6 +50,12 @@ struct ScribeConfig {
   double parent_heartbeat_ms = 200.0;
   double parent_timeout_ms = 650.0;
   bool enable_tree_repair = false;
+  // JOIN retransmission with exponential backoff: a JOIN still pending after this long
+  // is re-sent, doubling the wait up to `join_retry_max_ms`. 0 disables retries (a JOIN
+  // lost to an unreliable link then strands the node until the next repair pass).
+  // Requires enable_tree_repair (retries ride the maintenance tick).
+  double join_retry_ms = 0.0;
+  double join_retry_max_ms = 3200.0;
 };
 
 class ScribeNode {
@@ -62,6 +68,10 @@ class ScribeNode {
   // reported (Table 2's onTimer exposes straggler ids to the application owner).
   using StragglerFn = std::function<void(const NodeId& topic, uint64_t round,
                                          const std::vector<HostId>& missing_children)>;
+  // Invoked at the root whenever a round's total is finalized, before the application
+  // callback — the faultsim InvariantChecker audits contribution counts here.
+  using AggregateAuditFn =
+      std::function<void(const NodeId& topic, uint64_t round, const AggregationPiece& total)>;
 
   ScribeNode(PastryNode* pastry, ScribeConfig config);
 
@@ -87,6 +97,7 @@ class ScribeNode {
   void SetOnBroadcast(BroadcastFn fn) { on_broadcast_ = std::move(fn); }
   void SetOnRootAggregate(RootAggregateFn fn) { on_root_aggregate_ = std::move(fn); }
   void SetOnStragglers(StragglerFn fn) { on_stragglers_ = std::move(fn); }
+  void SetAggregateAudit(AggregateAuditFn fn) { aggregate_audit_ = std::move(fn); }
 
   // Structure inspection (used by forest statistics and tests).
   bool InTree(const NodeId& topic) const;
@@ -120,9 +131,19 @@ class ScribeNode {
     HostId parent = kInvalidHost;
     NodeId parent_id;
     bool join_pending = false;
+    bool join_direct = false;  // Pending JOIN must graft only at the rendezvous.
     std::map<HostId, NodeId> children;
     SimTime last_parent_heartbeat = 0.0;
     std::map<uint64_t, RoundState> rounds;
+    // JOIN retry bookkeeping (config.join_retry_ms): when the pending JOIN was sent and
+    // the current backoff before the next resend.
+    SimTime join_sent_ms = 0.0;
+    double join_backoff_ms = 0.0;
+    // Straggler-drop bookkeeping: once a round's aggregate is forwarded (or handled at
+    // the root), late pieces for it — stragglers past the cut-off, duplicates from a
+    // rejoined child or a duplicating link — must not re-open it.
+    uint64_t max_closed_round = 0;
+    bool any_closed = false;
   };
 
   // Pastry handler plumbing.
@@ -137,7 +158,9 @@ class ScribeNode {
 
   TopicState& GetOrCreate(const NodeId& topic);
   void AddChild(TopicState& state, HostId child_host, const NodeId& child_id);
-  void SendJoin(const NodeId& topic);
+  // `direct` marks the JOIN as graft-at-rendezvous-only (demotion re-join; see
+  // ScribeJoin::direct). Retries preserve the flag via TopicState::join_direct.
+  void SendJoin(const NodeId& topic, bool direct = false);
   void ForwardBroadcastToChildren(const TopicState& state, const ScribeBroadcast& bc,
                                   uint64_t size_bytes);
   // Folds a piece into the round and forwards the partial aggregate if complete.
@@ -154,6 +177,7 @@ class ScribeNode {
   BroadcastFn on_broadcast_;
   RootAggregateFn on_root_aggregate_;
   StragglerFn on_stragglers_;
+  AggregateAuditFn aggregate_audit_;
   std::unordered_map<U128, TopicState, U128Hash> topics_;
   bool maintenance_running_ = false;
 };

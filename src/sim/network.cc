@@ -55,6 +55,11 @@ void Network::Send(Message msg) {
     metrics_.RecordDrop(msg.src, msg.traffic);
     return;
   }
+  FaultAction fault;
+  if (fault_fn_ && fault_fn_(msg, &fault) && fault.drop) {
+    metrics_.RecordDrop(msg.src, msg.traffic);
+    return;
+  }
 
   const SimTime now = sim_->Now();
   SimTime departure = now;
@@ -63,7 +68,7 @@ void Network::Send(Message msg) {
     src.tx_free_at = std::max(src.tx_free_at, now) + tx_time;
     departure = src.tx_free_at;
   }
-  const double prop = latency_->LatencyMs(msg.src, msg.dst);
+  const double prop = latency_->LatencyMs(msg.src, msg.dst) + fault.extra_delay_ms;
   const SimTime arrival_start = departure + prop;
 
   auto& dst = hosts_[msg.dst];
@@ -91,6 +96,33 @@ void Network::Send(Message msg) {
   // the scheduling work below.
   PrefetchRead(&hosts_[msg.dst]);
   metrics_.PrefetchHost(msg.dst);
+
+  // Fault-injected duplicates: each extra copy serializes through both NICs after the
+  // original, so duplication consumes real bandwidth and arrives strictly later.
+  for (int c = 0; c < fault.extra_copies; ++c) {
+    metrics_.RecordSend(msg);
+    SimTime dup_departure = now;
+    if (config_.model_bandwidth) {
+      const double tx_time = static_cast<double>(msg.size_bytes) / src.bandwidth_bytes_per_ms;
+      src.tx_free_at = std::max(src.tx_free_at, now) + tx_time;
+      dup_departure = src.tx_free_at;
+    }
+    SimTime dup_delivery = dup_departure + prop;
+    if (config_.model_bandwidth) {
+      const double rx_time = static_cast<double>(msg.size_bytes) / dst.bandwidth_bytes_per_ms;
+      dst.rx_free_at = std::max(dst.rx_free_at, dup_delivery) + rx_time;
+      dup_delivery = dst.rx_free_at;
+    }
+    sim_->ScheduleAt(dup_delivery, [this, msg]() {
+      auto& dst_state = hosts_[msg.dst];
+      if (!dst_state.up) {
+        metrics_.RecordDrop(msg.dst, msg.traffic);
+        return;
+      }
+      metrics_.RecordDelivery(msg);
+      dst_state.host->HandleMessage(msg);
+    });
+  }
 
   auto deliver = [this, msg = std::move(msg)]() {
     auto& dst_state = hosts_[msg.dst];

@@ -35,6 +35,16 @@ struct NetworkConfig {
   bool model_bandwidth = true;
 };
 
+// What a fault hook does to one message in flight. Drop wins over everything;
+// otherwise the message is delivered `1 + extra_copies` times, each delivery delayed by
+// `extra_delay_ms` on top of the normal transport time. A large enough delay makes the
+// message arrive after later sends — that is how reordering is injected.
+struct FaultAction {
+  bool drop = false;
+  int extra_copies = 0;
+  double extra_delay_ms = 0.0;
+};
+
 class Network {
  public:
   Network(Simulator* sim, std::unique_ptr<LatencyModel> latency, NetworkConfig config = {});
@@ -62,6 +72,13 @@ class Network {
   // experiments at the transport level.
   void SetLossFn(std::function<bool(const Message&)> fn) { loss_fn_ = std::move(fn); }
 
+  // Optional per-message fault hook (partitions, correlated flaps, duplicate/delay
+  // injection — see src/faultsim). Runs after loss_fn_; fills `*action` and returns
+  // true when the message is affected. At most one hook; the FaultInjector owns it.
+  using FaultFn = std::function<bool(const Message&, FaultAction*)>;
+  void SetFaultFn(FaultFn fn) { fault_fn_ = std::move(fn); }
+  bool HasFaultFn() const { return fault_fn_ != nullptr; }
+
   double LatencyMs(HostId a, HostId b) const { return latency_->LatencyMs(a, b); }
   const LatencyModel& latency_model() const { return *latency_; }
 
@@ -84,6 +101,7 @@ class Network {
   std::vector<HostState> hosts_;
   NetworkMetrics metrics_;
   std::function<bool(const Message&)> loss_fn_;
+  FaultFn fault_fn_;
 };
 
 }  // namespace totoro

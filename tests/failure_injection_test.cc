@@ -3,7 +3,11 @@
 // never wedge or corrupt results.
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "src/core/engine.h"
+#include "src/faultsim/fault_injector.h"
+#include "src/faultsim/fault_script.h"
 #include "src/pubsub/forest.h"
 
 namespace totoro {
@@ -144,6 +148,134 @@ TEST(FaultInjectionTest, MasterFailureFailsOverAndTrainingCompletes) {
   EXPECT_EQ(result.rounds_completed, result.curve.back().round);
   EXPECT_GE(result.rounds_completed, 10u);
   EXPECT_GT(result.final_accuracy, 0.5);
+}
+
+TEST(FaultInjectionTest, CrashDuringJoinStillBuildsTheTree) {
+  // The rendezvous node dies while JOINs toward it are still in flight. JOIN retries
+  // plus tree repair must land every subscriber in the successor's tree.
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 50.0;
+  scribe_config.parent_timeout_ms = 170.0;
+  scribe_config.join_retry_ms = 300.0;
+  FaultWorld world(60, scribe_config);
+  const NodeId topic = world.forest->CreateTopic("crash-during-join");
+  const HostId doomed = world.pastry->ClosestLiveNode(topic)->host();
+  for (size_t i = 0; i < 20; ++i) {
+    world.forest->scribe(i).Subscribe(topic);
+  }
+  world.sim.RunFor(5.0);  // JOINs are mid-route; many have not reached the rendezvous.
+  world.net->SetHostUp(doomed, false);
+  world.forest->StartMaintenance();
+  world.sim.RunFor(10000.0);
+  const size_t root = world.forest->RootOf(topic);
+  ASSERT_NE(root, SIZE_MAX);
+  EXPECT_NE(world.forest->scribe(root).host(), doomed);
+  EXPECT_EQ(world.forest->scribe(root).pastry().id(),
+            world.pastry->ClosestLiveNode(topic)->id());
+  EXPECT_TRUE(world.forest->IsFullyConnected(topic));
+}
+
+TEST(FaultInjectionTest, GracefulLeaveOfInternalParentRehomesItsSubtree) {
+  // A node that is the parent of a non-empty subtree leaves gracefully (Scribe detach
+  // first, then host down). Its children must re-graft and keep receiving broadcasts.
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 50.0;
+  scribe_config.parent_timeout_ms = 170.0;
+  scribe_config.join_retry_ms = 300.0;
+  FaultWorld world(80, scribe_config);
+  const NodeId topic = world.forest->CreateTopic("leave-internal");
+  std::vector<size_t> members(world.forest->size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    members[i] = i;
+  }
+  world.forest->SubscribeAll(topic, members);
+  world.forest->StartMaintenance();
+  world.sim.RunFor(300.0);
+  const size_t root = world.forest->RootOf(topic);
+  size_t leaver = SIZE_MAX;
+  for (size_t i = 0; i < world.forest->size(); ++i) {
+    if (i != root && !world.forest->scribe(i).ChildrenOf(topic).empty()) {
+      leaver = i;
+      break;
+    }
+  }
+  ASSERT_NE(leaver, SIZE_MAX) << "no internal non-root node to leave";
+  ASSERT_FALSE(world.forest->scribe(leaver).ChildrenOf(topic).empty());
+
+  FaultInjector injector(world.pastry.get(), world.forest.get(), 960);
+  FaultEvent leave;
+  leave.kind = FaultKind::kGracefulLeave;
+  leave.host = world.forest->scribe(leaver).host();
+  injector.ApplyNow(leave);
+  world.sim.RunFor(6000.0);
+  EXPECT_TRUE(world.forest->IsFullyConnected(topic));
+
+  // Every live subscriber still receives broadcasts exactly once.
+  std::unordered_map<size_t, int> deliveries;
+  for (size_t i = 0; i < world.forest->size(); ++i) {
+    world.forest->scribe(i).SetOnBroadcast(
+        [&deliveries, i](const NodeId&, uint64_t, const ScribeBroadcast&) {
+          ++deliveries[i];
+        });
+  }
+  world.forest->scribe(world.forest->RootOf(topic)).Broadcast(topic, 1, nullptr, 64);
+  world.sim.RunFor(2000.0);
+  for (size_t member : members) {
+    if (member == leaver) {
+      continue;
+    }
+    EXPECT_EQ(deliveries[member], 1) << "member " << member;
+  }
+  EXPECT_EQ(deliveries.count(leaver), 0u) << "the departed node still got the broadcast";
+}
+
+TEST(FaultInjectionTest, SimultaneousRootAndChildFailureRecovers) {
+  // The root and one of its direct children die in the same instant: the tree loses
+  // both its rendezvous and an internal branch at once. Repair must elect the new
+  // rendezvous and re-home the dead child's subtree in one pass.
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 50.0;
+  scribe_config.parent_timeout_ms = 170.0;
+  scribe_config.join_retry_ms = 300.0;
+  FaultWorld world(80, scribe_config);
+  const NodeId topic = world.forest->CreateTopic("root-and-child");
+  std::vector<size_t> members(world.forest->size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    members[i] = i;
+  }
+  world.forest->SubscribeAll(topic, members);
+  world.forest->StartMaintenance();
+  world.sim.RunFor(300.0);
+  const size_t root = world.forest->RootOf(topic);
+  const auto root_children = world.forest->scribe(root).ChildrenOf(topic);
+  ASSERT_FALSE(root_children.empty());
+  // Prefer a child that itself has children, so a whole subtree gets orphaned.
+  HostId child_host = root_children.front();
+  for (size_t i = 0; i < world.forest->size(); ++i) {
+    const ScribeNode& s = world.forest->scribe(i);
+    if (s.ParentOf(topic) == world.forest->scribe(root).host() &&
+        !s.ChildrenOf(topic).empty()) {
+      child_host = s.host();
+      break;
+    }
+  }
+
+  FaultInjector injector(world.pastry.get(), world.forest.get(), 970);
+  FaultScript script;
+  script.CrashAt(0.0, world.forest->scribe(root).host()).CrashAt(0.0, child_host);
+  injector.Schedule(script);
+  world.sim.RunFor(10000.0);
+  EXPECT_EQ(injector.stats().crashes, 2u);
+
+  const size_t new_root = world.forest->RootOf(topic);
+  ASSERT_NE(new_root, SIZE_MAX);
+  EXPECT_NE(new_root, root);
+  EXPECT_EQ(world.forest->scribe(new_root).pastry().id(),
+            world.pastry->ClosestLiveNode(topic)->id());
+  EXPECT_TRUE(world.forest->IsFullyConnected(topic));
 }
 
 TEST(FaultInjectionTest, ConcurrentAppsIsolateFaults) {

@@ -10,6 +10,13 @@
 #include <cmath>
 
 #include "src/dht/pastry_network.h"
+#include "src/faultsim/fault_injector.h"
+#include "src/faultsim/fault_script.h"
+#include "src/faultsim/invariant_checker.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+#include "src/pubsub/forest.h"
 
 namespace totoro {
 namespace {
@@ -260,6 +267,113 @@ TEST_P(ChurnSweepTest, RoutingSurvivesThirtyPercentFailures) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSweepTest, ::testing::Range<uint64_t>(60, 66));
+
+// ---------- Randomized fault-script sweep (overlay level) ----------
+
+struct OverlayFaultOutcome {
+  size_t violations = 0;
+  int routed = 0;
+  int correct = 0;
+  std::string metrics_json;
+};
+
+// Runs a random-but-seeded fault script against a bare overlay (no trees), then checks
+// the ring invariant and routing correctness after the convergence tail.
+OverlayFaultOutcome RunOverlayFaultTrial(uint64_t seed) {
+  GlobalMetrics().ResetValues();
+  OverlayFaultOutcome out;
+  {
+    Simulator sim;
+    NetworkConfig net_config;
+    net_config.model_bandwidth = false;
+    Network net(&sim, std::make_unique<PairwiseUniformLatency>(1.0, 10.0, seed), net_config);
+    PastryConfig pastry_config;
+    pastry_config.enable_keepalive = true;
+    pastry_config.keepalive_interval_ms = 200.0;
+    pastry_config.keepalive_timeout_ms = 700.0;
+    PastryNetwork pastry(&net, pastry_config);
+    Rng rng(seed);
+    const size_t n = 60;
+    for (size_t i = 0; i < n; ++i) {
+      pastry.AddRandomNode(rng);
+    }
+    pastry.BuildOracle(rng);
+    for (size_t i = 0; i < pastry.size(); ++i) {
+      pastry.node(i).StartKeepAlive();
+    }
+    // The checker needs a forest even when no topic is watched; keep it empty.
+    Forest forest(&pastry, ScribeConfig{});
+
+    FaultInjector injector(&pastry, &forest, seed + 1);
+    InvariantCheckerConfig checker_config;
+    checker_config.convergence_grace_ms = 9000.0;
+    InvariantChecker checker(&pastry, &forest, checker_config);
+    checker.SetFaultInjector(&injector);
+    checker.Start();
+
+    Rng script_rng(seed + 2);
+    const double duration = 15000.0;
+    RandomScriptOptions opts;
+    opts.max_crashes = 3;
+    const FaultScript script = GenerateRandomFaultScript(script_rng, n, duration, opts);
+    injector.Schedule(script);
+    sim.RunFor(duration + 10000.0);
+    checker.CheckConverged();
+    checker.Stop();
+    out.violations = checker.violations().size();
+    if (!checker.violations().empty()) {
+      ADD_FAILURE() << "first violation: " << checker.violations()[0].invariant << " ("
+                    << checker.violations()[0].detail << ") at t="
+                    << checker.violations()[0].at;
+    }
+
+    // Routing ground truth after recovery: every delivery lands on the closest live
+    // node (all crashed hosts have rejoined, so the whole ring is live again).
+    NodeId delivered_at;
+    int delivered = 0;
+    for (size_t i = 0; i < pastry.size(); ++i) {
+      pastry.node(i).SetDeliverHandler(500, [&, i](const NodeId&, const Message&, int) {
+        ++delivered;
+        delivered_at = pastry.node(i).id();
+      });
+    }
+    Rng probe_rng(seed + 3);
+    for (int t = 0; t < 25; ++t) {
+      const NodeId key = RandomNodeId(probe_rng);
+      PastryNode& origin = pastry.node(probe_rng.NextBelow(pastry.size()));
+      if (!origin.alive()) {
+        continue;
+      }
+      const int before = delivered;
+      Message m;
+      m.type = 500;
+      origin.Route(key, std::move(m));
+      sim.RunFor(500.0);
+      ++out.routed;
+      if (delivered == before + 1 && delivered_at == pastry.ClosestLiveNode(key)->id()) {
+        ++out.correct;
+      }
+    }
+  }
+  out.metrics_json = MetricsToJson(GlobalMetrics());
+  GlobalMetrics().ResetValues();
+  return out;
+}
+
+class OverlayFaultSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OverlayFaultSweepTest, RingRecoversRoutesCorrectlyAndReplaysBitIdentically) {
+  const OverlayFaultOutcome a = RunOverlayFaultTrial(GetParam());
+  EXPECT_EQ(a.violations, 0u);
+  ASSERT_GT(a.routed, 0);
+  EXPECT_EQ(a.correct, a.routed) << "post-recovery routing missed the rendezvous node";
+  const OverlayFaultOutcome b = RunOverlayFaultTrial(GetParam());
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "metrics export differs between replays";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OverlayFaultSweepTest, ::testing::Range<uint64_t>(150, 153));
 
 }  // namespace
 }  // namespace totoro

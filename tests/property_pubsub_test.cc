@@ -13,6 +13,12 @@
 #include <set>
 #include <unordered_map>
 
+#include "src/faultsim/fault_injector.h"
+#include "src/faultsim/fault_script.h"
+#include "src/faultsim/invariant_checker.h"
+#include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/pubsub/forest.h"
 
 namespace totoro {
@@ -215,6 +221,109 @@ TEST_P(RepairSweepTest, TreesReconnectAfterRandomInternalFailures) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RepairSweepTest, ::testing::Range<uint64_t>(80, 88));
+
+// ---------- Randomized fault-script sweep ----------
+
+struct FaultTrialOutcome {
+  size_t violations = 0;
+  bool connected = false;
+  uint64_t faults_applied = 0;
+  std::string trace_json;
+  std::string metrics_json;
+};
+
+// Builds a full-recovery world (keep-alives, suspect probes, tree repair, JOIN
+// retries), runs a random-but-seeded fault script against it, and checks every
+// invariant after the convergence tail. Observability exports come back so callers can
+// compare replays byte-for-byte.
+FaultTrialOutcome RunRandomFaultTrial(uint64_t seed) {
+  GlobalTracer().Clear();
+  GlobalTracer().SetEnabled(true);
+  GlobalMetrics().ResetValues();
+  FaultTrialOutcome out;
+  {
+    Simulator sim;
+    NetworkConfig net_config;
+    net_config.model_bandwidth = false;
+    Network net(&sim, std::make_unique<PairwiseUniformLatency>(1.0, 10.0, seed), net_config);
+    PastryConfig pastry_config;
+    pastry_config.enable_keepalive = true;
+    pastry_config.keepalive_interval_ms = 200.0;
+    pastry_config.keepalive_timeout_ms = 700.0;
+    PastryNetwork pastry(&net, pastry_config);
+    Rng rng(seed);
+    const size_t n = 50;
+    for (size_t i = 0; i < n; ++i) {
+      pastry.AddRandomNode(rng);
+    }
+    pastry.BuildOracle(rng);
+    for (size_t i = 0; i < pastry.size(); ++i) {
+      pastry.node(i).StartKeepAlive();
+    }
+    ScribeConfig scribe_config;
+    scribe_config.enable_tree_repair = true;
+    scribe_config.parent_heartbeat_ms = 100.0;
+    scribe_config.parent_timeout_ms = 350.0;
+    scribe_config.join_retry_ms = 400.0;
+    Forest forest(&pastry, scribe_config);
+    const NodeId topic = forest.CreateTopic("fault-sweep-" + std::to_string(seed));
+    std::vector<size_t> members(n);
+    for (size_t i = 0; i < n; ++i) {
+      members[i] = i;
+    }
+    forest.SubscribeAll(topic, members, /*settle_ms=*/1500.0);
+    forest.StartMaintenance();
+
+    FaultInjector injector(&pastry, &forest, seed + 1);
+    InvariantCheckerConfig checker_config;
+    checker_config.convergence_grace_ms = 9000.0;
+    InvariantChecker checker(&pastry, &forest, checker_config);
+    checker.WatchTopic(topic);
+    checker.SetFaultInjector(&injector);
+    checker.Start();
+
+    Rng script_rng(seed + 2);
+    const double duration = 20000.0;
+    const FaultScript script = GenerateRandomFaultScript(script_rng, n, duration);
+    injector.Schedule(script);
+    // The script confines faults to the first 60%; run it plus a convergence tail long
+    // enough for ring re-merge and tree re-rooting.
+    sim.RunFor(duration + 10000.0);
+    checker.CheckConverged();
+    checker.Stop();
+
+    out.violations = checker.violations().size();
+    if (!checker.violations().empty()) {
+      ADD_FAILURE() << "first violation: " << checker.violations()[0].invariant << " ("
+                    << checker.violations()[0].detail << ") at t="
+                    << checker.violations()[0].at;
+    }
+    out.connected = forest.IsFullyConnected(topic);
+    out.faults_applied = injector.stats().crashes + injector.stats().graceful_leaves +
+                         injector.stats().partitions + injector.stats().rejoins;
+  }
+  out.trace_json = TraceToChromeJson(GlobalTracer());
+  out.metrics_json = MetricsToJson(GlobalMetrics());
+  GlobalTracer().SetEnabled(false);
+  GlobalTracer().Clear();
+  GlobalMetrics().ResetValues();
+  return out;
+}
+
+class FaultScriptSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultScriptSweepTest, InvariantsHoldAndReplayIsBitIdentical) {
+  const FaultTrialOutcome a = RunRandomFaultTrial(GetParam());
+  EXPECT_EQ(a.violations, 0u);
+  EXPECT_TRUE(a.connected);
+  const FaultTrialOutcome b = RunRandomFaultTrial(GetParam());
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.trace_json, b.trace_json) << "trace export differs between replays";
+  EXPECT_EQ(a.metrics_json, b.metrics_json) << "metrics export differs between replays";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScriptSweepTest, ::testing::Range<uint64_t>(140, 143));
 
 }  // namespace
 }  // namespace totoro
