@@ -5,11 +5,31 @@
 // number of apps grows (coordinator queueing); (2) Totoro's total training time is
 // nearly flat in the number of apps (the paper reports 15.41h for 1 model vs 15.47h for
 // 20 at fanout 32).
+#include <chrono>
+
 #include "bench/parallel_runner.h"
 #include "bench/tta_common.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
+
+// Cheap determinism probe: one single-threaded Totoro TTA run with tracing on, reduced
+// to two fingerprints. The engine still honors TOTORO_COMPUTE_THREADS, so comparing
+// this line across thread counts (with TOTORO_BENCH_THREADS=1) checks the compute
+// pool's bit-identical-schedule guarantee on a real bench workload.
+void PrintDeterminismProbe() {
+  GlobalTracer().Clear();
+  GlobalTracer().SetEnabled(true);
+  GlobalMetrics().ResetValues();
+  bench::RunTotoroTta(bench::SpeechProfile(), /*num_apps=*/1, /*fanout_bits=*/5, 3000);
+  std::printf("determinism probe: metrics=%016llx trace=%016llx\n",
+              static_cast<unsigned long long>(MetricsFingerprint(GlobalMetrics())),
+              static_cast<unsigned long long>(TraceFingerprint(GlobalTracer())));
+  GlobalTracer().SetEnabled(false);
+  GlobalTracer().Clear();
+  GlobalMetrics().ResetValues();
+}
 
 void RunFigure(const bench::TaskProfile& profile, const char* figure) {
   bench::PrintHeader(std::string(figure) + ": time-to-accuracy, " + profile.name);
@@ -89,7 +109,16 @@ void RunFigure(const bench::TaskProfile& profile, const char* figure) {
 }  // namespace totoro
 
 int main() {
+  totoro::PrintDeterminismProbe();
+  // Wall-clock goes to stderr only: stdout must stay byte-identical across
+  // TOTORO_COMPUTE_THREADS / TOTORO_BENCH_THREADS settings.
+  const auto t0 = std::chrono::steady_clock::now();
   totoro::RunFigure(totoro::bench::SpeechProfile(), "Fig 8");
+  const auto t1 = std::chrono::steady_clock::now();
   totoro::RunFigure(totoro::bench::FemnistProfile(), "Fig 9");
+  const auto t2 = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "wall-clock: fig8 %.2fs fig9 %.2fs\n",
+               std::chrono::duration<double>(t1 - t0).count(),
+               std::chrono::duration<double>(t2 - t1).count());
   return 0;
 }

@@ -26,6 +26,11 @@ using ModelFactory = std::function<std::unique_ptr<Model>(uint64_t seed)>;
 struct AsyncConfig {
   float mix_alpha = 0.3f;
   size_t rebroadcast_every = 4;
+  // Staleness-aware semi-async merging (FedBuff / Totoro+ style): an update trained
+  // against a model `s` re-broadcasts old mixes with
+  //   alpha_eff = mix_alpha / (1 + s)^staleness_exponent
+  // 0 (default) disables the discount and reproduces plain FedAsync mixing.
+  double staleness_exponent = 0.0;
 };
 
 enum class SelectionPolicy { kAll, kRandom, kOortLike };
@@ -47,6 +52,11 @@ struct FlAppConfig {
   // When set, the application runs the asynchronous protocol instead of synchronous
   // tree-aggregated rounds. max_rounds then caps the number of model re-broadcasts.
   std::optional<AsyncConfig> async;
+  // Secure aggregation (pairwise additive masking, src/fl/secure_agg.h): interior tree
+  // nodes only ever see masked sums; the root unmasks and finalizes, applying dropout
+  // correction when a straggler deadline cut part of the cohort. Synchronous protocol
+  // only; requires >= 2 workers (and participants_per_round != 1 when selecting).
+  bool secure_aggregation = false;
 };
 
 struct AccuracyPoint {

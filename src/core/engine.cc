@@ -1,6 +1,7 @@
 #include "src/core/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "src/common/check.h"
@@ -16,9 +17,14 @@ constexpr int kFlAsyncUpdate = 200;
 // Checkpoint replication from the master to its leaf-set neighbors.
 constexpr int kFlCheckpoint = 201;
 
-// Payload of an async update: the worker's freshly trained weights.
+// Per-round secure-aggregation group seeds derive from one app seed.
+constexpr uint64_t kSecureRoundSeedMix = 0x9E3779B97F4A7C15ull;
+
+// Payload of an async update: the worker's freshly trained weights plus the round of
+// the broadcast it trained against (the master derives staleness from it).
 struct AsyncUpdatePayload {
   NodeId topic;
+  uint64_t round = 0;
   std::vector<float> weights;
   double sample_weight = 1.0;
 };
@@ -36,7 +42,8 @@ int VirtualNodeCount(int cpu_cores) {
 }
 
 TotoroEngine::TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed)
-    : forest_(forest), compute_(compute), rng_(seed) {
+    : forest_(forest), compute_(compute), rng_(seed),
+      pool_(std::make_unique<ComputePool>(ComputePool::ThreadsFromEnv())) {
   speed_factors_.assign(forest_->size(), 1.0);
   // One set of callbacks per scribe node; dispatch on topic inside the engine.
   for (size_t i = 0; i < forest_->size(); ++i) {
@@ -63,6 +70,21 @@ TotoroEngine::TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed)
 void TotoroEngine::SetSpeedFactors(std::vector<double> factors) {
   CHECK_EQ(factors.size(), forest_->size());
   speed_factors_ = std::move(factors);
+}
+
+void TotoroEngine::SetComputeThreads(size_t threads) {
+  // Joining outstanding tickets first keeps every trainer's happens-before chain
+  // intact across the swap; the old pool's destructor then has nothing in flight.
+  for (auto& [topic, app] : apps_) {
+    (void)topic;
+    for (auto& [node, slot] : app->trainers) {
+      (void)node;
+      if (slot.pending.valid()) {
+        slot.pending.Wait();
+      }
+    }
+  }
+  pool_ = std::make_unique<ComputePool>(threads);
 }
 
 void TotoroEngine::EnableFailover(FailoverConfig config) {
@@ -151,9 +173,21 @@ NodeId TotoroEngine::LaunchApp(const FlAppConfig& config, const std::vector<size
   for (size_t w = 0; w < workers.size(); ++w) {
     const size_t node = workers[w];
     CHECK(shards[w].size() > 0);
-    app->trainers[node] = std::make_unique<LocalTrainer>(
+    app->trainers[node].trainer = std::make_unique<LocalTrainer>(
         config.model_factory(rng_.Next()), std::move(shards[w]), speed_factors_[node],
         rng_.Next());
+  }
+  if (config.secure_aggregation) {
+    // Pairwise masking needs a cohort of at least two, and interior nodes must SUM
+    // masked vectors instead of averaging them — install the per-topic combiner on
+    // every node that could end up inside this application's tree.
+    CHECK(!config.async.has_value());
+    CHECK_GE(workers.size(), 2u);
+    CHECK_NE(config.participants_per_round, 1u);
+    app->secure_seed = rng_.Next();
+    for (size_t i = 0; i < forest_->size(); ++i) {
+      forest_->scribe(i).SetCombineFnForTopic(topic, MakeSecureSumCombiner());
+    }
   }
   switch (config.selection) {
     case SelectionPolicy::kAll:
@@ -197,18 +231,48 @@ void TotoroEngine::StartRound(AppRuntime& app) {
       app.config.participants_per_round < app.trainers.size()) {
     std::vector<ClientInfo> clients;
     clients.reserve(app.trainers.size());
-    for (const auto& [node, trainer] : app.trainers) {
+    for (auto& [node, slot] : app.trainers) {
+      // Selection reads post-train state (last_loss); join any still-offloaded task
+      // first so the read matches the sequential schedule, where a straggler's Train
+      // had already run synchronously at broadcast delivery.
+      if (slot.pending.valid()) {
+        slot.pending.Wait();
+      }
       ClientInfo info;
       info.index = node;
       // Optimistic initialization: untrained clients look maximally useful.
-      info.last_loss = trainer->last_loss() > 0.0f ? trainer->last_loss() : 1e6;
-      info.speed_factor = trainer->speed_factor();
+      info.last_loss = slot.trainer->last_loss() > 0.0f ? slot.trainer->last_loss() : 1e6;
+      info.speed_factor = slot.trainer->speed_factor();
       clients.push_back(info);
     }
     auto selected = std::make_shared<std::vector<size_t>>(
         app.selector->Select(clients, app.config.participants_per_round, rng_));
     std::sort(selected->begin(), selected->end());
     payload->selected = std::move(selected);
+  }
+  if (app.config.secure_aggregation) {
+    // This round's mask group covers exactly the broadcast cohort; every cut-off
+    // straggler later shows up as a missing contributor and is repaired by
+    // DropoutCorrection at the root.
+    std::vector<uint64_t> cohort;
+    if (payload->selected != nullptr) {
+      cohort.assign(payload->selected->begin(), payload->selected->end());
+    } else {
+      cohort.reserve(app.trainers.size());
+      for (const auto& [node, slot] : app.trainers) {
+        (void)slot;
+        cohort.push_back(node);
+      }
+      std::sort(cohort.begin(), cohort.end());
+    }
+    app.secure_groups[app.round] = std::make_shared<const SecureAggregationGroup>(
+        std::move(cohort), app.secure_seed ^ (app.round * kSecureRoundSeedMix));
+    // Bound memory: groups older than a few rounds are only reachable through the
+    // shared_ptrs that in-flight training tasks captured.
+    while (!app.secure_groups.empty() &&
+           app.secure_groups.begin()->first + 8 < app.round) {
+      app.secure_groups.erase(app.secure_groups.begin());
+    }
   }
   const uint64_t bytes = app.global_weights.size() * sizeof(float);
   forest_->scribe(app.master_index)
@@ -268,16 +332,25 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
     return;
   }
 
-  LocalTrainer& trainer = *trainer_it->second;
-  LocalUpdate update = trainer.Train(payload->weights, app.config.train, compute_,
-                                     app.config.dp, app.config.compression);
-  net->metrics().ChargeWork(
-      forest_->scribe(node_index).host(), WorkKind::kFlTask,
-      static_cast<double>(trainer.model().NumParams()) *
-          static_cast<double>(app.config.train.batch_size * app.config.train.local_steps));
+  TrainerSlot& slot = trainer_it->second;
+  // The sequential schedule ran the previous Train to completion before this broadcast
+  // was delivered; join any still-offloaded task before reusing the trainer (its model
+  // and RNG state must advance in the same order for any thread count).
+  if (slot.pending.valid()) {
+    slot.pending.Wait();
+  }
+  LocalTrainer* trainer = slot.trainer.get();
 
-  const uint64_t wire_bytes = update.wire_bytes;
-  const double compute_ms = update.compute_time_ms;
+  // Everything the event schedule depends on — the completion stamp, work accounting,
+  // the training span — is computed here from inputs available BEFORE training runs,
+  // so offloading Train cannot perturb event order, traces or metrics.
+  const size_t params = trainer->model().NumParams();
+  const size_t examples = app.config.train.batch_size * app.config.train.local_steps;
+  const double compute_ms =
+      compute_.TrainTimeMs(params, examples, trainer->speed_factor());
+  net->metrics().ChargeWork(forest_->scribe(node_index).host(), WorkKind::kFlTask,
+                            static_cast<double>(params) * static_cast<double>(examples));
+
   // Local training covers [now, now + compute_ms] of virtual time on this worker; the
   // context is re-entered in the completion callback so the submitted update (and its
   // up-tree hops) parents to the training span.
@@ -290,37 +363,75 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
         train_start + compute_ms, tracer.current(),
         {{"round", std::to_string(round)}, {"compute_ms", std::to_string(compute_ms)}});
   }
+
+  // Offload the actual CPU work. The task touches only this trainer's private state
+  // (model, shard, RNG) plus immutable inputs — never the thread-local tracer/metrics
+  // registries — and secure masking rides along so the per-client O(cohort * dim) PRG
+  // work also leaves the simulator thread.
+  static thread_local Counter* train_tasks =
+      &GlobalMetrics().GetCounter("engine.compute.train_tasks");
+  train_tasks->Increment();
+  std::shared_ptr<const SecureAggregationGroup> group;
+  if (app.config.secure_aggregation) {
+    auto group_it = app.secure_groups.find(round);
+    CHECK(group_it != app.secure_groups.end());
+    group = group_it->second;
+  }
+  const FlAppConfig* config = &app.config;
+  const ComputeModel compute = compute_;
+  std::shared_ptr<const void> broadcast_data = bc.data;  // Keeps RoundPayload alive.
+  ComputePool::Ticket ticket =
+      pool_->Submit([trainer, config, compute, group, node_index, broadcast_data]() {
+        const auto* round_payload = static_cast<const RoundPayload*>(broadcast_data.get());
+        LocalUpdate update = trainer->Train(round_payload->weights, config->train, compute,
+                                            config->dp, config->compression);
+        if (group != nullptr) {
+          update.weights = group->MaskUpdate(static_cast<uint64_t>(node_index),
+                                             update.weights, update.sample_weight);
+        }
+        return update;
+      });
+  slot.pending = ticket;
+
   if (app.config.async.has_value()) {
     // Asynchronous protocol: route the update straight to the master; no tree barrier.
-    AsyncUpdatePayload async_payload;
-    async_payload.topic = topic;
-    async_payload.weights = std::move(update.weights);
-    async_payload.sample_weight = update.sample_weight;
-    net->sim()->Schedule(compute_ms, [this, node_index, topic, wire_bytes, train_ctx,
-                                      async_payload = std::move(async_payload)]() mutable {
-      ScopedTraceContext scope(train_ctx);
-      Message m;
-      m.type = kFlAsyncUpdate;
-      m.size_bytes = wire_bytes;
-      m.traffic = TrafficClass::kGradient;
-      m.transport = Transport::kTcp;
-      m.SetPayload(std::move(async_payload));
-      forest_->scribe(node_index).pastry().Route(topic, std::move(m));
-    });
+    net->sim()->ScheduleRejoin(
+        compute_ms, [this, node_index, topic, round, train_ctx, ticket]() mutable {
+          LocalUpdate update = ticket.Take();
+          ScopedTraceContext scope(train_ctx);
+          AsyncUpdatePayload async_payload;
+          async_payload.topic = topic;
+          async_payload.round = round;
+          async_payload.weights = std::move(update.weights);
+          async_payload.sample_weight = update.sample_weight;
+          Message m;
+          m.type = kFlAsyncUpdate;
+          m.size_bytes = update.wire_bytes;
+          m.traffic = TrafficClass::kGradient;
+          m.transport = Transport::kTcp;
+          m.SetPayload(std::move(async_payload));
+          forest_->scribe(node_index).pastry().Route(topic, std::move(m));
+        });
     return;
   }
 
-  auto piece_payload = std::make_shared<WeightsPayload>();
-  piece_payload->weights = std::move(update.weights);
-  AggregationPiece piece;
-  piece.data = std::move(piece_payload);
-  piece.weight = update.sample_weight;
-  piece.count = 1;
-  net->sim()->Schedule(compute_ms, [this, node_index, topic, round, piece = std::move(piece),
-                                    wire_bytes, train_ctx]() mutable {
-    ScopedTraceContext scope(train_ctx);
-    forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(piece), wire_bytes);
-  });
+  const bool secure = group != nullptr;
+  net->sim()->ScheduleRejoin(
+      compute_ms, [this, node_index, topic, round, train_ctx, ticket, secure]() mutable {
+        LocalUpdate update = ticket.Take();
+        ScopedTraceContext scope(train_ctx);
+        auto piece_payload = std::make_shared<WeightsPayload>();
+        piece_payload->weights = std::move(update.weights);
+        if (secure) {
+          piece_payload->contributors = {static_cast<uint64_t>(node_index)};
+        }
+        AggregationPiece piece;
+        piece.data = std::move(piece_payload);
+        piece.weight = update.sample_weight;
+        piece.count = 1;
+        forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(piece),
+                                                 update.wire_bytes);
+      });
 }
 
 void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
@@ -335,7 +446,31 @@ void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
   }
   if (total.data != nullptr) {
     const auto* merged = static_cast<const WeightsPayload*>(total.data.get());
-    app.global_weights = merged->weights;
+    if (app.config.secure_aggregation) {
+      auto group_it = app.secure_groups.find(round);
+      CHECK(group_it != app.secure_groups.end());
+      const SecureAggregationGroup& group = *group_it->second;
+      std::vector<float> sum = merged->weights;
+      const std::vector<uint64_t>& survivors = merged->contributors;
+      if (survivors.size() < group.size()) {
+        // A straggler deadline or aggregation timeout cut part of the cohort, so the
+        // survivors' masks toward the dropped participants did not cancel. Run the
+        // mask-recovery round: subtract their net contribution before unmasking.
+        const std::vector<double> correction = group.DropoutCorrection(survivors, sum.size());
+        for (size_t i = 0; i < sum.size(); ++i) {
+          sum[i] = static_cast<float>(static_cast<double>(sum[i]) - correction[i]);
+        }
+        static thread_local Counter* corrections =
+            &GlobalMetrics().GetCounter("engine.secure.dropout_corrections");
+        static thread_local Counter* dropped =
+            &GlobalMetrics().GetCounter("engine.secure.dropped_clients");
+        corrections->Increment();
+        dropped->Increment(group.size() - survivors.size());
+      }
+      app.global_weights = FinalizeSecureAverage(sum, total.weight);
+    } else {
+      app.global_weights = merged->weights;
+    }
   }
   // A null total (every contribution timed out or no worker was selected) keeps the
   // previous global weights; the round still closes.
@@ -351,9 +486,20 @@ void TotoroEngine::OnAsyncUpdate(const NodeId& key, const Message& msg) {
   (void)key;
   AppRuntime& app = *it->second;
   const AsyncConfig& async = *app.config.async;
-  // FedAsync mixing: w <- (1 - alpha) w + alpha w_update.
   CHECK_EQ(payload.weights.size(), app.global_weights.size());
-  const float alpha = async.mix_alpha;
+  // Staleness = re-broadcasts since the model this update trained against. An update
+  // from the current round is fresh (0); older ones get the FedBuff/Totoro+-style
+  // discount 1/(1+s)^exponent on the mixing rate.
+  const uint64_t staleness = payload.round <= app.round ? app.round - payload.round : 0;
+  static thread_local Histogram* staleness_hist = &GlobalMetrics().GetHistogram(
+      "engine.async.staleness_rounds", Histogram::HopCountBounds());
+  staleness_hist->Observe(static_cast<double>(staleness));
+  double mix = async.mix_alpha;
+  if (async.staleness_exponent > 0.0 && staleness > 0) {
+    mix /= std::pow(1.0 + static_cast<double>(staleness), async.staleness_exponent);
+  }
+  // FedAsync mixing: w <- (1 - alpha) w + alpha w_update.
+  const float alpha = static_cast<float>(mix);
   for (size_t i = 0; i < app.global_weights.size(); ++i) {
     app.global_weights[i] =
         (1.0f - alpha) * app.global_weights[i] + alpha * payload.weights[i];

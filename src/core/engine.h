@@ -9,12 +9,15 @@
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "src/core/app.h"
 #include "src/fl/aggregation.h"
+#include "src/fl/compute_pool.h"
+#include "src/fl/secure_agg.h"
 #include "src/fl/selection.h"
 #include "src/obs/trace.h"
 #include "src/pubsub/forest.h"
@@ -53,6 +56,12 @@ class TotoroEngine {
   // maintenance) are active; with periodic timers, set a bounded settle instead.
   void SetSubscribeSettleMs(double settle_ms) { subscribe_settle_ms_ = settle_ms; }
 
+  // Replaces the local-training compute pool (see src/fl/compute_pool.h). The engine
+  // starts with TOTORO_COMPUTE_THREADS (default 1 = inline); results are bit-identical
+  // for any thread count. Joins all outstanding training tasks before switching.
+  void SetComputeThreads(size_t threads);
+  size_t compute_threads() const { return pool_->threads(); }
+
   // Builds the application's tree over `workers` and installs its runtime. `shards`
   // is parallel to `workers`; `test_set` is the master's evaluation set. Returns the
   // application topic. Training starts at StartAll().
@@ -74,6 +83,14 @@ class TotoroEngine {
   Forest& forest() { return *forest_; }
 
  private:
+  // One worker's trainer plus its in-flight offloaded training task, if any. The
+  // ticket is joined before the trainer is reused or its post-train state (last_loss)
+  // is read, so offloaded runs keep the sequential happens-before order per trainer.
+  struct TrainerSlot {
+    std::unique_ptr<LocalTrainer> trainer;
+    ComputePool::Ticket pending;
+  };
+
   struct AppRuntime {
     FlAppConfig config;
     NodeId topic;
@@ -81,8 +98,8 @@ class TotoroEngine {
     std::unique_ptr<Model> global_model;
     std::vector<float> global_weights;
     Dataset test_set{1, 2};
-    // worker node index -> trainer.
-    std::unordered_map<size_t, std::unique_ptr<LocalTrainer>> trainers;
+    // worker node index -> trainer slot.
+    std::unordered_map<size_t, TrainerSlot> trainers;
     uint64_t round = 0;
     double launch_time_ms = 0.0;
     bool started = false;
@@ -96,6 +113,11 @@ class TotoroEngine {
     std::unique_ptr<ClientSelector> selector;
     // Async-protocol state.
     uint64_t async_updates_received = 0;
+    // Secure-aggregation state: per-round pairwise mask group, keyed by round. Old
+    // groups are pruned to a small window; in-flight training tasks keep theirs alive
+    // through the shared_ptr they captured.
+    uint64_t secure_seed = 0;
+    std::map<uint64_t, std::shared_ptr<const SecureAggregationGroup>> secure_groups;
     // Failover bookkeeping.
     double last_progress_ms = 0.0;
     uint64_t failovers = 0;
@@ -131,6 +153,9 @@ class TotoroEngine {
   FailoverConfig failover_config_;
   double subscribe_settle_ms_ = 0.0;
   double round_deadline_ms_ = 0.0;
+  // Declared last so it is destroyed first: outstanding pool tasks reference trainers
+  // owned by apps_ above.
+  std::unique_ptr<ComputePool> pool_;
 };
 
 }  // namespace totoro

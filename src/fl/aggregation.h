@@ -27,6 +27,10 @@ std::vector<float> FederatedAverage(const std::vector<WeightedUpdate>& updates);
 // The weight payload carried through pub/sub trees.
 struct WeightsPayload {
   std::vector<float> weights;
+  // Participant ids behind this (partial) aggregate, sorted and unique. Leaves set
+  // their own id; the secure-sum combiner merges them so the root knows the survivor
+  // set and can run dropout correction. Empty for apps that never read it (FedAvg).
+  std::vector<uint64_t> contributors;
 };
 
 // CombineFn performing weighted averaging on WeightsPayload pieces. Used as the

@@ -1,0 +1,130 @@
+#include "src/fl/compute_pool.h"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace totoro {
+
+struct ComputePool::Ticket::State {
+  TrainFn fn;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  LocalUpdate result;
+  std::exception_ptr error;
+
+  void Run() {
+    LocalUpdate update;
+    std::exception_ptr err;
+    try {
+      update = fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    fn = nullptr;  // Release captured payloads promptly.
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(update);
+      error = err;
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+void ComputePool::Ticket::Wait() const {
+  CHECK(state_ != nullptr);
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) {
+    std::rethrow_exception(state_->error);
+  }
+}
+
+LocalUpdate ComputePool::Ticket::Take() {
+  Wait();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return std::move(state_->result);
+}
+
+ComputePool::ComputePool(size_t threads) {
+  if (threads <= 1) {
+    return;  // Inline mode.
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ComputePool::~ComputePool() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+  }
+  // Queued-but-unstarted tasks still owe their tickets a result (a rejoin event may
+  // outlive the pool); run them inline.
+  for (auto& state : queue_) {
+    state->Run();
+  }
+  queue_.clear();
+}
+
+ComputePool::Ticket ComputePool::Submit(TrainFn fn) {
+  CHECK(fn != nullptr);
+  auto state = std::make_shared<Ticket::State>();
+  state->fn = std::move(fn);
+  ++tasks_submitted_;
+  if (workers_.empty()) {
+    state->Run();
+    return Ticket(std::move(state));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(state);
+  }
+  cv_.notify_one();
+  return Ticket(std::move(state));
+}
+
+void ComputePool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Ticket::State> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ with a drained queue.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task->Run();
+  }
+}
+
+size_t ComputePool::ThreadsFromEnv() {
+  const char* env = std::getenv("TOTORO_COMPUTE_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return 1;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || parsed < 1) {
+    return 1;
+  }
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace totoro

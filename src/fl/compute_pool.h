@@ -1,0 +1,89 @@
+// Deterministic parallel compute offload for local training.
+//
+// The simulator is single-threaded by contract; what dominates the TTA benches'
+// wall-clock is not event dispatch but the real CPU work inside each event — the
+// LocalTrainer::Train calls the engine runs when a round's broadcast reaches its
+// workers. Those calls are mutually independent (per-trainer model, shard and RNG;
+// no thread-local tracer/metrics/log access), so they can run on worker threads
+// while virtual time stands still.
+//
+// Determinism contract (the same guarantee bench/parallel_runner gives whole trials,
+// applied inside one engine): Submit() returns a Ticket immediately; the caller
+// schedules a *rejoin* event at the client's virtual-time completion stamp, which
+// Wait()s on the ticket and folds the result into the event stream. Everything the
+// schedule depends on (the completion stamp, work accounting, trace spans) is computed
+// from inputs available BEFORE training runs, so the sequence of Schedule() calls —
+// and therefore event order, traces and metrics — is bit-identical for any thread
+// count, including the inline (threads <= 1) mode that never spawns a thread.
+//
+// Thread count comes from TOTORO_COMPUTE_THREADS (default 1 = inline).
+#ifndef SRC_FL_COMPUTE_POOL_H_
+#define SRC_FL_COMPUTE_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/fl/client.h"
+
+namespace totoro {
+
+class ComputePool {
+ public:
+  using TrainFn = std::function<LocalUpdate()>;
+
+  // Handle to one submitted training task. Copyable (shared state); empty tickets are
+  // valid() == false. Wait() blocks the calling thread until the task ran (a no-op in
+  // inline mode) and rethrows any exception the task threw.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    bool valid() const { return state_ != nullptr; }
+    // Blocks until the result is ready; the result stays readable afterwards.
+    void Wait() const;
+    // Wait() and move the result out. Call at most once per ticket.
+    LocalUpdate Take();
+
+   private:
+    friend class ComputePool;
+    struct State;
+    explicit Ticket(std::shared_ptr<State> state) : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  // threads <= 1 selects inline mode: Submit() runs the task on the calling thread and
+  // no worker threads exist at all.
+  explicit ComputePool(size_t threads);
+  ~ComputePool();
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  Ticket Submit(TrainFn fn);
+
+  size_t threads() const { return workers_.empty() ? 1 : workers_.size(); }
+  // Tasks accepted so far (deterministic: counted at Submit on the simulator thread).
+  uint64_t tasks_submitted() const { return tasks_submitted_; }
+
+  // Parses TOTORO_COMPUTE_THREADS (>= 1); 1 when unset or unparsable.
+  static size_t ThreadsFromEnv();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  uint64_t tasks_submitted_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Ticket::State>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_FL_COMPUTE_POOL_H_

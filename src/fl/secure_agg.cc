@@ -86,24 +86,40 @@ std::vector<double> SecureAggregationGroup::DropoutCorrection(
 CombineFn MakeSecureSumCombiner() {
   return [](const std::vector<AggregationPiece>& pieces) {
     CHECK(!pieces.empty());
-    const auto* first = static_cast<const WeightsPayload*>(pieces[0].data.get());
-    const size_t dim = first->weights.size();
-    auto merged = std::make_shared<WeightsPayload>();
-    merged->weights.assign(dim, 0.0f);
+    std::shared_ptr<WeightsPayload> merged;
     AggregationPiece out;
     out.weight = 0.0;
     out.count = 0;
     for (const auto& piece : pieces) {
-      CHECK(piece.data != nullptr);
+      // Null-data pieces are the "nothing to contribute" acks of unselected workers
+      // and straggler-deadline partial-round fallbacks; like MakeFedAvgCombiner, skip
+      // them — they keep the tree barrier intact without entering the masked sum.
+      if (piece.data == nullptr) {
+        CHECK_EQ(piece.weight, 0.0);
+        continue;
+      }
       const auto* payload = static_cast<const WeightsPayload*>(piece.data.get());
-      CHECK_EQ(payload->weights.size(), dim);
-      for (size_t i = 0; i < dim; ++i) {
+      if (merged == nullptr) {
+        merged = std::make_shared<WeightsPayload>();
+        merged->weights.assign(payload->weights.size(), 0.0f);
+      }
+      CHECK_EQ(payload->weights.size(), merged->weights.size());
+      for (size_t i = 0; i < merged->weights.size(); ++i) {
         merged->weights[i] += payload->weights[i];
       }
+      merged->contributors.insert(merged->contributors.end(),
+                                  payload->contributors.begin(),
+                                  payload->contributors.end());
       out.weight += piece.weight;
       out.count += piece.count;
     }
-    out.data = std::move(merged);
+    if (merged != nullptr) {
+      std::sort(merged->contributors.begin(), merged->contributors.end());
+      merged->contributors.erase(
+          std::unique(merged->contributors.begin(), merged->contributors.end()),
+          merged->contributors.end());
+      out.data = std::move(merged);
+    }
     return out;
   };
 }

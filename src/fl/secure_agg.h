@@ -32,6 +32,8 @@ class SecureAggregationGroup {
   SecureAggregationGroup(std::vector<uint64_t> participants, uint64_t group_seed);
 
   size_t size() const { return participants_.size(); }
+  // Sorted participant ids (the full expected cohort of the round).
+  const std::vector<uint64_t>& participants() const { return participants_; }
 
   // The net mask participant `id` adds to its weighted update of dimension `dim`.
   // Summing MaskFor over all participants yields exactly zero.

@@ -57,7 +57,19 @@ std::vector<size_t> OortLikeSelector::Select(const std::vector<ClientInfo>& clie
   rng.Shuffle(rest);
   for (size_t i = 0; i < explore && i < rest.size(); ++i) {
     chosen.push_back(clients[rest[i]].index);
+    taken[rest[i]] = true;
   }
+  // The exploration pool can run short of the explore quota; a short cohort would
+  // silently shrink the round (and, under secure aggregation, desynchronize the mask
+  // group from the broadcast cohort). Top up deterministically from the remaining
+  // exploit-ranked order.
+  for (size_t i = exploit; i < order.size() && chosen.size() < count; ++i) {
+    if (!taken[order[i]]) {
+      chosen.push_back(clients[order[i]].index);
+      taken[order[i]] = true;
+    }
+  }
+  CHECK_EQ(chosen.size(), count);
   return chosen;
 }
 

@@ -22,15 +22,23 @@ std::vector<float> DecodeFloat32(std::span<const uint8_t> bytes) {
 }
 
 std::vector<uint8_t> EncodeInt8(std::span<const float> weights) {
+  // Non-finite inputs (reachable after high-sigma DP noise) must not poison the scale:
+  // a NaN/Inf max_abs would corrupt EVERY coordinate on decode. The scale is computed
+  // over finite values only; NaN encodes as 0 and +/-Inf saturates to +/-127.
   float max_abs = 0.0f;
   for (float v : weights) {
-    max_abs = std::max(max_abs, std::abs(v));
+    if (std::isfinite(v)) {
+      max_abs = std::max(max_abs, std::abs(v));
+    }
   }
   const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
   std::vector<uint8_t> bytes(sizeof(float) + weights.size());
   std::memcpy(bytes.data(), &scale, sizeof(float));
   for (size_t i = 0; i < weights.size(); ++i) {
-    const float q = std::round(weights[i] / scale);
+    const float w = weights[i];
+    // std::clamp is unspecified for NaN; handle it before quantizing. round(+/-Inf)
+    // stays +/-Inf and clamps to the saturation bound below.
+    const float q = std::isnan(w) ? 0.0f : std::round(w / scale);
     const int8_t v = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
     bytes[sizeof(float) + i] = static_cast<uint8_t>(v);
   }

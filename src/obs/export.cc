@@ -193,6 +193,23 @@ std::string MetricsToCsv(const MetricsRegistry& registry) {
   return out;
 }
 
+uint64_t FingerprintBytes(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ull;  // FNV-1a 64-bit offset basis.
+  for (const char c : bytes) {
+    hash ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+uint64_t MetricsFingerprint(const MetricsRegistry& registry) {
+  return FingerprintBytes(MetricsToJson(registry));
+}
+
+uint64_t TraceFingerprint(const Tracer& tracer) {
+  return FingerprintBytes(TraceToChromeJson(tracer));
+}
+
 bool WriteStringToFile(const std::string& path, const std::string& content) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {

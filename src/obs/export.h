@@ -14,7 +14,9 @@
 #ifndef SRC_OBS_EXPORT_H_
 #define SRC_OBS_EXPORT_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
@@ -24,6 +26,14 @@ namespace totoro {
 std::string TraceToChromeJson(const Tracer& tracer);
 std::string MetricsToJson(const MetricsRegistry& registry);
 std::string MetricsToCsv(const MetricsRegistry& registry);
+
+// FNV-1a over a byte string: the cheap determinism probe. Two runs (or the same run
+// at different TOTORO_COMPUTE_THREADS) are byte-identical iff the fingerprints of
+// their exports match; benches print the fingerprint instead of megabytes of JSON.
+uint64_t FingerprintBytes(std::string_view bytes);
+// Fingerprints of the full JSON metric snapshot / Chrome trace export.
+uint64_t MetricsFingerprint(const MetricsRegistry& registry);
+uint64_t TraceFingerprint(const Tracer& tracer);
 
 // Writes `content` to `path`; returns false (and logs) on failure.
 bool WriteStringToFile(const std::string& path, const std::string& content);

@@ -370,7 +370,9 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
   // FL-side cost of merging updates grows with the number of pieces.
   pastry_->net()->metrics().ChargeWork(host(), WorkKind::kFlTask,
                                        static_cast<double>(rs.pieces.size()));
-  AggregationPiece total = combine_(rs.pieces);
+  const auto combine_it = topic_combine_.find(state.topic);
+  AggregationPiece total =
+      combine_it != topic_combine_.end() ? combine_it->second(rs.pieces) : combine_(rs.pieces);
   const uint64_t size_bytes = rs.max_piece_bytes;
   const SimTime now = pastry_->net()->sim()->Now();
   const SimTime origin = rs.earliest_submit_ms >= 0.0 ? rs.earliest_submit_ms : now;

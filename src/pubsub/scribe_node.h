@@ -94,6 +94,12 @@ class ScribeNode {
 
   // Application callbacks.
   void SetCombineFn(CombineFn fn) { combine_ = std::move(fn); }
+  // Per-topic combiner override (§4.3: "owners can specify different aggregation
+  // functions in their trees") — e.g. a secure-sum combiner for one application while
+  // the default FedAvg merge serves every other topic on this node.
+  void SetCombineFnForTopic(const NodeId& topic, CombineFn fn) {
+    topic_combine_[topic] = std::move(fn);
+  }
   void SetOnBroadcast(BroadcastFn fn) { on_broadcast_ = std::move(fn); }
   void SetOnRootAggregate(RootAggregateFn fn) { on_root_aggregate_ = std::move(fn); }
   void SetOnStragglers(StragglerFn fn) { on_stragglers_ = std::move(fn); }
@@ -174,6 +180,7 @@ class ScribeNode {
   PastryNode* pastry_;
   ScribeConfig config_;
   CombineFn combine_;
+  std::unordered_map<U128, CombineFn, U128Hash> topic_combine_;
   BroadcastFn on_broadcast_;
   RootAggregateFn on_root_aggregate_;
   StragglerFn on_stragglers_;

@@ -44,6 +44,11 @@ EventHandle Simulator::ScheduleAt(SimTime at, EventFn fn) {
   return queue_.Push(at, std::move(fn));
 }
 
+EventHandle Simulator::ScheduleRejoin(SimTime delay, EventFn fn) {
+  ++rejoins_scheduled_;
+  return Schedule(delay, std::move(fn));
+}
+
 template <typename StopCondition>
 size_t Simulator::RunLoop(size_t max_events, StopCondition keep_going) {
   if (queue_.Empty()) {

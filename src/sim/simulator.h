@@ -43,6 +43,16 @@ class Simulator {
   EventHandle Schedule(SimTime delay, EventFn fn);
   EventHandle ScheduleAt(SimTime at, EventFn fn);
 
+  // Schedules a completion-stamp rejoin: an event whose callback is allowed to BLOCK
+  // the wall clock waiting for work running off the simulator thread (e.g. a
+  // ComputePool ticket) before folding the result into the event stream. Virtual-time
+  // semantics are exactly Schedule(); the separate entry point documents the contract
+  // and keeps a deterministic count so tests can assert the offload actually engaged.
+  // The rejoin's position in the queue — and hence everything downstream — must not
+  // depend on the off-thread result, only on `delay` and the call site's order.
+  EventHandle ScheduleRejoin(SimTime delay, EventFn fn);
+  uint64_t rejoins_scheduled() const { return rejoins_scheduled_; }
+
   // Runs events until the queue drains or `max_events` fire. Returns events fired.
   size_t Run(size_t max_events = SIZE_MAX);
 
@@ -76,6 +86,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0.0;
   uint64_t events_fired_ = 0;
+  uint64_t rejoins_scheduled_ = 0;
   uint64_t cancelled_synced_ = 0;
   double run_wall_seconds_ = 0.0;
   Counter* fired_counter_ = nullptr;      // Cached thread-local registry series.

@@ -3,6 +3,7 @@
 #include "src/baselines/central_engine.h"
 #include "src/core/engine.h"
 #include "src/core/totoro_api.h"
+#include "src/obs/metrics_registry.h"
 
 namespace totoro {
 namespace {
@@ -327,6 +328,100 @@ TEST(TotoroApiTest, MasterIsRendezvousNode) {
   const auto master = api.MasterOf(app);
   ASSERT_NE(master, SIZE_MAX);
   EXPECT_TRUE(api.forest().scribe(master).IsRoot(app));
+}
+
+TEST(TotoroEngineTest, SecureAggregationRoundSurvivesStragglerDeadline) {
+  // Regression for the secure-sum combiner crashing on null "nothing to contribute"
+  // pieces: a secure app with participant selection (unselected workers ack with null
+  // pieces) and a straggler cut off every round by the tree timeout, backstopped by
+  // Engine::SetRoundDeadline. The root must close rounds via dropout correction.
+  NetworkConfig net_config;
+  Simulator sim;
+  Network net(&sim, std::make_unique<PairwiseUniformLatency>(1.0, 10.0, 5), net_config);
+  PastryNetwork pastry(&net, PastryConfig{});
+  Rng rng(100);
+  for (size_t i = 0; i < 50; ++i) {
+    pastry.AddRandomNode(rng);
+  }
+  pastry.BuildOracle(rng);
+  ScribeConfig scribe_config;
+  scribe_config.aggregation_timeout_ms = 250.0;  // Interior nodes forward partials.
+  Forest forest(&pastry, scribe_config);
+  TotoroEngine engine(&forest, ComputeModel{}, 101);
+  engine.SetRoundDeadline(4000.0);
+  std::vector<double> speeds(50, 1.0);
+  speeds[2] = 1e-6;  // Never finishes within a round.
+  engine.SetSpeedFactors(speeds);
+
+  FlAppConfig config = SmallApp("secure-straggler", 2.0, 4);
+  config.secure_aggregation = true;
+  config.participants_per_round = 7;
+  config.selection = SelectionPolicy::kRandom;
+  std::vector<size_t> workers{0, 1, 2, 3, 4, 5, 6, 7};
+  SyntheticTask task(SmallTask(11));
+  Rng data_rng(12);
+  std::vector<Dataset> shards;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    shards.push_back(task.Generate(100, data_rng));
+  }
+  const uint64_t corrections_before =
+      GlobalMetrics().GetCounter("engine.secure.dropout_corrections").value();
+  const NodeId topic = engine.LaunchApp(config, workers, std::move(shards),
+                                        task.Generate(200, data_rng));
+  engine.StartAll();
+  ASSERT_TRUE(engine.RunToCompletion());
+  const auto& result = engine.result(topic);
+  EXPECT_EQ(result.rounds_completed, 4u);
+  EXPECT_GT(result.final_accuracy, 0.3);  // The unmasked model actually learned.
+  // Worker 2 was selected in at least one round (random selection of 7 of 8 over 4
+  // rounds makes a miss astronomically unlikely with this seed) and cut off, so the
+  // root ran the mask-recovery correction.
+  const uint64_t corrections_after =
+      GlobalMetrics().GetCounter("engine.secure.dropout_corrections").value();
+  EXPECT_GT(corrections_after, corrections_before);
+}
+
+TEST(TotoroEngineTest, SecureAggregationMatchesPlainFedAvgWithoutDropouts) {
+  // With the full cohort contributing, masks cancel and the secure path must land on
+  // (numerically almost exactly) the plain FedAvg model.
+  auto run = [](bool secure) {
+    EngineWorld world(40);
+    FlAppConfig config = SmallApp(secure ? "sec" : "plain", 2.0, 3);
+    config.secure_aggregation = secure;
+    std::vector<size_t> workers{0, 1, 2, 3, 4, 5};
+    const NodeId topic = world.Launch(config, workers, 21);
+    world.engine->StartAll();
+    EXPECT_TRUE(world.engine->RunToCompletion());
+    return world.engine->result(topic).final_accuracy;
+  };
+  const double plain = run(false);
+  const double secure = run(true);
+  EXPECT_NEAR(secure, plain, 0.05);
+}
+
+TEST(TotoroEngineTest, AsyncStalenessDiscountConvergesAndRecordsHistogram) {
+  EngineWorld world(50);
+  // Heterogeneous speeds so some updates arrive stale (trained against an older
+  // re-broadcast than the master's current model).
+  std::vector<double> speeds(50, 1.0);
+  for (size_t i = 0; i < speeds.size(); ++i) {
+    speeds[i] = (i % 3 == 0) ? 0.2 : 1.0;
+  }
+  world.engine->SetSpeedFactors(speeds);
+  FlAppConfig config = SmallApp("async-stale", 2.0, 6);
+  config.async = AsyncConfig{};
+  config.async->staleness_exponent = 1.0;
+  std::vector<size_t> workers{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Histogram& staleness = GlobalMetrics().GetHistogram(
+      "engine.async.staleness_rounds", Histogram::HopCountBounds());
+  const uint64_t observed_before = staleness.count();
+  const NodeId topic = world.Launch(config, workers, 31);
+  world.engine->StartAll();
+  ASSERT_TRUE(world.engine->RunToCompletion());
+  const auto& result = world.engine->result(topic);
+  EXPECT_EQ(result.rounds_completed, 6u);
+  EXPECT_FALSE(result.curve.empty());
+  EXPECT_GT(staleness.count(), observed_before);
 }
 
 TEST(TotoroApiTest, OnTimerFiresPeriodically) {

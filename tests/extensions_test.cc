@@ -105,6 +105,50 @@ TEST(SecureAggTest, DropoutCorrectionRepairsPartialSum) {
   }
 }
 
+TEST(SecureAggTest, CombinerSkipsNullPiecesAndMergesContributors) {
+  // Regression: unselected workers ack a round with data == nullptr (weight 0); the
+  // secure-sum combiner used to dereference those. It must skip them, sum the real
+  // pieces, and merge contributor lists so the root can identify survivors.
+  auto combine = MakeSecureSumCombiner();
+  auto make_piece = [](std::vector<float> w, double weight,
+                       std::vector<uint64_t> contributors) {
+    auto payload = std::make_shared<WeightsPayload>();
+    payload->weights = std::move(w);
+    payload->contributors = std::move(contributors);
+    AggregationPiece p;
+    p.data = std::move(payload);
+    p.weight = weight;
+    p.count = 1;
+    return p;
+  };
+  auto null_ack = [] {
+    AggregationPiece p;  // data == nullptr, weight 0: an unselected worker's ack.
+    p.data = nullptr;
+    p.weight = 0.0;
+    return p;
+  };
+  std::vector<AggregationPiece> pieces;
+  pieces.push_back(null_ack());
+  pieces.push_back(make_piece({1.0f, 2.0f}, 2.0, {7}));
+  pieces.push_back(null_ack());
+  pieces.push_back(make_piece({10.0f, 20.0f}, 3.0, {3, 5}));
+  const auto total = combine(pieces);
+  ASSERT_NE(total.data, nullptr);
+  const auto* payload = static_cast<const WeightsPayload*>(total.data.get());
+  EXPECT_EQ(payload->weights, (std::vector<float>{11.0f, 22.0f}));
+  EXPECT_EQ(payload->contributors, (std::vector<uint64_t>{3, 5, 7}));
+  EXPECT_DOUBLE_EQ(total.weight, 5.0);
+
+  // All-null input (every child unselected) must yield a null total, not a crash.
+  std::vector<AggregationPiece> nulls;
+  for (int i = 0; i < 3; ++i) {
+    nulls.push_back(null_ack());
+  }
+  const auto empty = combine(nulls);
+  EXPECT_EQ(empty.data, nullptr);
+  EXPECT_DOUBLE_EQ(empty.weight, 0.0);
+}
+
 TEST(SecureAggTest, TreeSumWithSecureCombinerMatchesFlatFedAvg) {
   // Masked updates flow through a real tree with the secure-sum combiner; the root
   // unmasks and must match plain FedAvg.

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/fl/aggregation.h"
 #include "src/fl/client.h"
 #include "src/fl/selection.h"
+#include "src/ml/serialize.h"
 
 namespace totoro {
 namespace {
@@ -105,6 +107,73 @@ TEST(CompressionTest, Int8ShrinksWire) {
   EXPECT_LT(out.wire_bytes, 100 * 4u);
   for (float v : out.reconstructed) {
     EXPECT_NEAR(v, 0.5f, 0.01f);
+  }
+}
+
+TEST(CompressionTest, TopKReconstructionIdentityAndWireAccounting) {
+  // Reconstruction identity: every untouched coordinate equals the reference exactly,
+  // every kept coordinate equals the input exactly, at most k coordinates move, and
+  // the kept set dominates the dropped set by |delta|.
+  Rng rng(77);
+  const size_t n = 64;
+  std::vector<float> ref(n);
+  std::vector<float> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    ref[i] = static_cast<float>(rng.Gaussian());
+    w[i] = ref[i] + static_cast<float>(rng.Gaussian(0.0, 0.5));
+  }
+  CompressionConfig config;
+  config.kind = CompressionKind::kTopK;
+  config.topk_fraction = 0.25;
+  const size_t k = 16;  // ceil(0.25 * 64).
+  const auto out = CompressUpdate(w, ref, config);
+  ASSERT_EQ(out.reconstructed.size(), n);
+  EXPECT_EQ(out.wire_bytes, k * (sizeof(uint32_t) + sizeof(float)));
+
+  size_t kept = 0;
+  float min_kept_delta = 1e30f;
+  float max_dropped_delta = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    if (out.reconstructed[i] == ref[i] && w[i] != ref[i]) {
+      max_dropped_delta = std::max(max_dropped_delta, std::abs(w[i] - ref[i]));
+      continue;  // Dropped coordinate: exactly the reference.
+    }
+    EXPECT_EQ(out.reconstructed[i], w[i]) << "kept coordinate must be exact at " << i;
+    if (w[i] != ref[i]) {
+      ++kept;
+      min_kept_delta = std::min(min_kept_delta, std::abs(w[i] - ref[i]));
+    }
+  }
+  EXPECT_LE(kept, k);
+  EXPECT_GE(min_kept_delta, max_dropped_delta);
+}
+
+TEST(CompressionTest, Int8AndNoneParity) {
+  // kNone is the identity with exact wire accounting; kInt8 matches the serializer's
+  // encode/decode round trip bit-for-bit and its wire format (scale + 1 byte/coord).
+  Rng rng(78);
+  const size_t n = 200;
+  std::vector<float> ref(n, 0.0f);
+  std::vector<float> w(n);
+  for (auto& v : w) {
+    v = static_cast<float>(rng.Gaussian(0.0, 2.0));
+  }
+  CompressionConfig none;
+  const auto plain = CompressUpdate(w, ref, none);
+  EXPECT_EQ(plain.reconstructed, w);
+  EXPECT_EQ(plain.wire_bytes, n * sizeof(float));
+
+  CompressionConfig int8;
+  int8.kind = CompressionKind::kInt8;
+  const auto quantized = CompressUpdate(w, ref, int8);
+  EXPECT_EQ(quantized.wire_bytes, n + sizeof(float));
+  EXPECT_EQ(quantized.reconstructed, DecodeInt8(EncodeInt8(w)));
+  float max_abs = 0.0f;
+  for (float v : w) {
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(quantized.reconstructed[i], w[i], max_abs / 127.0f * 0.51f);
   }
 }
 
@@ -233,6 +302,31 @@ TEST(SelectorTest, OortExploresWithBudget) {
     }
   }
   EXPECT_GT(outside, 0u);
+}
+
+TEST(SelectorTest, OortAlwaysFillsCountWithDistinctClients) {
+  // Sweep pool sizes, counts and exploration fractions: Select must return exactly
+  // `count` distinct clients regardless of how the explore/exploit split rounds.
+  for (size_t pool : {1u, 2u, 5u, 7u, 20u, 33u}) {
+    std::vector<ClientInfo> clients;
+    for (size_t i = 0; i < pool; ++i) {
+      clients.push_back({i, 0.1 * static_cast<double>(i % 4), 1.0 + 0.5 * (i % 3)});
+    }
+    for (double frac : {0.0, 0.1, 0.33, 0.5, 0.9, 1.0}) {
+      OortLikeSelector selector(frac);
+      for (size_t count = 1; count <= pool; ++count) {
+        Rng rng(1000 + pool * 31 + count);
+        const auto chosen = selector.Select(clients, count, rng);
+        ASSERT_EQ(chosen.size(), count)
+            << "pool=" << pool << " frac=" << frac << " count=" << count;
+        std::set<size_t> unique(chosen.begin(), chosen.end());
+        EXPECT_EQ(unique.size(), count);
+        for (size_t c : chosen) {
+          EXPECT_LT(c, pool);
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

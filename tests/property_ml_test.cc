@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "src/fl/aggregation.h"
 #include "src/ml/model.h"
@@ -214,6 +215,54 @@ TEST_P(SerializeFuzzTest, Int8ErrorBoundedByQuantizationStep) {
   const float step = max_abs > 0 ? max_abs / 127.0f : 1.0f;
   for (size_t i = 0; i < n; ++i) {
     EXPECT_NEAR(decoded[i], w[i], step * 0.51f);
+  }
+}
+
+TEST_P(SerializeFuzzTest, Int8SurvivesNonFiniteInputsWithBoundedError) {
+  // NaN/Inf must not poison the quantization scale: scale derives from finite values
+  // only, NaN decodes to 0, +/-Inf saturates to +/-127 steps, and every finite value
+  // keeps the usual half-step error bound.
+  Rng rng(GetParam() ^ 0x7E57);
+  const size_t n = 8 + rng.NextBelow(1000);
+  std::vector<float> w(n);
+  float max_abs = 0.0f;
+  for (auto& v : w) {
+    v = static_cast<float>(rng.Gaussian(0.0, rng.Uniform(0.1, 5.0)));
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  // Inject non-finite values at random positions (keeping at least one finite).
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<size_t> poison;
+  for (size_t k = 0; k < 1 + rng.NextBelow(n / 4); ++k) {
+    poison.push_back(rng.NextBelow(n - 1));  // Index n-1 stays finite.
+  }
+  for (size_t idx : poison) {
+    switch (rng.NextBelow(3)) {
+      case 0: w[idx] = nan; break;
+      case 1: w[idx] = inf; break;
+      default: w[idx] = -inf;
+    }
+  }
+  max_abs = 0.0f;
+  for (float v : w) {
+    if (std::isfinite(v)) {
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+
+  const auto decoded = DecodeInt8(EncodeInt8(w));
+  ASSERT_EQ(decoded.size(), n);
+  const float step = max_abs > 0 ? max_abs / 127.0f : 1.0f;
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(std::isfinite(decoded[i])) << "non-finite leak at " << i;
+    if (std::isnan(w[i])) {
+      EXPECT_EQ(decoded[i], 0.0f);
+    } else if (std::isinf(w[i])) {
+      EXPECT_EQ(decoded[i], (w[i] > 0 ? 1.0f : -1.0f) * step * 127.0f);
+    } else {
+      EXPECT_NEAR(decoded[i], w[i], step * 0.51f);
+    }
   }
 }
 
