@@ -7,19 +7,14 @@
 #include <mutex>
 #include <thread>
 
+#include "src/common/env.h"
+
 namespace totoro {
 namespace bench {
 
 size_t DefaultBenchThreads() {
-  if (const char* env = std::getenv("TOTORO_BENCH_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1) {
-      return static_cast<size_t>(v);
-    }
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<size_t>(hw);
+  return EnvThreadCount("TOTORO_BENCH_THREADS", hw == 0 ? 1 : static_cast<size_t>(hw));
 }
 
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn, size_t threads) {

@@ -21,7 +21,7 @@ struct CentralizedEngine::AppRuntime {
   std::vector<float> global_weights;
   Dataset test_set{1, 2};
   std::vector<size_t> clients;
-  std::unordered_map<size_t, std::unique_ptr<LocalTrainer>> trainers;
+  std::map<size_t, std::unique_ptr<LocalTrainer>> trainers;
   uint64_t round = 0;
   size_t pending_updates = 0;
   std::vector<WeightedUpdate> received;

@@ -10,8 +10,8 @@
 #ifndef SRC_BASELINES_CENTRAL_ENGINE_H_
 #define SRC_BASELINES_CENTRAL_ENGINE_H_
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/app.h"
@@ -79,7 +79,8 @@ class CentralizedEngine {
   std::vector<std::unique_ptr<ClientHost>> clients_;
   HostId server_host_ = kInvalidHost;
   SimTime coordinator_free_at_ = 0.0;
-  std::unordered_map<U128, std::unique_ptr<AppRuntime>, U128Hash> apps_;
+  // Ordered map: round scheduling iterates apps_, so walk order must be stable.
+  std::map<U128, std::unique_ptr<AppRuntime>> apps_;
 };
 
 }  // namespace totoro

@@ -23,11 +23,12 @@ struct HierarchicalEngine::AppRuntime {
   std::vector<float> global_weights;
   Dataset test_set{1, 2};
   std::vector<size_t> clients;
-  std::unordered_map<size_t, std::unique_ptr<LocalTrainer>> trainers;
+  std::map<size_t, std::unique_ptr<LocalTrainer>> trainers;
   // Per-edge round bookkeeping: how many of this app's clients hang off each edge, and
   // the partial updates each edge has buffered this round.
-  std::unordered_map<size_t, size_t> clients_per_edge;
-  std::unordered_map<size_t, std::vector<WeightedUpdate>> edge_buffers;
+  // Ordered: StartRound fans the model out per edge in walk order.
+  std::map<size_t, size_t> clients_per_edge;
+  std::map<size_t, std::vector<WeightedUpdate>> edge_buffers;
   size_t edges_pending = 0;
   std::vector<WeightedUpdate> cloud_buffer;
   uint64_t round = 0;

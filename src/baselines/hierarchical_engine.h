@@ -11,8 +11,8 @@
 #ifndef SRC_BASELINES_HIERARCHICAL_ENGINE_H_
 #define SRC_BASELINES_HIERARCHICAL_ENGINE_H_
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/app.h"
@@ -93,7 +93,8 @@ class HierarchicalEngine {
   std::vector<std::unique_ptr<EdgeHost>> edges_;
   std::vector<std::unique_ptr<ClientHost>> clients_;
   SimTime cloud_free_at_ = 0.0;
-  std::unordered_map<U128, std::unique_ptr<AppRuntime>, U128Hash> apps_;
+  // Ordered map: round scheduling iterates apps_, so walk order must be stable.
+  std::map<U128, std::unique_ptr<AppRuntime>> apps_;
 };
 
 }  // namespace totoro

@@ -1,0 +1,29 @@
+#include "src/common/env.h"
+
+#include <cstdlib>
+
+namespace totoro {
+
+const char* EnvString(const char* name) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? nullptr : value;
+}
+
+long EnvInt64(const char* name, long fallback, long min_value) {
+  const char* value = EnvString(name);
+  if (value == nullptr) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < min_value) {
+    return fallback;
+  }
+  return parsed;
+}
+
+size_t EnvThreadCount(const char* name, size_t fallback) {
+  return static_cast<size_t>(EnvInt64(name, static_cast<long>(fallback), 1));
+}
+
+}  // namespace totoro

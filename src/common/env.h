@@ -1,0 +1,35 @@
+// The single sanctioned environment-variable access point (totoro_lint rule R1).
+//
+// Environment reads are a nondeterminism source: two runs of the same binary can
+// diverge on nothing but an ambient variable, which breaks the bit-identical-replay
+// guarantee the simulator and benches rely on. Concentrating every read here keeps the
+// surface auditable — all knobs are named in one place, every caller goes through a
+// typed parse-with-default helper, and direct std::getenv() anywhere else in the tree
+// is a lint error.
+//
+// Known knobs:
+//   TOTORO_LOG_LEVEL       debug/info/warn/error/off or 0-4 (src/common/logging.cc)
+//   TOTORO_COMPUTE_THREADS local-training pool size, >= 1   (src/fl/compute_pool.cc)
+//   TOTORO_BENCH_THREADS   bench trial parallelism, >= 1    (bench/parallel_runner.cc)
+#ifndef SRC_COMMON_ENV_H_
+#define SRC_COMMON_ENV_H_
+
+#include <cstddef>
+#include <string>
+
+namespace totoro {
+
+// Raw read. Returns nullptr when unset; never returns an empty string as "set"
+// (an empty value is treated as unset, matching every existing caller).
+const char* EnvString(const char* name);
+
+// Integer knob: returns `fallback` when unset, unparsable, trailing-garbage, or
+// below `min_value`.
+long EnvInt64(const char* name, long fallback, long min_value);
+
+// Positive thread/worker-count knob: EnvInt64 with min_value 1, narrowed to size_t.
+size_t EnvThreadCount(const char* name, size_t fallback);
+
+}  // namespace totoro
+
+#endif  // SRC_COMMON_ENV_H_

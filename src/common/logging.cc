@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/common/env.h"
+
 namespace totoro {
 namespace {
 
@@ -76,14 +78,14 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return EffectiveLevel(); }
 
 bool InitLogLevelFromEnv() {
-  const char* value = std::getenv("TOTORO_LOG_LEVEL");
+  const char* value = EnvString("TOTORO_LOG_LEVEL");
   LogLevel parsed = LogLevel::kWarn;
   if (ParseLevel(value, &parsed)) {
     g_env_override = true;
     g_env_level = parsed;
     return true;
   }
-  if (value != nullptr && *value != '\0') {
+  if (value != nullptr) {
     std::fprintf(stderr, "[WARN] TOTORO_LOG_LEVEL=\"%s\" not recognized (want debug/info/warn/error/off or 0-4)\n",
                  value);
   }

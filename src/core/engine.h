@@ -11,7 +11,6 @@
 
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/app.h"
@@ -98,8 +97,10 @@ class TotoroEngine {
     std::unique_ptr<Model> global_model;
     std::vector<float> global_weights;
     Dataset test_set{1, 2};
-    // worker node index -> trainer slot.
-    std::unordered_map<size_t, TrainerSlot> trainers;
+    // worker node index -> trainer slot. Ordered map: StartRound walks this to build
+    // the selection candidate list (RNG consumption order) and SetComputeThreads joins
+    // pending tickets in walk order, so iteration order must be stable across runs.
+    std::map<size_t, TrainerSlot> trainers;
     uint64_t round = 0;
     double launch_time_ms = 0.0;
     bool started = false;
@@ -148,7 +149,9 @@ class TotoroEngine {
   ComputeModel compute_;
   Rng rng_;
   std::vector<double> speed_factors_;
-  std::unordered_map<U128, std::unique_ptr<AppRuntime>, U128Hash> apps_;
+  // Ordered map: StartAll and WatchdogTick iterate this to schedule rounds, so the walk
+  // order feeds event scheduling and must not depend on a hash function.
+  std::map<U128, std::unique_ptr<AppRuntime>> apps_;
   bool failover_enabled_ = false;
   FailoverConfig failover_config_;
   double subscribe_settle_ms_ = 0.0;

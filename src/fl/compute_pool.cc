@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/env.h"
 
 namespace totoro {
 
@@ -115,16 +116,7 @@ void ComputePool::WorkerLoop() {
 }
 
 size_t ComputePool::ThreadsFromEnv() {
-  const char* env = std::getenv("TOTORO_COMPUTE_THREADS");
-  if (env == nullptr || *env == '\0') {
-    return 1;
-  }
-  char* end = nullptr;
-  const long parsed = std::strtol(env, &end, 10);
-  if (end == env || parsed < 1) {
-    return 1;
-  }
-  return static_cast<size_t>(parsed);
+  return EnvThreadCount("TOTORO_COMPUTE_THREADS", 1);
 }
 
 }  // namespace totoro

@@ -24,7 +24,6 @@
 
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "src/dht/pastry_node.h"
@@ -180,12 +179,14 @@ class ScribeNode {
   PastryNode* pastry_;
   ScribeConfig config_;
   CombineFn combine_;
-  std::unordered_map<U128, CombineFn, U128Hash> topic_combine_;
+  std::map<U128, CombineFn> topic_combine_;
   BroadcastFn on_broadcast_;
   RootAggregateFn on_root_aggregate_;
   StragglerFn on_stragglers_;
   AggregateAuditFn aggregate_audit_;
-  std::unordered_map<U128, TopicState, U128Hash> topics_;
+  // Ordered map: MaintenanceTick walks every topic sending heartbeats and re-JOINs, so
+  // the walk order feeds event scheduling and must not depend on a hash function.
+  std::map<U128, TopicState> topics_;
   bool maintenance_running_ = false;
 };
 

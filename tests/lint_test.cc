@@ -1,0 +1,298 @@
+// Tests for the totoro_lint rule engine (tools/lint/): synthetic source snippets are
+// fed through RunLint and the findings checked per rule — a positive and a negative
+// case for each of R1–R4, annotation escape hatches, include-closure resolution, and
+// allowlist parsing/matching.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/lint/allowlist.h"
+#include "tools/lint/lexer.h"
+#include "tools/lint/rules.h"
+
+namespace totoro::lint {
+namespace {
+
+std::vector<Finding> LintOne(const std::string& path, const std::string& content) {
+  return RunLint({{path, content}}, LintOptions());
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& symbol) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.symbol == symbol;
+  });
+}
+
+// --- Lexer basics ------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesIdentifiersStringsAndAnnotations) {
+  const LexedFile lexed = Lex(
+      "#include \"src/sim/simulator.h\"\n"
+      "int x = 1;  // LINT: order-independent metric fold\n"
+      "const char* s = \"a.b\";\n");
+  ASSERT_EQ(lexed.quoted_includes.size(), 1u);
+  EXPECT_EQ(lexed.quoted_includes[0], "src/sim/simulator.h");
+  ASSERT_TRUE(lexed.annotations.count(2));
+  EXPECT_EQ(lexed.annotations.at(2), "order-independent metric fold");
+  const bool has_string =
+      std::any_of(lexed.tokens.begin(), lexed.tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kString && t.text == "a.b";
+      });
+  EXPECT_TRUE(has_string);
+}
+
+TEST(LexerTest, StringContentsDoNotLeakTokens) {
+  // `rand(` inside a string literal must not trip R1.
+  const auto findings =
+      LintOne("src/sim/x.cc", "const char* s = \"rand() time()\";\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// --- R1: nondeterminism sources ----------------------------------------------------
+
+TEST(R1Test, FlagsRandAndClocksInDeterministicDirs) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "int a = rand();\n"
+                                "std::random_device rd;\n"
+                                "auto t = std::chrono::steady_clock::now();\n"
+                                "long w = time(nullptr);\n");
+  EXPECT_TRUE(HasFinding(findings, "R1", "rand"));
+  EXPECT_TRUE(HasFinding(findings, "R1", "random_device"));
+  EXPECT_TRUE(HasFinding(findings, "R1", "steady_clock"));
+  EXPECT_TRUE(HasFinding(findings, "R1", "time"));
+}
+
+TEST(R1Test, QuietOutsideDeterministicDirsAndOnMemberCalls) {
+  // src/ml is not a determinism-scoped directory.
+  EXPECT_TRUE(LintOne("src/ml/x.cc", "int a = rand();\n").empty());
+  // Member / foreign-qualified `time` is someone's API, not libc time().
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "double t = msg.time();\n"
+                      "double u = sim->time();\n"
+                      "double v = Clock::time();\n")
+                  .empty());
+  // `rand` as a bare identifier (not a call) stays quiet.
+  EXPECT_TRUE(LintOne("src/sim/x.cc", "int rand = 3; int y = rand + 1;\n").empty());
+}
+
+TEST(R1Test, GetenvFlaggedEverywhereExceptSanctionedSite) {
+  EXPECT_TRUE(
+      HasFinding(LintOne("src/ml/x.cc", "const char* v = getenv(\"X\");\n"), "R1",
+                 "getenv"));
+  EXPECT_TRUE(
+      HasFinding(LintOne("bench/x.cc", "const char* v = std::getenv(\"X\");\n"), "R1",
+                 "getenv"));
+  EXPECT_TRUE(
+      LintOne("src/common/env.cc", "const char* v = std::getenv(\"X\");\n").empty());
+}
+
+// --- R2: unordered-container iteration ---------------------------------------------
+
+TEST(R2Test, FlagsRangeForOverUnorderedMember) {
+  const auto findings = LintOne("src/pubsub/x.cc",
+                                "std::unordered_map<int, int> topics_;\n"
+                                "void F() { for (auto& [k, v] : topics_) {} }\n");
+  EXPECT_TRUE(HasFinding(findings, "R2", "topics_"));
+}
+
+TEST(R2Test, FlagsIteratorTraversal) {
+  const auto findings =
+      LintOne("src/dht/x.cc",
+              "std::unordered_set<int> hosts_;\n"
+              "void F() { for (auto it = hosts_.begin(); it != hosts_.end(); ++it) {} }\n");
+  EXPECT_TRUE(HasFinding(findings, "R2", "hosts_"));
+}
+
+TEST(R2Test, AnnotationSuppressesTheFinding) {
+  const auto same_line = LintOne(
+      "src/pubsub/x.cc",
+      "std::unordered_map<int, int> topics_;\n"
+      "void F() { for (auto& [k, v] : topics_) {} }  // LINT: order-independent fold\n");
+  EXPECT_TRUE(same_line.empty());
+  const auto line_above = LintOne("src/pubsub/x.cc",
+                                  "std::unordered_map<int, int> topics_;\n"
+                                  "// LINT: order-independent pure max-fold\n"
+                                  "void F() { for (auto& [k, v] : topics_) {} }\n");
+  EXPECT_TRUE(line_above.empty());
+}
+
+TEST(R2Test, OrderedContainersAndLookupsStayQuiet) {
+  EXPECT_TRUE(LintOne("src/pubsub/x.cc",
+                      "std::map<int, int> topics_;\n"
+                      "void F() { for (auto& [k, v] : topics_) {} }\n")
+                  .empty());
+  // find()/end() lookups on an unordered container are order-independent.
+  EXPECT_TRUE(LintOne("src/pubsub/x.cc",
+                      "std::unordered_map<int, int> topics_;\n"
+                      "bool F() { return topics_.find(3) != topics_.end(); }\n")
+                  .empty());
+}
+
+TEST(R2Test, ResolvesMembersThroughIncludeClosure) {
+  const std::vector<SourceFile> files = {
+      {"src/core/widget.h", "struct W { std::unordered_map<int, int> apps_; };\n"},
+      {"src/core/widget.cc",
+       "#include \"src/core/widget.h\"\n"
+       "void W::F() { for (auto& [k, v] : apps_) {} }\n"}};
+  const auto findings = RunLint(files, LintOptions());
+  EXPECT_TRUE(HasFinding(findings, "R2", "apps_"));
+}
+
+TEST(R2Test, AmbiguousNameAcrossClosureStaysQuiet) {
+  // `topics_` is unordered in one header and a vector in another; the loop file sees
+  // both, so the lexer-level engine must not guess.
+  const std::vector<SourceFile> files = {
+      {"src/pubsub/a.h", "struct A { std::unordered_map<int, int> topics_; };\n"},
+      {"src/faultsim/b.h", "struct B { std::vector<int> topics_; };\n"},
+      {"src/faultsim/b.cc",
+       "#include \"src/pubsub/a.h\"\n"
+       "#include \"src/faultsim/b.h\"\n"
+       "void B::F() { for (int t : topics_) {} }\n"}};
+  EXPECT_TRUE(RunLint(files, LintOptions()).empty());
+}
+
+TEST(R2Test, ResolvesUsingAliases) {
+  const auto findings = LintOne("src/bandit/x.cc",
+                                "using ArmMap = std::unordered_map<int, double>;\n"
+                                "ArmMap arms_;\n"
+                                "void F() { for (auto& [k, v] : arms_) {} }\n");
+  EXPECT_TRUE(HasFinding(findings, "R2", "arms_"));
+}
+
+// --- R3: pointer keys and pointer comparisons --------------------------------------
+
+TEST(R3Test, FlagsPointerKeyedContainers) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "std::map<Event*, int> by_event_;\n"
+                                "std::set<const Node*> nodes_;\n");
+  EXPECT_TRUE(HasFinding(findings, "R3", "std::map<T*>"));
+  EXPECT_TRUE(HasFinding(findings, "R3", "std::set<T*>"));
+}
+
+TEST(R3Test, PointerValuesAreFine) {
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "std::map<int, Event*> by_id_;\n"
+                      "std::set<int> ids_;\n")
+                  .empty());
+}
+
+TEST(R3Test, FlagsPointerComparisonFeedingOrder) {
+  const auto findings = LintOne("src/sim/x.cc",
+                                "void F(Node* a, Node* b) {\n"
+                                "  if (a < b) { Swap(a, b); }\n"
+                                "}\n");
+  EXPECT_TRUE(HasFinding(findings, "R3", "a<b"));
+  // Integer comparison with the same shape stays quiet.
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "void F(int a, int b) { if (a < b) { Swap(a, b); } }\n")
+                  .empty());
+}
+
+// --- R4: metric naming and exactly-once registration -------------------------------
+
+TEST(R4Test, FlagsBadMetricNames) {
+  EXPECT_TRUE(HasFinding(
+      LintOne("src/obs/x.cc", "GlobalMetrics().GetCounter(\"BadName\");\n"), "R4",
+      "BadName"));
+  EXPECT_TRUE(HasFinding(
+      LintOne("src/obs/x.cc", "GlobalMetrics().GetCounter(\"engine\");\n"), "R4",
+      "engine"));
+  EXPECT_TRUE(HasFinding(
+      LintOne("src/obs/x.cc", "GlobalMetrics().GetGauge(\"engine..latency\");\n"), "R4",
+      "engine..latency"));
+}
+
+TEST(R4Test, AcceptsConventionalNamesAndComposedPrefixes) {
+  EXPECT_TRUE(
+      LintOne("src/obs/x.cc", "GlobalMetrics().GetHistogram(\"engine.round.duration_ms\");\n")
+          .empty());
+  // A literal ending in '.' composed with a runtime suffix is a prefix, not a name.
+  EXPECT_TRUE(LintOne("src/sim/x.cc",
+                      "registry.GetGauge(\"net.drops.class.\" + suffix);\n")
+                  .empty());
+}
+
+TEST(R4Test, FlagsDoubleRegistration) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/a.cc", "GlobalMetrics().GetCounter(\"sim.events_fired\");\n"},
+      {"src/core/b.cc", "GlobalMetrics().GetCounter(\"sim.events_fired\");\n"}};
+  const auto findings = RunLint(files, LintOptions());
+  EXPECT_TRUE(HasFinding(findings, "R4", "sim.events_fired"));
+  // A single registration site is fine.
+  EXPECT_TRUE(
+      LintOne("src/sim/a.cc", "GlobalMetrics().GetCounter(\"sim.events_fired\");\n")
+          .empty());
+}
+
+TEST(R4Test, KindClashIsReported) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/a.cc", "GlobalMetrics().GetCounter(\"sim.events_fired\");\n"},
+      {"src/core/b.cc", "GlobalMetrics().GetGauge(\"sim.events_fired\");\n"}};
+  const auto findings = RunLint(files, LintOptions());
+  ASSERT_TRUE(HasFinding(findings, "R4", "sim.events_fired"));
+  const auto it = std::find_if(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.rule == "R4";
+  });
+  EXPECT_NE(it->message.find("different kind"), std::string::npos);
+}
+
+// --- Allowlist ---------------------------------------------------------------------
+
+TEST(AllowlistTest, ParsesEntriesAndSkipsCommentsAndBlanks) {
+  std::vector<std::string> errors;
+  const auto entries = ParseAllowlist(
+      "# header comment\n"
+      "\n"
+      "R1 src/sim/simulator.cc steady_clock  # wall-clock gauge\n"
+      "R2 src/pubsub/scribe_node.cc topics_\n",
+      &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].rule, "R1");
+  EXPECT_EQ(entries[0].file, "src/sim/simulator.cc");
+  EXPECT_EQ(entries[0].symbol, "steady_clock");
+}
+
+TEST(AllowlistTest, MalformedLinesAreErrors) {
+  std::vector<std::string> errors;
+  ParseAllowlist("R1 only_two_fields\n", &errors);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("allow.txt:1"), std::string::npos);
+}
+
+TEST(AllowlistTest, FilterMatchesRuleFileAndSymbol) {
+  const std::vector<Finding> findings = {
+      {"R1", "src/sim/simulator.cc", 14, "steady_clock", "m"},
+      {"R1", "src/sim/simulator.cc", 57, "steady_clock", "m"},
+      {"R1", "src/dht/pastry_node.cc", 9, "steady_clock", "m"},
+  };
+  std::vector<std::string> errors;
+  auto entries =
+      ParseAllowlist("R1 src/sim/simulator.cc steady_clock\n", &errors);
+  const auto violations = FilterAllowed(findings, &entries);
+  // One entry absorbs both simulator.cc findings; the pastry_node one survives.
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].file, "src/dht/pastry_node.cc");
+  EXPECT_TRUE(entries[0].used);
+}
+
+TEST(AllowlistTest, UnmatchedEntryStaysUnused) {
+  std::vector<std::string> errors;
+  auto entries = ParseAllowlist("R2 src/core/engine.cc apps_\n", &errors);
+  const auto violations = FilterAllowed({}, &entries);
+  EXPECT_TRUE(violations.empty());
+  EXPECT_FALSE(entries[0].used);
+}
+
+// --- End-to-end formatting ---------------------------------------------------------
+
+TEST(FormatTest, FindingFormatsAsFileLineRule) {
+  const Finding f{"R2", "src/core/engine.cc", 78, "apps_", "range-for over ..."};
+  EXPECT_EQ(FormatFinding(f), "src/core/engine.cc:78: [R2] range-for over ...");
+}
+
+}  // namespace
+}  // namespace totoro::lint

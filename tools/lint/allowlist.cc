@@ -1,0 +1,56 @@
+#include "tools/lint/allowlist.h"
+
+#include <sstream>
+
+namespace totoro::lint {
+
+std::vector<AllowEntry> ParseAllowlist(const std::string& text,
+                                       std::vector<std::string>* errors) {
+  std::vector<AllowEntry> entries;
+  std::istringstream stream(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream fields(line);
+    AllowEntry e;
+    e.line = lineno;
+    if (!(fields >> e.rule)) {
+      continue;  // Blank or comment-only line.
+    }
+    if (!(fields >> e.file >> e.symbol)) {
+      if (errors != nullptr) {
+        errors->push_back("allow.txt:" + std::to_string(lineno) +
+                          ": expected `<rule> <file> <symbol>`");
+      }
+      continue;
+    }
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+std::vector<Finding> FilterAllowed(const std::vector<Finding>& findings,
+                                   std::vector<AllowEntry>* entries) {
+  std::vector<Finding> violations;
+  for (const Finding& f : findings) {
+    bool allowed = false;
+    for (AllowEntry& e : *entries) {
+      if (e.rule == f.rule && f.symbol == e.symbol &&
+          f.file.find(e.file) != std::string::npos) {
+        e.used = true;
+        allowed = true;
+      }
+    }
+    if (!allowed) {
+      violations.push_back(f);
+    }
+  }
+  return violations;
+}
+
+}  // namespace totoro::lint

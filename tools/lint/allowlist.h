@@ -1,0 +1,46 @@
+// Audited-exception allowlist for totoro_lint.
+//
+// Format of tools/lint/allow.txt — one entry per line:
+//
+//   <rule> <file-suffix-or-substring> <symbol> [# justification]
+//
+// e.g. `R1 src/sim/simulator.cc steady_clock  # wall-clock throughput gauge only`.
+// Blank lines and lines starting with '#' are ignored. An entry matches a finding when
+// the rule is equal, the entry's file field is a substring of the finding's path, and
+// the symbol is equal to the finding's symbol. One entry may absorb several findings
+// (e.g. three steady_clock mentions in one file).
+//
+// Growth control: the companion file tools/lint/allow_budget.txt holds a single
+// integer — the maximum number of allow entries. CI fails when entries exceed the
+// budget, so the list can only shrink (fix a finding, delete its entry, lower the
+// budget). Unused entries are errors too: they mean the underlying finding was fixed
+// and the entry must be deleted.
+#ifndef TOOLS_LINT_ALLOWLIST_H_
+#define TOOLS_LINT_ALLOWLIST_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/lint/rules.h"
+
+namespace totoro::lint {
+
+struct AllowEntry {
+  std::string rule;
+  std::string file;    // Substring match against Finding::file.
+  std::string symbol;  // Exact match against Finding::symbol.
+  int line = 0;        // Line in allow.txt (for diagnostics).
+  bool used = false;
+};
+
+// Parses allow.txt text. Malformed lines are reported through `errors`.
+std::vector<AllowEntry> ParseAllowlist(const std::string& text,
+                                       std::vector<std::string>* errors);
+
+// Returns the findings not matched by any entry; marks matching entries used.
+std::vector<Finding> FilterAllowed(const std::vector<Finding>& findings,
+                                   std::vector<AllowEntry>* entries);
+
+}  // namespace totoro::lint
+
+#endif  // TOOLS_LINT_ALLOWLIST_H_

@@ -1,0 +1,182 @@
+#include "tools/lint/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace totoro::lint {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+// Records a `// LINT: tag` annotation found in a comment body.
+void MaybeRecordAnnotation(const std::string& body, int line, LexedFile* out) {
+  const std::string marker = "LINT:";
+  const size_t pos = body.find(marker);
+  if (pos == std::string::npos) {
+    return;
+  }
+  out->annotations[line] = Trim(body.substr(pos + marker.size()));
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& source) {
+  LexedFile out;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the last newline.
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive: capture quoted include targets, then fall through so the
+    // rest of the line lexes as ordinary tokens (object-like macros can hide getenv()).
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) {
+        ++j;
+      }
+      if (source.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (source[j] == ' ' || source[j] == '\t')) {
+          ++j;
+        }
+        if (j < n && source[j] == '"') {
+          const size_t close = source.find('"', j + 1);
+          if (close != std::string::npos) {
+            out.quoted_includes.push_back(source.substr(j + 1, close - j - 1));
+          }
+        }
+        // Skip the whole directive; include targets never feed other rules.
+        const size_t eol = source.find('\n', i);
+        advance((eol == std::string::npos ? n : eol) - i);
+        continue;
+      }
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const size_t eol = source.find('\n', i);
+      const size_t end = eol == std::string::npos ? n : eol;
+      MaybeRecordAnnotation(source.substr(i + 2, end - i - 2), line, &out);
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const size_t close = source.find("*/", i + 2);
+      const size_t end = close == std::string::npos ? n : close + 2;
+      MaybeRecordAnnotation(source.substr(i + 2, end - i - 2), line, &out);
+      advance(end - i);
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(') {
+        delim += source[j++];
+      }
+      const std::string closer = ")" + delim + "\"";
+      const size_t close = source.find(closer, j);
+      const size_t body_end = close == std::string::npos ? n : close;
+      out.tokens.push_back(
+          {TokenKind::kString, source.substr(j + 1, body_end - j - 1), line});
+      advance((close == std::string::npos ? n : close + closer.size()) - i);
+      continue;
+    }
+
+    // String and char literals.
+    if (c == '"' || c == '\'') {
+      const int start_line = line;
+      std::string text;
+      size_t j = i + 1;
+      while (j < n && source[j] != c) {
+        if (source[j] == '\\' && j + 1 < n) {
+          text += source[j];
+          text += source[j + 1];
+          j += 2;
+        } else {
+          text += source[j++];
+        }
+      }
+      out.tokens.push_back(
+          {c == '"' ? TokenKind::kString : TokenKind::kChar, text, start_line});
+      advance((j < n ? j + 1 : n) - i);
+      continue;
+    }
+
+    // Identifiers.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) {
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kIdentifier, source.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Numbers (enough to keep 1.5e3 and 0xff single tokens; exactness is irrelevant).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      while (j < n && (IsIdentChar(source[j]) || source[j] == '.' ||
+                       ((source[j] == '+' || source[j] == '-') && j > i &&
+                        (source[j - 1] == 'e' || source[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back({TokenKind::kNumber, source.substr(i, j - i), line});
+      advance(j - i);
+      continue;
+    }
+
+    // Multi-char punctuation the rules care about; everything else is one char.
+    static const char* kPairs[] = {"::", "->", "<=", ">=", "==", "!="};
+    bool matched = false;
+    for (const char* p : kPairs) {
+      if (source.compare(i, 2, p) == 0) {
+        out.tokens.push_back({TokenKind::kPunct, p, line});
+        advance(2);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    out.tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+  return out;
+}
+
+}  // namespace totoro::lint

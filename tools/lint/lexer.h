@@ -1,0 +1,45 @@
+// Minimal C++ lexer for totoro_lint.
+//
+// This is deliberately not a full C++ front end: the lint rules (see rules.h) only
+// need identifiers, string literals, punctuation, and line numbers, plus the special
+// `// LINT: <tag>` escape-hatch comments. Preprocessor lines are tokenized like
+// ordinary code except that `#include "..."` targets are collected separately so the
+// rule engine can resolve project-local includes (member containers declared in a
+// header, iterated in the .cc).
+#ifndef TOOLS_LINT_LEXER_H_
+#define TOOLS_LINT_LEXER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace totoro::lint {
+
+enum class TokenKind {
+  kIdentifier,  // foo, unordered_map, LINT keywords
+  kNumber,      // 123, 0xff, 1.5e3
+  kString,      // "..." (text holds the unescaped-ish raw contents, quotes stripped)
+  kChar,        // '...'
+  kPunct,       // one of: multi-char ::, ->, <=, >=, ==, !=, or a single char
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based.
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // Lines carrying a `// LINT: <tag>` comment, mapped to the tag text (trimmed).
+  std::map<int, std::string> annotations;
+  // Targets of `#include "..."` directives, in order of appearance.
+  std::vector<std::string> quoted_includes;
+};
+
+// Tokenizes `source`. Never fails: unrecognized bytes become single-char punct tokens.
+LexedFile Lex(const std::string& source);
+
+}  // namespace totoro::lint
+
+#endif  // TOOLS_LINT_LEXER_H_

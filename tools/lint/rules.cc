@@ -1,0 +1,533 @@
+#include "tools/lint/rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+
+namespace totoro::lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool UnderDir(const std::string& path, const std::string& dir) {
+  return StartsWith(path, dir + "/") || path == dir;
+}
+
+bool InDeterminismDirs(const std::string& path, const LintOptions& options) {
+  return std::any_of(options.determinism_dirs.begin(), options.determinism_dirs.end(),
+                     [&](const std::string& d) { return UnderDir(path, d); });
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+// True when tokens[i] (an identifier) is written as a member access (`x.f`, `x->f`) or
+// a qualified name whose outermost namespace is not `std` (`Clock::time` stays quiet,
+// `std::chrono::steady_clock` does not). Used by the free-function / clock checks.
+bool IsMemberOrForeignQualified(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) {
+    return false;
+  }
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokenKind::kPunct && (prev.text == "." || prev.text == "->")) {
+    return true;
+  }
+  if (prev.kind == TokenKind::kPunct && prev.text == "::") {
+    // Walk to the head of the `a::b::c` chain and test whether it starts at std.
+    size_t j = i;
+    while (j >= 2 && toks[j - 1].kind == TokenKind::kPunct && toks[j - 1].text == "::" &&
+           toks[j - 2].kind == TokenKind::kIdentifier) {
+      j -= 2;
+    }
+    return !IsIdent(toks[j], "std");
+  }
+  return false;
+}
+
+bool NextIs(const std::vector<Token>& toks, size_t i, const char* punct) {
+  return i + 1 < toks.size() && toks[i + 1].kind == TokenKind::kPunct &&
+         toks[i + 1].text == punct;
+}
+
+// Skips a balanced <...> starting at the `<` at index i; returns the index one past the
+// closing `>`, or toks.size() when unbalanced.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i) {
+  int depth = 0;
+  for (; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) {
+      continue;
+    }
+    if (toks[i].text == "<") {
+      ++depth;
+    } else if (toks[i].text == ">") {
+      if (--depth == 0) {
+        return i + 1;
+      }
+    } else if (toks[i].text == ";") {
+      break;  // Unbalanced (comparison, not a template argument list); bail out.
+    }
+  }
+  return toks.size();
+}
+
+bool HasAnnotation(const LexedFile& lexed, int line, const std::string& tag) {
+  for (int l : {line, line - 1}) {
+    auto it = lexed.annotations.find(l);
+    if (it != lexed.annotations.end() && StartsWith(it->second, tag)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- R2 support: unordered-container name collection -------------------------------
+
+struct UnorderedNames {
+  std::set<std::string> variables;  // Declared unordered_{map,set} variables/members.
+  std::set<std::string> aliases;    // `using X = std::unordered_map<...>` aliases.
+  // Names also declared with some other template type anywhere in the include closure
+  // (`std::vector<NodeId> topics_` next to scribe's unordered `topics_`). Such a name
+  // is ambiguous at lexer level, so R2 stays quiet on it rather than false-positive.
+  std::set<std::string> otherwise_typed;
+};
+
+void CollectUnorderedNames(const LexedFile& lexed, UnorderedNames* out) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!(IsIdent(toks[i], "unordered_map") || IsIdent(toks[i], "unordered_set"))) {
+      continue;
+    }
+    if (!NextIs(toks, i, "<")) {
+      continue;  // Bare mention (e.g. in a comment-stripped include) — nothing declared.
+    }
+    const size_t after = SkipAngles(toks, i + 1);
+    // Step back over an `std::` qualifier, then look for `using Alias =` before it.
+    size_t q = i;
+    if (q >= 2 && toks[q - 1].kind == TokenKind::kPunct && toks[q - 1].text == "::" &&
+        IsIdent(toks[q - 2], "std")) {
+      q -= 2;
+    }
+    const bool is_alias = q >= 3 && toks[q - 1].kind == TokenKind::kPunct &&
+                          toks[q - 1].text == "=" &&
+                          toks[q - 2].kind == TokenKind::kIdentifier &&
+                          IsIdent(toks[q - 3], "using");
+    if (is_alias) {
+      out->aliases.insert(toks[q - 2].text);
+      continue;
+    }
+    if (after < toks.size() && toks[after].kind == TokenKind::kIdentifier) {
+      out->variables.insert(toks[after].text);
+    }
+  }
+}
+
+// Declarations through collected aliases (`Alias name;` / `Alias name =`). Runs after
+// every closure file contributed its aliases, so header-defined aliases resolve in .cc
+// files regardless of traversal order.
+void CollectAliasUses(const LexedFile& lexed, UnorderedNames* out) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier && out->aliases.count(toks[i].text) &&
+        toks[i + 1].kind == TokenKind::kIdentifier &&
+        !IsMemberOrForeignQualified(toks, i)) {
+      out->variables.insert(toks[i + 1].text);
+    }
+  }
+}
+
+// Collects `SomeTemplate<...> name` declarations whose template is neither an
+// unordered container nor a known unordered alias, to veto ambiguous names.
+void CollectOtherwiseTypedNames(const LexedFile& lexed, UnorderedNames* out) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        toks[i].text == "unordered_map" || toks[i].text == "unordered_set" ||
+        out->aliases.count(toks[i].text) || !NextIs(toks, i, "<")) {
+      continue;
+    }
+    const size_t after = SkipAngles(toks, i + 1);
+    if (after + 1 >= toks.size() || toks[after].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    const Token& trail = toks[after + 1];
+    if (trail.kind == TokenKind::kPunct &&
+        (trail.text == ";" || trail.text == "=" || trail.text == "," ||
+         trail.text == ")" || trail.text == "{")) {
+      out->otherwise_typed.insert(toks[after].text);
+    }
+  }
+}
+
+// --- R3 support: raw-pointer local collection --------------------------------------
+
+// Heuristic `Type* name` / `auto* name` declarations. The preceding-token check keeps
+// multiplications inside larger expressions (`x = a * b`) out of the set.
+std::set<std::string> CollectPointerNames(const LexedFile& lexed) {
+  std::set<std::string> out;
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!(toks[i].kind == TokenKind::kPunct && toks[i].text == "*")) {
+      continue;
+    }
+    if (toks[i - 1].kind != TokenKind::kIdentifier ||
+        toks[i + 1].kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    // After the declared name we expect `;`, `=`, `,`, `)`, or a range-for `:`.
+    if (i + 2 < toks.size()) {
+      const Token& after = toks[i + 2];
+      if (!(after.kind == TokenKind::kPunct &&
+            (after.text == ";" || after.text == "=" || after.text == "," ||
+             after.text == ")" || after.text == ":"))) {
+        continue;
+      }
+    }
+    // Before the type we expect a statement/parameter boundary, not an expression.
+    if (i >= 2) {
+      const Token& before = toks[i - 2];
+      const bool boundary =
+          (before.kind == TokenKind::kPunct &&
+           (before.text == ";" || before.text == "{" || before.text == "}" ||
+            before.text == "(" || before.text == "," || before.text == ">")) ||
+          IsIdent(before, "const") || IsIdent(before, "constexpr") ||
+          IsIdent(before, "static");
+      if (!boundary) {
+        continue;
+      }
+    }
+    out.insert(toks[i + 1].text);
+  }
+  return out;
+}
+
+// --- Rules -------------------------------------------------------------------------
+
+void CheckR1(const std::string& path, const LexedFile& lexed, const LintOptions& options,
+             std::vector<Finding>* findings) {
+  const bool deterministic = InDeterminismDirs(path, options);
+  const bool env_sanctioned = StartsWith(path, options.env_sanctioned_prefix);
+  const std::vector<Token>& toks = lexed.tokens;
+  static const std::set<std::string> kAlwaysBad = {
+      "random_device",         "srand",        "gettimeofday",
+      "system_clock",          "steady_clock", "high_resolution_clock",
+      "clock_gettime",         "timespec_get", "rand_r"};
+  static const std::set<std::string> kBadCalls = {"rand", "time", "clock"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) {
+      continue;
+    }
+    if (t.text == "getenv" && !env_sanctioned && NextIs(toks, i, "(") &&
+        !IsMemberOrForeignQualified(toks, i)) {
+      findings->push_back({"R1", path, t.line, "getenv",
+                           "direct getenv() call; route environment reads through "
+                           "totoro::Env* in src/common/env.h"});
+      continue;
+    }
+    if (!deterministic) {
+      continue;
+    }
+    if (kAlwaysBad.count(t.text) && !IsMemberOrForeignQualified(toks, i)) {
+      findings->push_back({"R1", path, t.line, t.text,
+                           "nondeterminism source `" + t.text +
+                               "` in a deterministic-simulation directory; use the "
+                               "seeded totoro::Rng or virtual time (Simulator::Now)"});
+      continue;
+    }
+    if (kBadCalls.count(t.text) && NextIs(toks, i, "(") &&
+        !IsMemberOrForeignQualified(toks, i)) {
+      findings->push_back({"R1", path, t.line, t.text,
+                           "call to `" + t.text +
+                               "()` in a deterministic-simulation directory; use the "
+                               "seeded totoro::Rng or virtual time (Simulator::Now)"});
+    }
+  }
+}
+
+void CheckR2(const std::string& path, const LexedFile& lexed,
+             const UnorderedNames& names, const LintOptions& options,
+             std::vector<Finding>* findings) {
+  if (!InDeterminismDirs(path, options)) {
+    return;
+  }
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // Range-for whose range expression terminates in an unordered container name.
+    if (IsIdent(toks[i], "for") && NextIs(toks, i, "(")) {
+      int depth = 0;
+      size_t colon = 0;
+      size_t close = 0;
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].kind != TokenKind::kPunct) {
+          continue;
+        }
+        if (toks[j].text == "(") {
+          ++depth;
+        } else if (toks[j].text == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (toks[j].text == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0 && close > colon + 1) {
+        const Token& last = toks[close - 1];
+        if (last.kind == TokenKind::kIdentifier && names.variables.count(last.text) &&
+            !HasAnnotation(lexed, toks[i].line, "order-independent")) {
+          findings->push_back(
+              {"R2", path, toks[i].line, last.text,
+               "range-for over unordered container `" + last.text +
+                   "`; iteration order is hash-dependent — use an ordered container "
+                   "or annotate the loop `// LINT: order-independent <why>`"});
+        }
+      }
+      continue;
+    }
+    // Iterator-style traversal: `name.begin()` / `name.cbegin()`.
+    if (toks[i].kind == TokenKind::kIdentifier && names.variables.count(toks[i].text) &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokenKind::kPunct &&
+        (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+        (IsIdent(toks[i + 2], "begin") || IsIdent(toks[i + 2], "cbegin")) &&
+        NextIs(toks, i + 2, "(") &&
+        !HasAnnotation(lexed, toks[i].line, "order-independent")) {
+      findings->push_back(
+          {"R2", path, toks[i].line, toks[i].text,
+           "iterator traversal of unordered container `" + toks[i].text +
+               "`; iteration order is hash-dependent — use an ordered container or "
+               "annotate the line `// LINT: order-independent <why>`"});
+    }
+  }
+}
+
+void CheckR3(const std::string& path, const LexedFile& lexed, const LintOptions& options,
+             std::vector<Finding>* findings) {
+  if (!InDeterminismDirs(path, options)) {
+    return;
+  }
+  const std::vector<Token>& toks = lexed.tokens;
+  // Pointer-keyed ordered containers: std::map<T*, ...> / std::set<T*>.
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!(IsIdent(toks[i], "map") || IsIdent(toks[i], "set"))) {
+      continue;
+    }
+    if (!(i >= 2 && toks[i - 1].text == "::" && IsIdent(toks[i - 2], "std"))) {
+      continue;
+    }
+    if (!NextIs(toks, i, "<")) {
+      continue;
+    }
+    // First template argument: tokens from i+2 until a `,` or the closing `>` at depth 1.
+    int depth = 1;
+    size_t last = 0;
+    for (size_t j = i + 2; j < toks.size() && depth > 0; ++j) {
+      if (toks[j].kind == TokenKind::kPunct) {
+        if (toks[j].text == "<") {
+          ++depth;
+        } else if (toks[j].text == ">") {
+          --depth;
+        } else if (toks[j].text == "," && depth == 1) {
+          break;
+        }
+      }
+      if (depth > 0) {
+        last = j;
+      }
+    }
+    if (last != 0 && toks[last].kind == TokenKind::kPunct && toks[last].text == "*") {
+      findings->push_back(
+          {"R3", path, toks[i].line, "std::" + toks[i].text + "<T*>",
+           "pointer-keyed std::" + toks[i].text +
+               "; pointer order is allocator-dependent — key by a stable id instead"});
+    }
+  }
+  // Relational comparison between two raw-pointer locals.
+  const std::set<std::string> ptrs = CollectPointerNames(lexed);
+  if (ptrs.empty()) {
+    return;
+  }
+  for (size_t i = 1; i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kPunct ||
+        !(t.text == "<" || t.text == ">" || t.text == "<=" || t.text == ">=")) {
+      continue;
+    }
+    if (toks[i - 1].kind == TokenKind::kIdentifier && ptrs.count(toks[i - 1].text) &&
+        toks[i + 1].kind == TokenKind::kIdentifier && ptrs.count(toks[i + 1].text) &&
+        !HasAnnotation(lexed, t.line, "pointer-order-ok")) {
+      findings->push_back(
+          {"R3", path, t.line, toks[i - 1].text + t.text + toks[i + 1].text,
+           "relational comparison of raw pointers `" + toks[i - 1].text + "` and `" +
+               toks[i + 1].text +
+               "`; pointer order is allocator-dependent and must not feed scheduling"});
+    }
+  }
+}
+
+bool ValidMetricName(const std::string& name, bool is_prefix) {
+  size_t segments = 0;
+  size_t start = 0;
+  while (start <= name.size()) {
+    const size_t dot = name.find('.', start);
+    const std::string seg =
+        name.substr(start, dot == std::string::npos ? std::string::npos : dot - start);
+    if (seg.empty()) {
+      // Only a trailing empty segment of a composed prefix is allowed.
+      return is_prefix && dot == std::string::npos && segments >= 1;
+    }
+    if (!(seg[0] >= 'a' && seg[0] <= 'z')) {
+      return false;
+    }
+    for (char c : seg) {
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+        return false;
+      }
+    }
+    ++segments;
+    if (dot == std::string::npos) {
+      break;
+    }
+    start = dot + 1;
+  }
+  return segments >= 2;
+}
+
+struct MetricSite {
+  std::string kind;  // GetCounter / GetGauge / GetHistogram.
+  std::string file;
+  int line;
+};
+
+void CheckR4(const std::vector<std::pair<std::string, const LexedFile*>>& files,
+             const LintOptions& options, std::vector<Finding>* findings) {
+  std::map<std::string, std::vector<MetricSite>> sites;  // Full names only.
+  for (const auto& [path, lexed] : files) {
+    if (!StartsWith(path, options.metric_dir)) {
+      continue;
+    }
+    const std::vector<Token>& toks = lexed->tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(IsIdent(toks[i], "GetCounter") || IsIdent(toks[i], "GetGauge") ||
+            IsIdent(toks[i], "GetHistogram"))) {
+        continue;
+      }
+      if (!NextIs(toks, i, "(") || toks[i + 2].kind != TokenKind::kString) {
+        continue;  // API declaration or a dynamic name; nothing checkable here.
+      }
+      const std::string& name = toks[i + 2].text;
+      const bool is_prefix =
+          i + 3 < toks.size() && toks[i + 3].kind == TokenKind::kPunct &&
+          toks[i + 3].text == "+";
+      if (!ValidMetricName(name, is_prefix)) {
+        findings->push_back(
+            {"R4", path, toks[i + 2].line, name,
+             "metric name `" + name +
+                 "` violates the `layer.noun_verb` convention (lowercase "
+                 "dot-separated [a-z][a-z0-9_]* segments, >= 2 segments)"});
+      }
+      if (!is_prefix) {
+        sites[name].push_back({toks[i].text, path, toks[i + 2].line});
+      }
+    }
+  }
+  for (const auto& [name, regs] : sites) {
+    if (regs.size() <= 1) {
+      continue;
+    }
+    for (size_t k = 1; k < regs.size(); ++k) {
+      const bool kind_clash = regs[k].kind != regs[0].kind;
+      findings->push_back(
+          {"R4", regs[k].file, regs[k].line, name,
+           "metric `" + name + "` already registered at " + regs[0].file + ":" +
+               std::to_string(regs[0].line) +
+               (kind_clash ? " with a different kind (" + regs[0].kind + " vs " +
+                                 regs[k].kind + ")"
+                           : "; register once and cache the returned pointer")});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
+                             const LintOptions& options) {
+  // Lex everything once; files double as include-resolution sources.
+  std::map<std::string, LexedFile> lexed;
+  for (const SourceFile& f : files) {
+    lexed.emplace(f.path, Lex(f.content));
+  }
+
+  std::vector<Finding> findings;
+  std::vector<std::pair<std::string, const LexedFile*>> lexed_list;
+  lexed_list.reserve(lexed.size());
+  for (const auto& [path, lf] : lexed) {
+    lexed_list.emplace_back(path, &lf);
+  }
+
+  for (const auto& [path, lf] : lexed) {
+    CheckR1(path, lf, options, &findings);
+    CheckR3(path, lf, options, &findings);
+
+    // R2 needs the unordered names of this file plus its transitive project includes.
+    std::set<std::string> visited;
+    std::vector<std::string> frontier = {path};
+    std::vector<const LexedFile*> closure;
+    while (!frontier.empty()) {
+      const std::string cur = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(cur).second) {
+        continue;
+      }
+      auto it = lexed.find(cur);
+      if (it == lexed.end()) {
+        continue;  // System header or a file outside the scanned set.
+      }
+      closure.push_back(&it->second);
+      for (const std::string& inc : it->second.quoted_includes) {
+        frontier.push_back(inc);
+      }
+    }
+    UnorderedNames names;
+    for (const LexedFile* f : closure) {
+      CollectUnorderedNames(*f, &names);
+    }
+    for (const LexedFile* f : closure) {
+      CollectAliasUses(*f, &names);
+      CollectOtherwiseTypedNames(*f, &names);
+    }
+    // Ambiguously-typed names (same identifier declared with another template type
+    // somewhere in the closure) are dropped rather than risk a false positive.
+    for (const std::string& name : names.otherwise_typed) {
+      names.variables.erase(name);
+    }
+    CheckR2(path, lf, names, options, &findings);
+  }
+
+  CheckR4(lexed_list, options, &findings);
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+}  // namespace totoro::lint

@@ -1,0 +1,68 @@
+// totoro_lint rule engine.
+//
+// Rules enforced (see DESIGN.md "Static analysis & determinism rules"):
+//   R1  No nondeterminism sources in the deterministic-simulation directories
+//       (src/{sim,dht,pubsub,core,faultsim,bandit}): std::random_device, rand()/srand(),
+//       time()/clock()/gettimeofday(), and the <chrono> wall clocks
+//       (system_clock/steady_clock/high_resolution_clock). getenv() is checked across
+//       the whole tree and is sanctioned only inside src/common/env.*.
+//   R2  No range-for or iterator (`.begin()`) loops over std::unordered_map /
+//       std::unordered_set in the deterministic directories, unless the loop line (or
+//       the line above it) carries `// LINT: order-independent` with a justification.
+//       Member containers declared in headers are resolved through `#include "..."`
+//       tracking, so a loop in a .cc over a member declared in its .h is still caught.
+//   R3  No pointer-keyed std::map/std::set, and no relational comparison between two
+//       raw-pointer locals, in the deterministic directories (pointer order is
+//       allocator-dependent and must never feed a scheduling decision).
+//   R4  Every obs metric name literal passed to GetCounter/GetGauge/GetHistogram under
+//       src/ matches the `layer.noun_verb` convention (lowercase dot-separated
+//       [a-z][a-z0-9_]* segments, >= 2 segments; a trailing '.' marks a composed
+//       prefix) and each full name is registered at exactly one site with one kind.
+//
+// The engine is lexer-level by design: no LLVM/clang dependency, so it builds with the
+// project toolchain and runs in a few hundred milliseconds over the whole tree. The
+// trade-off is heuristic type resolution; the allowlist (allowlist.h) absorbs audited
+// exceptions and must shrink, never grow.
+#ifndef TOOLS_LINT_RULES_H_
+#define TOOLS_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace totoro::lint {
+
+struct SourceFile {
+  std::string path;     // Repo-relative, forward slashes (e.g. "src/sim/simulator.cc").
+  std::string content;  // Full file text.
+};
+
+struct Finding {
+  std::string rule;    // "R1".."R4".
+  std::string file;    // Repo-relative path.
+  int line = 0;        // 1-based.
+  std::string symbol;  // Offending identifier / metric name; allowlist match key.
+  std::string message;
+};
+
+struct LintOptions {
+  // Directories whose code must be bit-deterministic (R1 clocks/rand, R2, R3).
+  std::vector<std::string> determinism_dirs = {"src/sim",      "src/dht",  "src/pubsub",
+                                               "src/core",     "src/faultsim",
+                                               "src/bandit"};
+  // The single sanctioned getenv site; path prefix match (env.h + env.cc).
+  std::string env_sanctioned_prefix = "src/common/env.";
+  // R4 scans files under this prefix.
+  std::string metric_dir = "src/";
+};
+
+// Runs all rules over `files` (every file is both a lint target and an include-
+// resolution source). Findings are ordered by file, then line, then rule.
+std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
+                             const LintOptions& options);
+
+// One finding per line: "file:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+}  // namespace totoro::lint
+
+#endif  // TOOLS_LINT_RULES_H_
