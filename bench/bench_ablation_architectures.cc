@@ -10,6 +10,7 @@
 #include "bench/parallel_runner.h"
 #include "bench/tta_common.h"
 #include "src/baselines/hierarchical_engine.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
@@ -49,7 +50,7 @@ double RunHierarchical(const bench::TaskProfile& profile, int num_apps, uint64_t
   return last;
 }
 
-void Run() {
+void Run(BenchReport* report) {
   const auto profile = bench::FemnistProfile();
   bench::PrintHeader(
       "Ablation: architecture classes, last-app time-to-target (femnist task)");
@@ -75,7 +76,12 @@ void Run() {
                   AsciiTable::Num(cells[row * 3 + 1] / 1000.0, 2),
                   AsciiTable::Num(cells[row * 3 + 2] / 1000.0, 2)});
   }
-  std::printf("%s", table.Render().c_str());
+  report->SetMetric("central_tta_ms_20apps", cells[3 * 3 + 0], "ms", 0.0);
+  report->SetMetric("hierarchical_tta_ms_20apps", cells[3 * 3 + 1], "ms", 0.0);
+  report->SetMetric("totoro_tta_ms_20apps", cells[3 * 3 + 2], "ms", 0.0);
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint("ablation_architectures_table", FingerprintBytes(rendered));
   std::printf("hierarchy relieves the cloud's downlink but keeps the serial coordinator;\n"
               "only Totoro's per-app masters stay flat with concurrency\n");
 }
@@ -84,6 +90,8 @@ void Run() {
 }  // namespace totoro
 
 int main() {
-  totoro::Run();
-  return 0;
+  totoro::BenchReport report =
+      totoro::bench::MakeReport("ablation_architectures", 4000, "default");
+  totoro::Run(&report);
+  return report.Write() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 // the cost-to-go structure identical, isolating the value of KL confidence intervals.
 #include "bench/bench_util.h"
 #include "src/bandit/planner.h"
+#include "src/obs/export.h"
 
 int main() {
   using namespace totoro;
@@ -34,7 +35,13 @@ int main() {
        {"KL-UCB (paper)", "UCB1", "eps-greedy (0.05)", "eps-greedy (0.2)"}) {
     table.AddRow({name, AsciiTable::Num(final_regret[name] / kReps, 0)});
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
   std::printf("KL confidence intervals close hopeless links fastest => lowest regret\n");
-  return 0;
+  BenchReport report = bench::MakeReport("ablation_bandit", 1700, "default");
+  report.SetMetric("klucb_regret_8k", final_regret["KL-UCB (paper)"] / kReps, "regret",
+                   0.0);
+  report.SetMetric("ucb1_regret_8k", final_regret["UCB1"] / kReps, "regret", 0.0);
+  report.SetFingerprint("ablation_bandit_table", FingerprintBytes(rendered));
+  return report.Write() ? 0 : 1;
 }

@@ -8,12 +8,13 @@
 #include <set>
 
 #include "bench/bench_util.h"
+#include "src/obs/export.h"
 #include "src/rings/multi_ring.h"
 
 namespace totoro {
 namespace {
 
-void HopCountAblation() {
+void HopCountAblation(BenchReport* report) {
   bench::PrintHeader("Ablation A: mean route hops vs routing base b");
   AsciiTable table({"N", "b=2 (fanout 4)", "b=3 (fanout 8)", "b=4 (fanout 16)",
                     "b=5 (fanout 32)"});
@@ -44,11 +45,13 @@ void HopCountAblation() {
     }
     table.AddRow(row);
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint("ablation_hops_table", FingerprintBytes(rendered));
   std::printf("higher base => fewer hops; growth with N is logarithmic in every column\n");
 }
 
-void IsolationAblation() {
+void IsolationAblation(BenchReport* report) {
   bench::PrintHeader("Ablation B: multi-ring administrative isolation");
   // Zone-prefixed overlay: 4 zones x 100 nodes. Route intra-zone keys and count how
   // many route hops land outside the key's zone.
@@ -134,7 +137,11 @@ void IsolationAblation() {
   AsciiTable table({"overlay", "route hops outside the key's site"});
   table.AddRow({"multi-ring (zone-prefixed ids)", AsciiTable::Num(multi_ring_leakage, 1) + "%"});
   table.AddRow({"single flat ring", AsciiTable::Num(flat_leakage, 1) + "%"});
-  std::printf("%s", table.Render().c_str());
+  report->SetMetric("multi_ring_leakage_pct", multi_ring_leakage, "pct", 0.0);
+  report->SetMetric("flat_ring_leakage_pct", flat_leakage, "pct", 0.0);
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint("ablation_isolation_table", FingerprintBytes(rendered));
   std::printf("zone-prefixed ids keep intra-zone traffic inside the zone (path\n"
               "convergence); a flat ring scatters it across sites\n");
 }
@@ -143,7 +150,9 @@ void IsolationAblation() {
 }  // namespace totoro
 
 int main() {
-  totoro::HopCountAblation();
-  totoro::IsolationAblation();
-  return 0;
+  totoro::BenchReport report =
+      totoro::bench::MakeReport("ablation_routing", 1400, "default");
+  totoro::HopCountAblation(&report);
+  totoro::IsolationAblation(&report);
+  return report.Write() ? 0 : 1;
 }

@@ -7,11 +7,12 @@
 // optimal path).
 #include "bench/bench_util.h"
 #include "src/bandit/planner.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   bench::PrintHeader("Fig 10: cumulative regret vs #packets (mean of 5 seeds)");
   constexpr uint64_t kPackets = 10000;
   constexpr int kReps = 5;
@@ -48,7 +49,12 @@ void Run() {
     }
     table.AddRow(row);
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetMetric("fig10_totoro_regret_10k",
+                    regret_sums["Totoro (KL-UCB hop-by-hop)"].back() / kReps, "regret",
+                    0.0);
+  report->SetFingerprint("fig10_table", FingerprintBytes(rendered));
   std::printf("paper shape: Totoro achieves the lowest regret of the learning policies\n");
 }
 
@@ -56,6 +62,7 @@ void Run() {
 }  // namespace totoro
 
 int main() {
-  totoro::Run();
-  return 0;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig10_regret", 1000, "default");
+  totoro::Run(&report);
+  return report.Write() ? 0 : 1;
 }

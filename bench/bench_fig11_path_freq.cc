@@ -5,13 +5,16 @@
 // rank. Expected shapes (paper): optimal routing always picks rank 0; Totoro locks onto
 // rank 0 fastest; next-hop mixes in mediocre ranks; end-to-end LCB is the slowest to
 // concentrate on rank 0.
+#include <cctype>
+
 #include "bench/bench_util.h"
 #include "src/bandit/planner.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
 
-void Run() {
+void Run(BenchReport* report) {
   constexpr uint64_t kPackets = 2000;
   constexpr uint64_t kBlock = 400;
   Rng graph_rng(1104);
@@ -47,7 +50,15 @@ void Run() {
                     AsciiTable::Num(100.0 * counts[2] / kBlock, 0) + "%",
                     AsciiTable::Num(100.0 * counts[3] / kBlock, 0) + "%"});
     }
-    std::printf("%s", table.Render().c_str());
+    const std::string rendered = table.Render();
+    std::printf("%s", rendered.c_str());
+    std::string slug;
+    for (const char c : name) {
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+        slug.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      }
+    }
+    report->SetFingerprint("fig11_" + slug, FingerprintBytes(rendered));
   }
   std::printf("\npaper shape: Totoro finds the optimal path fastest and balances the\n"
               "exploration-exploitation tradeoff; end-to-end is last to find it\n");
@@ -57,6 +68,7 @@ void Run() {
 }  // namespace totoro
 
 int main() {
-  totoro::Run();
-  return 0;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig11_path_freq", 1104, "default");
+  totoro::Run(&report);
+  return report.Write() ? 0 : 1;
 }

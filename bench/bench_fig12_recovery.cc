@@ -6,6 +6,7 @@
 // stays roughly flat as the tree count doubles (the paper's claim).
 #include "bench/bench_util.h"
 #include "src/faultsim/fault_injector.h"
+#include "src/obs/export.h"
 #include "src/faultsim/fault_script.h"
 #include "src/faultsim/invariant_checker.h"
 #include "src/faultsim/recovery.h"
@@ -116,6 +117,7 @@ PartitionHealRow MeasurePartitionHealRecovery(double partition_ms, uint64_t seed
 
 int main() {
   using totoro::AsciiTable;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig12_recovery", 1200, "default");
   totoro::bench::PrintHeader(
       "Fig 12: recovery time after 5% simultaneous node failures, vs #trees");
   AsciiTable table({"#trees", "recovery time (ms)"});
@@ -123,8 +125,13 @@ int main() {
     const double recovery = totoro::MeasureTreeRecovery(trees, 1200 + trees);
     table.AddRow({AsciiTable::Int(trees),
                   recovery < 0 ? "did not converge" : AsciiTable::Num(recovery, 0)});
+    if (trees == 64) {
+      report.SetMetric("fig12_recovery_ms_64trees", recovery, "ms", 0.0);
+    }
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report.SetFingerprint("fig12_trees_table", totoro::FingerprintBytes(rendered));
   std::printf("paper shape: recovery time stays stable as tree count doubles (parallel,\n"
               "coordinator-free repair)\n");
 
@@ -141,8 +148,11 @@ int main() {
                             AsciiTable::Int(static_cast<long>(row.partition_drops)),
                             AsciiTable::Int(static_cast<long>(row.violations))});
   }
-  std::printf("%s", partition_table.Render().c_str());
+  const std::string rendered_partition = partition_table.Render();
+  std::printf("%s", rendered_partition.c_str());
+  report.SetFingerprint("fig12_partition_table",
+                        totoro::FingerprintBytes(rendered_partition));
   std::printf("recovery = virtual time from heal until the first publish reaching every\n"
               "subscriber; violations = InvariantChecker findings over the whole run\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

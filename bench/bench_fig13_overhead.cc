@@ -10,6 +10,7 @@
 // The simulator measures overhead by explicit accounting (work units ~ CPU, state bytes
 // ~ resident memory), which preserves the paper's relative comparison.
 #include "bench/tta_common.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
@@ -25,7 +26,7 @@ bench::TaskProfile TextProfile() {
   return profile;
 }
 
-void Run() {
+void Run(BenchReport* report) {
   const auto profile = TextProfile();
 
   // ---- Totoro: 10-node tree on a 60-node overlay. ----
@@ -108,7 +109,12 @@ void Run() {
   cpu.AddRow({"OpenFL-like", AsciiTable::Num(central_fl * unit_to_ms, 1),
               AsciiTable::Num(server_fl * unit_to_ms, 2),
               AsciiTable::Num(central_dht * 0.01, 1), "0.0%"});
-  std::printf("%s", cpu.Render().c_str());
+  const std::string rendered_cpu = cpu.Render();
+  std::printf("%s", rendered_cpu.c_str());
+  report->SetMetric("fig13a_totoro_fl_ms", totoro_fl_ms, "ms", 0.0);
+  report->SetMetric("fig13a_coordinator_fl_ratio",
+                    server_fl / std::max(totoro_master_fl, 1.0), "ratio", 0.0);
+  report->SetFingerprint("fig13a_table", FingerprintBytes(rendered_cpu));
   std::printf("Totoro's coordinator-side FL work is far below the central server's, and\n"
               "its DHT layer adds only a small share of total CPU work\n");
 
@@ -121,7 +127,10 @@ void Run() {
     mem.AddRow({i + 1 == totoro_memory.size() ? "end of run" : label,
                 AsciiTable::Num(totoro_memory[i] / 1024.0, 1)});
   }
-  std::printf("%s", mem.Render().c_str());
+  const std::string rendered_mem = mem.Render();
+  std::printf("%s", rendered_mem.c_str());
+  report->SetMetric("fig13b_end_state_kb", totoro_memory.back() / 1024.0, "kb", 0.0);
+  report->SetFingerprint("fig13b_table", FingerprintBytes(rendered_mem));
   std::printf("initial rise = P2P overlay + routing tables + tree state; flat afterwards\n");
 }
 
@@ -129,6 +138,7 @@ void Run() {
 }  // namespace totoro
 
 int main() {
-  totoro::Run();
-  return 0;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig13_overhead", 1300, "default");
+  totoro::Run(&report);
+  return report.Write() ? 0 : 1;
 }

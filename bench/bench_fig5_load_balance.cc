@@ -8,12 +8,13 @@
 //       topologies.
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
+#include "src/obs/export.h"
 #include "src/rings/binning.h"
 
 namespace totoro {
 namespace {
 
-void Fig5a() {
+void Fig5a(BenchReport* report) {
   bench::PrintHeader("Fig 5a: EUA edge zones (distributed binning of 95,271 nodes)");
   Rng rng(51);
   const auto nodes = GenerateEuaTopology(95271, rng);
@@ -33,10 +34,12 @@ void Fig5a() {
     table.AddRow({EuaRegions()[z].name, AsciiTable::Int(static_cast<long>(zone_counts[z])),
                   AsciiTable::Num(binning.DiameterOf(static_cast<uint32_t>(z)), 1)});
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint("fig5a_table", FingerprintBytes(rendered));
 }
 
-void Fig5b() {
+void Fig5b(BenchReport* report) {
   bench::PrintHeader("Fig 5b: masters per node, 1000-node edge zone");
   bench::Stack stack(1000, 52, PastryConfig{}, ScribeConfig{}, /*model_bandwidth=*/false);
   Rng pick(53);
@@ -63,12 +66,20 @@ void Fig5b() {
     table.AddRow({AsciiTable::Int(target), AsciiTable::Int(static_cast<long>(max_roots)),
                   AsciiTable::Num(counter.CumulativeFraction(3) * 100.0, 1) + "%",
                   AsciiTable::Num(static_cast<double>(total) / roots.size(), 3)});
+    if (target == 500) {
+      report->SetMetric("fig5b_max_roots_500trees", static_cast<double>(max_roots),
+                        "roots", 0.0);
+      report->SetMetric("fig5b_frac_le3_500trees", counter.CumulativeFraction(3), "frac",
+                        0.0);
+    }
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint("fig5b_table", FingerprintBytes(rendered));
   std::printf("paper: with 500 trees, 99.5%% of nodes are roots of <=3 trees\n");
 }
 
-void Fig5c() {
+void Fig5c(BenchReport* report) {
   bench::PrintHeader("Fig 5c: masters across zones scale with zone workload");
   // Zones sized like dense/medium/sparse EUA regions; each zone runs apps proportional
   // to its population (dense zones generate more FL workload).
@@ -105,11 +116,13 @@ void Fig5c() {
                   AsciiTable::Int(zone.apps), AsciiTable::Int(static_cast<long>(masters)),
                   AsciiTable::Num(static_cast<double>(masters) / zone.nodes, 3)});
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint("fig5c_table", FingerprintBytes(rendered));
   std::printf("masters scale with per-zone workload; no zone concentrates load\n");
 }
 
-void Fig5d() {
+void Fig5d(BenchReport* report) {
   bench::PrintHeader("Fig 5d: branch distribution of 17 trees on 1946 nodes (fanout 8)");
   for (uint64_t topo_seed : {61ull, 62ull, 63ull}) {
     PastryConfig pastry_config;
@@ -134,9 +147,11 @@ void Fig5d() {
     for (const auto& [level, count] : level_counts) {
       table.AddRow({AsciiTable::Int(level), AsciiTable::Int(static_cast<long>(count))});
     }
+    const std::string rendered = table.Render();
     std::printf("topology seed %llu (max depth %d):\n%s",
-                static_cast<unsigned long long>(topo_seed), max_depth,
-                table.Render().c_str());
+                static_cast<unsigned long long>(topo_seed), max_depth, rendered.c_str());
+    report->SetFingerprint("fig5d_topo" + std::to_string(topo_seed),
+                           FingerprintBytes(rendered));
   }
 }
 
@@ -144,9 +159,10 @@ void Fig5d() {
 }  // namespace totoro
 
 int main() {
-  totoro::Fig5a();
-  totoro::Fig5b();
-  totoro::Fig5c();
-  totoro::Fig5d();
-  return 0;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig5_load_balance", 51, "default");
+  totoro::Fig5a(&report);
+  totoro::Fig5b(&report);
+  totoro::Fig5c(&report);
+  totoro::Fig5d(&report);
+  return report.Write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 //
 // When N grows exponentially, both times must grow only linearly (tree depth).
 #include "bench/bench_util.h"
+#include "src/obs/export.h"
 #include "src/obs/metrics_registry.h"
 
 namespace totoro {
@@ -69,6 +70,7 @@ Timing MeasureTree(size_t n, int bits_per_digit, uint64_t seed, double latency_l
 
 int main() {
   using totoro::AsciiTable;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig6_dissemination", 600, "default");
   totoro::bench::PrintHeader("Fig 6a/6b: dissemination & aggregation time vs N (fanout 16)");
   AsciiTable table({"N", "tree depth", "dissemination (ms)", "aggregation (ms)"});
   for (size_t n = 20; n <= 5120; n *= 2) {
@@ -76,8 +78,15 @@ int main() {
     table.AddRow({AsciiTable::Int(static_cast<long>(n)), AsciiTable::Int(timing.depth),
                   AsciiTable::Num(timing.dissemination_ms, 1),
                   AsciiTable::Num(timing.aggregation_ms, 1)});
+    if (n == 5120) {
+      // Virtual-time results: machine-independent, compare exactly.
+      report.SetMetric("fig6a_dissemination_ms_n5120", timing.dissemination_ms, "ms", 0.0);
+      report.SetMetric("fig6b_aggregation_ms_n5120", timing.aggregation_ms, "ms", 0.0);
+    }
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered_ab = table.Render();
+  std::printf("%s", rendered_ab.c_str());
+  report.SetFingerprint("fig6ab_table", totoro::FingerprintBytes(rendered_ab));
   std::printf("N grows exponentially; times grow ~linearly (depth-bounded) => O(log N)\n");
 
   totoro::bench::PrintHeader("Fig 6c: dissemination time vs tree fanout (N = 2560)");
@@ -88,7 +97,9 @@ int main() {
     fanout_table.AddRow({AsciiTable::Int(1 << b), AsciiTable::Int(timing.depth),
                          AsciiTable::Num(timing.dissemination_ms, 1)});
   }
-  std::printf("%s", fanout_table.Render().c_str());
+  const std::string rendered_c = fanout_table.Render();
+  std::printf("%s", rendered_c.c_str());
+  report.SetFingerprint("fig6c_table", totoro::FingerprintBytes(rendered_c));
   std::printf("larger fanout => shallower tree => faster dissemination\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

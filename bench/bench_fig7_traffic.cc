@@ -7,6 +7,7 @@
 // per-client connection maintenance through one server, so its server-side traffic
 // scales linearly with tree count.
 #include "bench/bench_util.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
@@ -85,9 +86,16 @@ int main() {
                   AsciiTable::Num(result.udp_bytes_per_node, 0),
                   AsciiTable::Num(totoro::MeasureCentralServerBytes(trees, kWindowMs), 0)});
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
   std::printf("10x trees => Totoro TCP x%.2f, UDP x%.2f (paper: 1.19x TCP, 1.29x UDP);\n"
               "hub-and-spoke server traffic scales 10x\n",
               tcp10 / tcp1, udp10 / udp1);
-  return 0;
+  totoro::BenchReport report = totoro::bench::MakeReport("fig7_traffic", 70, "default");
+  // Traffic is virtual-time-driven and deterministic; ratios compare exactly.
+  report.SetMetric("fig7_tcp_growth_10x", tcp10 / tcp1, "ratio", 0.0);
+  report.SetMetric("fig7_udp_growth_10x", udp10 / udp1, "ratio", 0.0);
+  report.SetMetric("fig7_tcp_bytes_per_node_10trees", tcp10, "bytes", 0.0);
+  report.SetFingerprint("fig7_table", totoro::FingerprintBytes(rendered));
+  return report.Write() ? 0 : 1;
 }

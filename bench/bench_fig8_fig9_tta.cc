@@ -18,20 +18,25 @@ namespace {
 // to two fingerprints. The engine still honors TOTORO_COMPUTE_THREADS, so comparing
 // this line across thread counts (with TOTORO_BENCH_THREADS=1) checks the compute
 // pool's bit-identical-schedule guarantee on a real bench workload.
-void PrintDeterminismProbe() {
+void PrintDeterminismProbe(BenchReport* report) {
   GlobalTracer().Clear();
   GlobalTracer().SetEnabled(true);
   GlobalMetrics().ResetValues();
   bench::RunTotoroTta(bench::SpeechProfile(), /*num_apps=*/1, /*fanout_bits=*/5, 3000);
+  const uint64_t metrics_fp = MetricsFingerprint(GlobalMetrics());
+  const uint64_t trace_fp = TraceFingerprint(GlobalTracer());
   std::printf("determinism probe: metrics=%016llx trace=%016llx\n",
-              static_cast<unsigned long long>(MetricsFingerprint(GlobalMetrics())),
-              static_cast<unsigned long long>(TraceFingerprint(GlobalTracer())));
+              static_cast<unsigned long long>(metrics_fp),
+              static_cast<unsigned long long>(trace_fp));
+  report->SetFingerprint("probe_metrics", metrics_fp);
+  report->SetFingerprint("probe_trace", trace_fp);
   GlobalTracer().SetEnabled(false);
   GlobalTracer().Clear();
   GlobalMetrics().ResetValues();
 }
 
-void RunFigure(const bench::TaskProfile& profile, const char* figure) {
+void RunFigure(const bench::TaskProfile& profile, const char* figure,
+               const char* slug, BenchReport* report) {
   bench::PrintHeader(std::string(figure) + ": time-to-accuracy, " + profile.name);
   AsciiTable table({"#apps", "system", "last-app time-to-target (s)", "all reached"});
   std::vector<double> totoro_times;
@@ -75,10 +80,18 @@ void RunFigure(const bench::TaskProfile& profile, const char* figure) {
                   AsciiTable::Num(fedscale.last_target_ms / 1000.0, 2),
                   fedscale.all_reached ? "yes" : "no"});
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
   std::printf("Totoro flatness: 1 app %.2fs vs 20 apps %.2fs (ratio %.2f; paper ~1.004)\n",
               totoro_times.front() / 1000.0, totoro_times.back() / 1000.0,
               totoro_times.back() / totoro_times.front());
+  // Virtual-time TTA results — machine-independent, compare exactly.
+  const std::string prefix = slug;
+  report->SetMetric(prefix + "_totoro_tta_ms_1app", totoro_times.front(), "ms", 0.0);
+  report->SetMetric(prefix + "_totoro_tta_ms_20apps", totoro_times.back(), "ms", 0.0);
+  report->SetMetric(prefix + "_totoro_flatness_ratio",
+                    totoro_times.back() / totoro_times.front(), "ratio", 0.0);
+  report->SetFingerprint(prefix + "_table", FingerprintBytes(rendered));
 
   // One representative accuracy curve per system at 10 apps (the per-round trajectory
   // the paper plots) — computed with the grid above.
@@ -109,16 +122,20 @@ void RunFigure(const bench::TaskProfile& profile, const char* figure) {
 }  // namespace totoro
 
 int main() {
-  totoro::PrintDeterminismProbe();
+  // Everything in the report is virtual-time or a fingerprint, so every metric and
+  // fingerprint in BENCH_fig8_fig9_tta.json is identical across thread counts (only
+  // the bench_threads meta line records the difference) — benchdiff compares exactly.
+  totoro::BenchReport report = totoro::bench::MakeReport("fig8_fig9_tta", 3000, "default");
+  totoro::PrintDeterminismProbe(&report);
   // Wall-clock goes to stderr only: stdout must stay byte-identical across
   // TOTORO_COMPUTE_THREADS / TOTORO_BENCH_THREADS settings.
   const auto t0 = std::chrono::steady_clock::now();
-  totoro::RunFigure(totoro::bench::SpeechProfile(), "Fig 8");
+  totoro::RunFigure(totoro::bench::SpeechProfile(), "Fig 8", "fig8", &report);
   const auto t1 = std::chrono::steady_clock::now();
-  totoro::RunFigure(totoro::bench::FemnistProfile(), "Fig 9");
+  totoro::RunFigure(totoro::bench::FemnistProfile(), "Fig 9", "fig9", &report);
   const auto t2 = std::chrono::steady_clock::now();
   std::fprintf(stderr, "wall-clock: fig8 %.2fs fig9 %.2fs\n",
                std::chrono::duration<double>(t1 - t0).count(),
                std::chrono::duration<double>(t2 - t1).count());
-  return 0;
+  return report.Write() ? 0 : 1;
 }

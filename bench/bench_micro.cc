@@ -183,7 +183,43 @@ void BM_SerializeInt8(benchmark::State& state) {
 }
 BENCHMARK(BM_SerializeInt8);
 
+// Console output plus BenchReport capture: every benchmark's adjusted real time lands
+// in BENCH_micro.json as `<name>_ns` so benchdiff can gate regressions (0.75 relative
+// tolerance — micro timings are noisy across machines; a 2x slowdown still fails).
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) {
+        continue;  // Aggregates (mean/median/stddev) would double-count.
+      }
+      report_->SetMetric(run.benchmark_name() + "_ns", run.GetAdjustedRealTime(), "ns",
+                         0.75);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace totoro
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  totoro::BenchReport report("micro");
+  report.SetMeta("workload", "default");
+  totoro::ReportingConsoleReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!report.Write()) {
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include "bench/parallel_runner.h"
 #include "bench/tta_common.h"
+#include "src/obs/export.h"
 
 namespace totoro {
 namespace {
@@ -17,7 +18,8 @@ namespace {
 // Trials per #apps value: OpenFL-like, FedScale-like, and Totoro at three fanouts.
 constexpr size_t kTrialsPerApps = 5;
 
-void RunTask(const bench::TaskProfile& profile) {
+void RunTask(const bench::TaskProfile& profile, const std::string& slug,
+             BenchReport* report) {
   bench::PrintHeader("Table 3: " + profile.name + " (target " +
                      AsciiTable::Num(profile.target_accuracy * 100, 1) + "% top-1)");
   AsciiTable table({"#apps", "fanout", "Totoro TTT (s)", "OpenFL-like TTT (s)",
@@ -47,6 +49,11 @@ void RunTask(const bench::TaskProfile& profile) {
       const auto& totoro_run = outcomes[row * kTrialsPerApps + 2 + static_cast<size_t>(b - 3)];
       const double speed_openfl = openfl.last_target_ms / totoro_run.last_target_ms;
       const double speed_fedscale = fedscale.last_target_ms / totoro_run.last_target_ms;
+      if (apps == 20 && b == 4) {
+        report->SetMetric(slug + "_speedup_openfl_20apps_f16", speed_openfl, "x", 0.0);
+        report->SetMetric(slug + "_speedup_fedscale_20apps_f16", speed_fedscale, "x",
+                          0.0);
+      }
       std::string flags;
       if (!totoro_run.all_reached || !openfl.all_reached || !fedscale.all_reached) {
         flags = " (*)";
@@ -59,7 +66,9 @@ void RunTask(const bench::TaskProfile& profile) {
                     AsciiTable::Num(speed_fedscale, 1) + "x" + flags});
     }
   }
-  std::printf("%s", table.Render().c_str());
+  const std::string rendered = table.Render();
+  std::printf("%s", rendered.c_str());
+  report->SetFingerprint(slug + "_table", FingerprintBytes(rendered));
   std::printf("(*) = at least one app hit the round cap before its target\n");
 }
 
@@ -67,8 +76,10 @@ void RunTask(const bench::TaskProfile& profile) {
 }  // namespace totoro
 
 int main() {
-  totoro::RunTask(totoro::bench::SpeechProfile());
-  totoro::RunTask(totoro::bench::FemnistProfile());
+  totoro::BenchReport report =
+      totoro::bench::MakeReport("table3_speedup", 1000, "default");
+  totoro::RunTask(totoro::bench::SpeechProfile(), "speech", &report);
+  totoro::RunTask(totoro::bench::FemnistProfile(), "femnist", &report);
   std::printf("\npaper: speedups 1.2x-14.0x, growing with the number of concurrent apps\n");
-  return 0;
+  return report.Write() ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 // Shared scaffolding for bench binaries: overlay construction and app-launch helpers.
 //
 // Every bench binary reproduces one table or figure of the paper and prints its rows as
-// an ASCII table; EXPERIMENTS.md records paper-vs-measured values.
+// an ASCII table; EXPERIMENTS.md records paper-vs-measured values. Alongside the table
+// each binary fills a BenchReport (src/obs/bench_report.h) and calls Write(), emitting
+// BENCH_<name>.json for tools/benchdiff — totoro_lint rule R5 enforces that no bench
+// stays ASCII-only.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
@@ -10,10 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "bench/parallel_runner.h"
 #include "src/baselines/central_engine.h"
 #include "src/common/table.h"
 #include "src/core/engine.h"
 #include "src/core/eua_topology.h"
+#include "src/obs/bench_report.h"
 #include "src/pubsub/forest.h"
 
 namespace totoro {
@@ -63,6 +68,19 @@ struct Stack {
 
 inline void PrintHeader(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+// Starts this bench's report with the standard metadata every BENCH_*.json carries.
+// `workload` names the parameterization (node/route counts, figure variant): benchdiff
+// skips comparison when it differs, so dev runs with other arguments never false-fail
+// against the committed baseline.
+inline BenchReport MakeReport(const std::string& name, uint64_t seed,
+                              const std::string& workload) {
+  BenchReport report(name);
+  report.SetMeta("seed", std::to_string(seed));
+  report.SetMeta("bench_threads", std::to_string(DefaultBenchThreads()));
+  report.SetMeta("workload", workload);
+  return report;
 }
 
 }  // namespace bench

@@ -11,6 +11,9 @@
 //   TOTORO_LOG_LEVEL       debug/info/warn/error/off or 0-4 (src/common/logging.cc)
 //   TOTORO_COMPUTE_THREADS local-training pool size, >= 1   (src/fl/compute_pool.cc)
 //   TOTORO_BENCH_THREADS   bench trial parallelism, >= 1    (bench/parallel_runner.cc)
+//   TOTORO_PROFILE         >= 1 enables the phase profiler  (src/obs/profiler.cc)
+//   TOTORO_BENCH_REPORT_DIR  BENCH_*.json output dir, default "."; "off" disables
+//                                                           (src/obs/bench_report.cc)
 #ifndef SRC_COMMON_ENV_H_
 #define SRC_COMMON_ENV_H_
 

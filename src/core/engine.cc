@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace totoro {
@@ -225,58 +226,64 @@ void TotoroEngine::StartRound(AppRuntime& app) {
   ScopedTraceContext round_scope(app.round_trace);
   auto payload = std::make_shared<RoundPayload>();
   payload->weights = app.global_weights;
-  // Participant selection: the application's selection function picks this round's
-  // cohort from the subscribed workers.
-  if (app.selector != nullptr && app.config.participants_per_round > 0 &&
-      app.config.participants_per_round < app.trainers.size()) {
-    std::vector<ClientInfo> clients;
-    clients.reserve(app.trainers.size());
-    for (auto& [node, slot] : app.trainers) {
-      // Selection reads post-train state (last_loss); join any still-offloaded task
-      // first so the read matches the sequential schedule, where a straggler's Train
-      // had already run synchronously at broadcast delivery.
-      if (slot.pending.valid()) {
-        slot.pending.Wait();
+  {
+    ProfileScope profile_plan("plan");
+    // Participant selection: the application's selection function picks this round's
+    // cohort from the subscribed workers.
+    if (app.selector != nullptr && app.config.participants_per_round > 0 &&
+        app.config.participants_per_round < app.trainers.size()) {
+      std::vector<ClientInfo> clients;
+      clients.reserve(app.trainers.size());
+      for (auto& [node, slot] : app.trainers) {
+        // Selection reads post-train state (last_loss); join any still-offloaded task
+        // first so the read matches the sequential schedule, where a straggler's Train
+        // had already run synchronously at broadcast delivery.
+        if (slot.pending.valid()) {
+          slot.pending.Wait();
+        }
+        ClientInfo info;
+        info.index = node;
+        // Optimistic initialization: untrained clients look maximally useful.
+        info.last_loss = slot.trainer->last_loss() > 0.0f ? slot.trainer->last_loss() : 1e6;
+        info.speed_factor = slot.trainer->speed_factor();
+        clients.push_back(info);
       }
-      ClientInfo info;
-      info.index = node;
-      // Optimistic initialization: untrained clients look maximally useful.
-      info.last_loss = slot.trainer->last_loss() > 0.0f ? slot.trainer->last_loss() : 1e6;
-      info.speed_factor = slot.trainer->speed_factor();
-      clients.push_back(info);
+      auto selected = std::make_shared<std::vector<size_t>>(
+          app.selector->Select(clients, app.config.participants_per_round, rng_));
+      std::sort(selected->begin(), selected->end());
+      payload->selected = std::move(selected);
     }
-    auto selected = std::make_shared<std::vector<size_t>>(
-        app.selector->Select(clients, app.config.participants_per_round, rng_));
-    std::sort(selected->begin(), selected->end());
-    payload->selected = std::move(selected);
-  }
-  if (app.config.secure_aggregation) {
-    // This round's mask group covers exactly the broadcast cohort; every cut-off
-    // straggler later shows up as a missing contributor and is repaired by
-    // DropoutCorrection at the root.
-    std::vector<uint64_t> cohort;
-    if (payload->selected != nullptr) {
-      cohort.assign(payload->selected->begin(), payload->selected->end());
-    } else {
-      cohort.reserve(app.trainers.size());
-      for (const auto& [node, slot] : app.trainers) {
-        (void)slot;
-        cohort.push_back(node);
+    if (app.config.secure_aggregation) {
+      // This round's mask group covers exactly the broadcast cohort; every cut-off
+      // straggler later shows up as a missing contributor and is repaired by
+      // DropoutCorrection at the root.
+      std::vector<uint64_t> cohort;
+      if (payload->selected != nullptr) {
+        cohort.assign(payload->selected->begin(), payload->selected->end());
+      } else {
+        cohort.reserve(app.trainers.size());
+        for (const auto& [node, slot] : app.trainers) {
+          (void)slot;
+          cohort.push_back(node);
+        }
+        std::sort(cohort.begin(), cohort.end());
       }
-      std::sort(cohort.begin(), cohort.end());
-    }
-    app.secure_groups[app.round] = std::make_shared<const SecureAggregationGroup>(
-        std::move(cohort), app.secure_seed ^ (app.round * kSecureRoundSeedMix));
-    // Bound memory: groups older than a few rounds are only reachable through the
-    // shared_ptrs that in-flight training tasks captured.
-    while (!app.secure_groups.empty() &&
-           app.secure_groups.begin()->first + 8 < app.round) {
-      app.secure_groups.erase(app.secure_groups.begin());
+      app.secure_groups[app.round] = std::make_shared<const SecureAggregationGroup>(
+          std::move(cohort), app.secure_seed ^ (app.round * kSecureRoundSeedMix));
+      // Bound memory: groups older than a few rounds are only reachable through the
+      // shared_ptrs that in-flight training tasks captured.
+      while (!app.secure_groups.empty() &&
+             app.secure_groups.begin()->first + 8 < app.round) {
+        app.secure_groups.erase(app.secure_groups.begin());
+      }
     }
   }
   const uint64_t bytes = app.global_weights.size() * sizeof(float);
-  forest_->scribe(app.master_index)
-      .Broadcast(app.topic, app.round, std::move(payload), bytes);
+  {
+    ProfileScope profile_disseminate("disseminate");
+    forest_->scribe(app.master_index)
+        .Broadcast(app.topic, app.round, std::move(payload), bytes);
+  }
 
   if (round_deadline_ms_ > 0.0) {
     app.round_deadline.Cancel();
@@ -332,6 +339,9 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
     return;
   }
 
+  // Covers the training dispatch (selection already passed): joining the previous
+  // offload, work accounting, and submitting the compute task.
+  ProfileScope profile_train("train");
   TrainerSlot& slot = trainer_it->second;
   // The sequential schedule ran the previous Train to completion before this broadcast
   // was delivered; join any still-offloaded task before reusing the trainer (its model
@@ -444,6 +454,7 @@ void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
   if (round != app.round || app.config.async.has_value()) {
     return;  // Stale aggregate from a straggler cut-off of an earlier round.
   }
+  ProfileScope profile_aggregate("aggregate");
   if (total.data != nullptr) {
     const auto* merged = static_cast<const WeightsPayload*>(total.data.get());
     if (app.config.secure_aggregation) {
@@ -515,39 +526,43 @@ void TotoroEngine::OnAsyncUpdate(const NodeId& key, const Message& msg) {
 
 void TotoroEngine::EvaluateAndAdvance(AppRuntime& app, uint64_t round) {
   app.round_deadline.Cancel();
-  app.global_model->SetWeights(app.global_weights);
-  Network* net = forest_->pastry().network();
-  // Evaluation is FL-side master work.
-  net->metrics().ChargeWork(forest_->scribe(app.master_index).host(), WorkKind::kFlTask,
-                            static_cast<double>(app.global_model->NumParams()) *
-                                static_cast<double>(app.test_set.size()));
-  const double accuracy = app.global_model->Accuracy(app.test_set);
-  const double now = net->sim()->Now();
-  app.last_progress_ms = now;
-  if (app.round_trace.valid()) {
-    GlobalTracer().EmitSpan(app.round_trace, /*parent_span_id=*/0, "engine.round", "engine",
-                            forest_->scribe(app.master_index).host(), app.round_start_ms,
-                            now,
-                            {{"app", app.config.name},
-                             {"round", std::to_string(round)},
-                             {"accuracy", std::to_string(accuracy)}});
-    app.round_trace = TraceContext{};
-  }
-  static thread_local Histogram* round_hist = &GlobalMetrics().GetHistogram(
-      "engine.round.duration_ms", Histogram::DefaultLatencyBoundsMs());
-  round_hist->Observe(now - app.round_start_ms);
-  if (failover_enabled_) {
-    ReplicateCheckpoint(app);
-  }
-  app.result.curve.push_back(AccuracyPoint{now - app.launch_time_ms, round, accuracy});
-  app.result.rounds_completed = round;
-  app.result.final_accuracy = accuracy;
-  TLOG_INFO("app %s round %llu accuracy %.4f at t=%.1fms", app.config.name.c_str(),
-            static_cast<unsigned long long>(round), accuracy, now);
+  {
+    // Scope closes before the next round's plan/disseminate phases open.
+    ProfileScope profile_evaluate("evaluate");
+    app.global_model->SetWeights(app.global_weights);
+    Network* net = forest_->pastry().network();
+    // Evaluation is FL-side master work.
+    net->metrics().ChargeWork(forest_->scribe(app.master_index).host(), WorkKind::kFlTask,
+                              static_cast<double>(app.global_model->NumParams()) *
+                                  static_cast<double>(app.test_set.size()));
+    const double accuracy = app.global_model->Accuracy(app.test_set);
+    const double now = net->sim()->Now();
+    app.last_progress_ms = now;
+    if (app.round_trace.valid()) {
+      GlobalTracer().EmitSpan(app.round_trace, /*parent_span_id=*/0, "engine.round", "engine",
+                              forest_->scribe(app.master_index).host(), app.round_start_ms,
+                              now,
+                              {{"app", app.config.name},
+                               {"round", std::to_string(round)},
+                               {"accuracy", std::to_string(accuracy)}});
+      app.round_trace = TraceContext{};
+    }
+    static thread_local Histogram* round_hist = &GlobalMetrics().GetHistogram(
+        "engine.round.duration_ms", Histogram::DefaultLatencyBoundsMs());
+    round_hist->Observe(now - app.round_start_ms);
+    if (failover_enabled_) {
+      ReplicateCheckpoint(app);
+    }
+    app.result.curve.push_back(AccuracyPoint{now - app.launch_time_ms, round, accuracy});
+    app.result.rounds_completed = round;
+    app.result.final_accuracy = accuracy;
+    TLOG_INFO("app %s round %llu accuracy %.4f at t=%.1fms", app.config.name.c_str(),
+              static_cast<unsigned long long>(round), accuracy, now);
 
-  if (!app.result.reached_target && accuracy >= app.config.target_accuracy) {
-    app.result.reached_target = true;
-    app.result.time_to_target_ms = now - app.launch_time_ms;
+    if (!app.result.reached_target && accuracy >= app.config.target_accuracy) {
+      app.result.reached_target = true;
+      app.result.time_to_target_ms = now - app.launch_time_ms;
+    }
   }
   if (app.result.reached_target || round >= app.config.max_rounds) {
     FinishApp(app);
@@ -573,6 +588,7 @@ bool TotoroEngine::AllDone() const {
 }
 
 bool TotoroEngine::RunToCompletion(double max_virtual_ms) {
+  ProfileScope profile_run("engine_run");
   Simulator* sim = forest_->pastry().network()->sim();
   const double deadline = sim->Now() + max_virtual_ms;
   while (!AllDone() && !sim->Idle() && sim->Now() < deadline) {

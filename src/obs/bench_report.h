@@ -1,0 +1,77 @@
+// Uniform machine-readable bench output.
+//
+// Every binary in bench/ builds one BenchReport next to its ASCII tables and calls
+// Write(), producing `BENCH_<name>.json` in TOTORO_BENCH_REPORT_DIR (default: the
+// current directory; the literal value "off" suppresses the file entirely). The file
+// is the machine-readable record CI diffs against a committed baseline with
+// tools/benchdiff — see DESIGN.md "Perf telemetry & regression gating".
+//
+// Schema (version 1):
+//   {
+//     "schema": 1,
+//     "name": "<bench name>",
+//     "meta": { "<key>": "<string value>", ... },          // seed, threads, workload…
+//     "metrics": {
+//       "<metric>": { "value": <num>, "unit": "<unit>", "tolerance": <num> }, ...
+//     },
+//     "fingerprints": { "<probe>": "<16 hex chars>", ... }  // FingerprintBytes values
+//   }
+//
+// `tolerance` is the per-metric relative noise budget benchdiff honours: 0 means the
+// value is deterministic and must compare exactly (virtual-time results, counts);
+// a positive value marks a wall-clock metric where only regressions beyond the budget
+// matter. Fingerprints always compare exactly.
+//
+// Output is deterministic: maps are name-ordered, values print with %.17g so doubles
+// round-trip, and no timestamps are embedded — two identical runs produce byte-equal
+// files.
+#ifndef SRC_OBS_BENCH_REPORT_H_
+#define SRC_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace totoro {
+
+class BenchReport {
+ public:
+  struct Metric {
+    double value = 0.0;
+    std::string unit;
+    double tolerance = 0.0;  // Relative; 0 = exact compare.
+  };
+
+  // `name` must be [a-z0-9_]+ — it becomes the BENCH_<name>.json filename.
+  explicit BenchReport(const std::string& name);
+
+  const std::string& name() const { return name_; }
+
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMetric(const std::string& name, double value, const std::string& unit,
+                 double tolerance);
+  void SetFingerprint(const std::string& name, uint64_t fingerprint);
+
+  const std::map<std::string, std::string>& meta() const { return meta_; }
+  const std::map<std::string, Metric>& metrics() const { return metrics_; }
+  const std::map<std::string, uint64_t>& fingerprints() const { return fingerprints_; }
+
+  std::string ToJson() const;
+
+  // Writes BENCH_<name>.json into `dir` (no env involved). Returns false on IO error.
+  bool WriteTo(const std::string& dir) const;
+  // Resolves TOTORO_BENCH_REPORT_DIR (default "."), honours the "off" sentinel, writes
+  // the file, and prints a stable `bench-report: <path>` line to stdout on success.
+  // Returns false only on IO error (a disabled write returns true).
+  bool Write() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> meta_;
+  std::map<std::string, Metric> metrics_;
+  std::map<std::string, uint64_t> fingerprints_;
+};
+
+}  // namespace totoro
+
+#endif  // SRC_OBS_BENCH_REPORT_H_

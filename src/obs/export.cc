@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/obs/profiler.h"
 
 namespace totoro {
 namespace {
@@ -108,6 +109,46 @@ std::string TraceToChromeJson(const Tracer& tracer) {
             static_cast<uint64_t>(span.host));
     AppendArgs(&out, span);
     out.append("}");
+  }
+  out.append("]}");
+  return out;
+}
+
+namespace {
+
+// Lays out one accumulated phase as an "X" slice starting at `start_us`, then its
+// children (name order) packed sequentially inside it. Returns the slice duration.
+double AppendProfilerSlice(const std::vector<Profiler::PhaseNode>& nodes, size_t index,
+                           double start_us, bool* first, std::string* out) {
+  const Profiler::PhaseNode& node = nodes[index];
+  const double dur_us = node.stats.wall_seconds * 1e6;
+  if (!*first) {
+    out->append(",");
+  }
+  *first = false;
+  out->append("{\"name\":\"");
+  out->append(JsonEscape(node.name));
+  AppendF(out, "\",\"cat\":\"profile\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+               "\"pid\":0,\"tid\":0,\"args\":{\"calls\":%" PRIu64
+               ",\"virtual_ms\":%.3f,\"events\":%" PRIu64 "}}",
+          start_us, dur_us, node.stats.calls, node.stats.virtual_ms, node.stats.events);
+  double child_start = start_us;
+  for (const auto& [name, child] : node.children) {
+    (void)name;
+    child_start += AppendProfilerSlice(nodes, child, child_start, first, out);
+  }
+  return dur_us;
+}
+
+}  // namespace
+
+std::string ProfilerToChromeJson(const Profiler& profiler) {
+  std::string out("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  double start_us = 0.0;
+  for (const auto& [name, child] : profiler.nodes()[0].children) {
+    (void)name;
+    start_us += AppendProfilerSlice(profiler.nodes(), child, start_us, &first, &out);
   }
   out.append("]}");
   return out;

@@ -23,7 +23,13 @@
 
 namespace totoro {
 
+class Profiler;
+
 std::string TraceToChromeJson(const Tracer& tracer);
+// Flame-graph-style view of the profiler's accumulated phase tree: one "X" event per
+// phase, children laid out sequentially inside their parent, durations in wall-clock
+// microseconds. Loadable in chrome://tracing / Perfetto like TraceToChromeJson output.
+std::string ProfilerToChromeJson(const Profiler& profiler);
 std::string MetricsToJson(const MetricsRegistry& registry);
 std::string MetricsToCsv(const MetricsRegistry& registry);
 

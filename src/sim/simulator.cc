@@ -5,6 +5,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 
 namespace totoro {
@@ -20,6 +21,8 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 Simulator::Simulator() {
   GlobalTracer().SetClockSource(&now_);
   SetLogTimeSource(&now_);
+  GlobalProfiler().SetClockSource(&now_);
+  GlobalProfiler().SetEventCountSource(&events_fired_);
   fired_counter_ = &GlobalMetrics().GetCounter("sim.events_fired");
   cancelled_counter_ = &GlobalMetrics().GetCounter("sim.events_cancelled");
 }
@@ -31,6 +34,12 @@ Simulator::~Simulator() {
   }
   if (GetLogTimeSource() == &now_) {
     SetLogTimeSource(nullptr);
+  }
+  if (GlobalProfiler().clock_source() == &now_) {
+    GlobalProfiler().SetClockSource(nullptr);
+  }
+  if (GlobalProfiler().event_count_source() == &events_fired_) {
+    GlobalProfiler().SetEventCountSource(nullptr);
   }
 }
 
@@ -54,6 +63,8 @@ size_t Simulator::RunLoop(size_t max_events, StopCondition keep_going) {
   if (queue_.Empty()) {
     return 0;
   }
+  // Closes after events_fired_ is folded below, so the scope's event delta is exact.
+  ProfileScope profile_scope("sim_run");
   const auto start = std::chrono::steady_clock::now();
   size_t fired = 0;
   SimTime at = now_;
@@ -66,6 +77,10 @@ size_t Simulator::RunLoop(size_t max_events, StopCondition keep_going) {
     now_ = at;  // Advance the clock before the event observes it.
     fn();
     ++fired;
+    if (sample_every_ != 0 && ++events_since_sample_ >= sample_every_) {
+      events_since_sample_ = 0;
+      SamplePeriodic(events_fired_ + fired, run_wall_seconds_ + SecondsSince(start));
+    }
   }
   fn.Reset();  // Destroy the last callback before the timer stops.
   run_wall_seconds_ += SecondsSince(start);
@@ -99,8 +114,27 @@ double Simulator::EventsPerSecond() const {
   return static_cast<double>(events_fired_) / run_wall_seconds_;
 }
 
-void Simulator::PublishThroughputMetrics() const {
-  GlobalMetrics().GetGauge("sim.events_per_sec").Set(EventsPerSecond());
+Gauge& Simulator::ThroughputGauge() {
+  if (throughput_gauge_ == nullptr) {
+    throughput_gauge_ = &GlobalMetrics().GetGauge("sim.events_per_sec");
+  }
+  return *throughput_gauge_;
+}
+
+void Simulator::PublishThroughputMetrics() { ThroughputGauge().Set(EventsPerSecond()); }
+
+void Simulator::SamplePeriodic(uint64_t total_fired, double wall_now) {
+  const double dt = wall_now - window_start_wall_;
+  if (dt > 0.0) {
+    live_events_per_sec_ =
+        static_cast<double>(total_fired - window_start_fired_) / dt;
+    ThroughputGauge().Set(live_events_per_sec_);
+  }
+  window_start_fired_ = total_fired;
+  window_start_wall_ = wall_now;
+  Profiler& profiler = GlobalProfiler();
+  profiler.RecordSample("sim_queue_depth", static_cast<double>(queue_.Size()));
+  profiler.Sample();
 }
 
 }  // namespace totoro

@@ -13,9 +13,13 @@
 // Throughput accounting: Run/RunUntil count fired events into the thread's metrics
 // registry (`sim.events_fired`; effective cancellations fold into
 // `sim.events_cancelled`) and accumulate wall-clock spent inside the event loop, so
-// any bench can report simulated events per wall second. The events/sec gauge is only
-// written by an explicit PublishThroughputMetrics() call — it is wall-clock dependent,
-// and implicit writes would break bit-identical metric exports across runs.
+// any bench can report simulated events per wall second. The events/sec gauge is
+// wall-clock dependent, so it is never written implicitly — implicit writes would
+// break bit-identical metric exports across runs. It is written either by an explicit
+// PublishThroughputMetrics() call (whole-run average) or, when a bench opts in with
+// EnablePeriodicSampling(N), every N fired events from inside the loop (live sliding
+// window), which also drives the profiler's sampling hooks (queue depth + registered
+// samplers).
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
@@ -26,6 +30,7 @@
 namespace totoro {
 
 class Counter;
+class Gauge;
 
 class Simulator {
  public:
@@ -73,15 +78,32 @@ class Simulator {
   double run_wall_seconds() const { return run_wall_seconds_; }
   // Fired events per wall-clock second (0 before any event ran).
   double EventsPerSecond() const;
-  // Writes the `sim.events_per_sec` gauge into the thread's metrics registry. Never
-  // called implicitly (wall-clock values are not deterministic).
-  void PublishThroughputMetrics() const;
+  // Writes the `sim.events_per_sec` gauge (whole-run average) into the thread's
+  // metrics registry. Wall-clock values are not deterministic, so this never happens
+  // implicitly — only here or via the opt-in periodic sampler below.
+  void PublishThroughputMetrics();
+
+  // --- Periodic in-run sampling (opt-in; default off) ---
+  // Every `every_events` fired events the loop updates `sim.events_per_sec` with the
+  // rate over the window since the previous sample and drives the profiler's sampling
+  // hooks (event-queue depth as `sim_queue_depth`, plus all registered samplers).
+  // 0 disables. Opting in makes the metrics registry wall-clock dependent — scale
+  // benches that fingerprint metrics must exclude the gauge from their probe.
+  void EnablePeriodicSampling(uint64_t every_events) { sample_every_ = every_events; }
+  uint64_t sample_every() const { return sample_every_; }
+  // Rate over the most recent completed sampling window (0 before the first sample).
+  double live_events_per_sec() const { return live_events_per_sec_; }
 
  private:
   template <typename StopCondition>
   size_t RunLoop(size_t max_events, StopCondition keep_going);
   // Folds queue-side cancellations observed since the last sync into the counter.
   void SyncCancelledCounter();
+  // The single registration site for the `sim.events_per_sec` gauge.
+  Gauge& ThroughputGauge();
+  // Closes the current sampling window at (cumulative fired, cumulative wall seconds)
+  // and publishes the window rate. Chrono-free signature keeps <chrono> out of here.
+  void SamplePeriodic(uint64_t total_fired, double wall_now);
 
   EventQueue queue_;
   SimTime now_ = 0.0;
@@ -89,8 +111,14 @@ class Simulator {
   uint64_t rejoins_scheduled_ = 0;
   uint64_t cancelled_synced_ = 0;
   double run_wall_seconds_ = 0.0;
+  uint64_t sample_every_ = 0;            // 0 = periodic sampling off.
+  uint64_t events_since_sample_ = 0;
+  uint64_t window_start_fired_ = 0;
+  double window_start_wall_ = 0.0;
+  double live_events_per_sec_ = 0.0;
   Counter* fired_counter_ = nullptr;      // Cached thread-local registry series.
   Counter* cancelled_counter_ = nullptr;
+  Gauge* throughput_gauge_ = nullptr;     // Lazily cached by ThroughputGauge().
 };
 
 }  // namespace totoro

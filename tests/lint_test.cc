@@ -1,6 +1,6 @@
 // Tests for the totoro_lint rule engine (tools/lint/): synthetic source snippets are
 // fed through RunLint and the findings checked per rule — a positive and a negative
-// case for each of R1–R4, annotation escape hatches, include-closure resolution, and
+// case for each of R1–R5, annotation escape hatches, include-closure resolution, and
 // allowlist parsing/matching.
 #include <algorithm>
 #include <string>
@@ -237,6 +237,38 @@ TEST(R4Test, KindClashIsReported) {
     return f.rule == "R4";
   });
   EXPECT_NE(it->message.find("different kind"), std::string::npos);
+}
+
+// --- R5: bench binaries must emit a BenchReport ------------------------------------
+
+TEST(R5Test, FlagsBenchWithoutBenchReport) {
+  const auto findings = LintOne(
+      "bench/bench_widget.cc",
+      "int main() { std::printf(\"table only\\n\"); return 0; }\n");
+  EXPECT_TRUE(HasFinding(findings, "R5", "BenchReport"));
+}
+
+TEST(R5Test, QuietWhenBenchReferencesBenchReport) {
+  const auto findings = LintOne(
+      "bench/bench_widget.cc",
+      "#include \"src/obs/bench_report.h\"\n"
+      "int main() { totoro::BenchReport report(\"widget\"); return report.Write() ? 0 : 1; }\n");
+  EXPECT_FALSE(HasFinding(findings, "R5", "BenchReport"));
+}
+
+TEST(R5Test, QuietOnNonBenchFilesAndHelpers) {
+  // Shared helpers (bench_util.h) and non-bench sources are out of scope.
+  EXPECT_TRUE(LintOne("bench/bench_util.h", "int x;\n").empty());
+  EXPECT_TRUE(LintOne("bench/tta_common.h", "int x;\n").empty());
+  EXPECT_TRUE(LintOne("src/obs/export.cc", "int x;\n").empty());
+}
+
+TEST(R5Test, MentionInStringDoesNotCount) {
+  // The identifier must appear as a token, not inside a string or comment.
+  const auto findings = LintOne(
+      "bench/bench_widget.cc",
+      "int main() { std::printf(\"BenchReport goes here someday\\n\"); return 0; }\n");
+  EXPECT_TRUE(HasFinding(findings, "R5", "BenchReport"));
 }
 
 // --- Allowlist ---------------------------------------------------------------------

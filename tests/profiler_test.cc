@@ -1,0 +1,237 @@
+// Tests for the scoped hierarchical phase profiler (src/obs/profiler.h): nesting and
+// accumulation, disabled-mode inertness, deterministic virtual-time/event deltas from
+// registered sources, sampling hooks, metric publication naming, and Reset semantics.
+#include "src/obs/profiler.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+
+namespace totoro {
+namespace {
+
+// GlobalProfiler() is thread-local and persists across TESTs in this binary; every test
+// starts from a clean, enabled profiler and leaves it disabled again.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Profiler& p = GlobalProfiler();
+    p.SetEnabled(true);
+    p.SetClockSource(nullptr);
+    p.SetEventCountSource(nullptr);
+    p.Reset();
+  }
+  void TearDown() override {
+    Profiler& p = GlobalProfiler();
+    p.Reset();
+    p.SetEnabled(false);
+    p.SetClockSource(nullptr);
+    p.SetEventCountSource(nullptr);
+  }
+};
+
+TEST_F(ProfilerTest, NestedScopesBuildOnePathPerParentChain) {
+  {
+    ProfileScope outer("round");
+    {
+      ProfileScope inner("train");
+    }
+    {
+      ProfileScope inner("train");
+    }
+    {
+      ProfileScope inner("aggregate");
+    }
+  }
+  {
+    ProfileScope outer("round");
+  }
+  const Profiler& p = GlobalProfiler();
+  const Profiler::PhaseNode* round = p.Find("round");
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->stats.calls, 2u);
+  EXPECT_EQ(round->depth, 1);
+  const Profiler::PhaseNode* train = p.Find("round.train");
+  ASSERT_NE(train, nullptr);
+  EXPECT_EQ(train->stats.calls, 2u);
+  EXPECT_EQ(train->depth, 2);
+  const Profiler::PhaseNode* aggregate = p.Find("round.aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->stats.calls, 1u);
+  // The same name outside the parent is a different node.
+  EXPECT_EQ(p.Find("train"), nullptr);
+  EXPECT_EQ(p.open_scopes(), 0u);
+}
+
+TEST_F(ProfilerTest, PathOfRoundTripsWithFind) {
+  {
+    ProfileScope a("alpha");
+    ProfileScope b("beta");
+  }
+  const Profiler& p = GlobalProfiler();
+  // Root path is "", and every non-root node's PathOf resolves back through Find.
+  EXPECT_EQ(p.PathOf(0), "");
+  for (size_t i = 1; i < p.nodes().size(); ++i) {
+    const std::string path = p.PathOf(i);
+    const Profiler::PhaseNode* node = p.Find(path);
+    ASSERT_NE(node, nullptr) << path;
+    EXPECT_EQ(node, &p.nodes()[i]);
+  }
+}
+
+TEST_F(ProfilerTest, DisabledModeCreatesNoNodesAndNoSamples) {
+  Profiler& p = GlobalProfiler();
+  p.SetEnabled(false);
+  {
+    ProfileScope scope("ghost");
+    ProfileScope nested("ghost_child");
+  }
+  p.RecordSample("ghost_series", 1.0);
+  p.Sample();
+  EXPECT_EQ(p.nodes().size(), 1u);  // Only the synthetic root.
+  EXPECT_TRUE(p.samples().empty());
+  EXPECT_EQ(p.open_scopes(), 0u);
+}
+
+TEST_F(ProfilerTest, ScopeOpenedWhileDisabledStaysInertAcrossEnable) {
+  Profiler& p = GlobalProfiler();
+  p.SetEnabled(false);
+  {
+    ProfileScope scope("ghost");
+    // Enabling mid-scope must not make the destructor pop a frame it never pushed.
+    p.SetEnabled(true);
+  }
+  EXPECT_EQ(p.open_scopes(), 0u);
+  EXPECT_EQ(p.Find("ghost"), nullptr);
+}
+
+TEST_F(ProfilerTest, VirtualTimeAndEventDeltasFoldDeterministically) {
+  Profiler& p = GlobalProfiler();
+  double now_ms = 100.0;
+  uint64_t events = 7;
+  p.SetClockSource(&now_ms);
+  p.SetEventCountSource(&events);
+  {
+    ProfileScope outer("run");
+    now_ms = 150.0;
+    events = 10;
+    {
+      ProfileScope inner("step");
+      now_ms = 175.0;
+      events = 16;
+    }
+    now_ms = 200.0;
+    events = 20;
+  }
+  const Profiler::PhaseNode* run = p.Find("run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_DOUBLE_EQ(run->stats.virtual_ms, 100.0);  // 200 - 100, inclusive of the child.
+  EXPECT_EQ(run->stats.events, 13u);               // 20 - 7.
+  const Profiler::PhaseNode* step = p.Find("run.step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_DOUBLE_EQ(step->stats.virtual_ms, 25.0);
+  EXPECT_EQ(step->stats.events, 6u);
+  p.SetClockSource(nullptr);
+  p.SetEventCountSource(nullptr);
+}
+
+TEST_F(ProfilerTest, RepeatedRunsAccumulateExactDeltas) {
+  Profiler& p = GlobalProfiler();
+  double now_ms = 0.0;
+  p.SetClockSource(&now_ms);
+  for (int i = 0; i < 3; ++i) {
+    ProfileScope scope("tick");
+    now_ms += 10.0;
+  }
+  const Profiler::PhaseNode* tick = p.Find("tick");
+  ASSERT_NE(tick, nullptr);
+  EXPECT_EQ(tick->stats.calls, 3u);
+  EXPECT_DOUBLE_EQ(tick->stats.virtual_ms, 30.0);
+  p.SetClockSource(nullptr);
+}
+
+TEST_F(ProfilerTest, SamplersAndDirectSamplesAggregate) {
+  Profiler& p = GlobalProfiler();
+  double depth = 4.0;
+  p.AddSampler("queue_depth", [&depth]() { return depth; });
+  p.Sample();
+  depth = 10.0;
+  p.Sample();
+  p.RecordSample("direct", 2.5);
+  p.RecordSample("direct", 7.5);
+  const auto& samples = p.samples();
+  ASSERT_TRUE(samples.count("queue_depth"));
+  EXPECT_EQ(samples.at("queue_depth").count, 2u);
+  EXPECT_DOUBLE_EQ(samples.at("queue_depth").min, 4.0);
+  EXPECT_DOUBLE_EQ(samples.at("queue_depth").max, 10.0);
+  EXPECT_DOUBLE_EQ(samples.at("queue_depth").last, 10.0);
+  ASSERT_TRUE(samples.count("direct"));
+  EXPECT_DOUBLE_EQ(samples.at("direct").mean(), 5.0);
+  p.RemoveSampler("queue_depth");
+  p.Sample();
+  EXPECT_EQ(samples.at("queue_depth").count, 2u);  // Removed sampler no longer fires.
+}
+
+TEST_F(ProfilerTest, PublishToMetricsEmitsOnlyDeterministicFields) {
+  Profiler& p = GlobalProfiler();
+  double now_ms = 0.0;
+  p.SetClockSource(&now_ms);
+  {
+    ProfileScope outer("publish_run");
+    now_ms = 40.0;
+    ProfileScope inner("fold");
+    now_ms = 50.0;
+  }
+  MetricsRegistry registry;
+  p.PublishToMetrics(&registry);
+  EXPECT_EQ(registry.GetCounter("profile.publish_run.calls").value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("profile.publish_run.virtual_ms").value(), 50.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("profile.publish_run.fold.virtual_ms").value(),
+                   10.0);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("profile.publish_run.events").value(), 0.0);
+  // Wall-clock must never reach the registry: the export is fully described by the
+  // three deterministic series per phase.
+  const std::string text = MetricsToJson(registry);
+  EXPECT_EQ(text.find("wall"), std::string::npos);
+  p.SetClockSource(nullptr);
+}
+
+TEST_F(ProfilerTest, ReportTextAndJsonListPhasesInDeterministicOrder) {
+  {
+    ProfileScope b("zeta");
+  }
+  {
+    ProfileScope a("alpha");
+  }
+  const Profiler& p = GlobalProfiler();
+  const std::string text = p.ReportText();
+  EXPECT_LT(text.find("alpha"), text.find("zeta"));  // Name-ordered, not entry-ordered.
+  const std::string json = p.ToJson();
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+}
+
+TEST_F(ProfilerTest, ResetDropsPhasesKeepsConfiguration) {
+  Profiler& p = GlobalProfiler();
+  double now_ms = 0.0;
+  p.SetClockSource(&now_ms);
+  p.AddSampler("kept", []() { return 1.0; });
+  {
+    ProfileScope scope("dropped");
+  }
+  p.Sample();
+  p.Reset();
+  EXPECT_TRUE(p.enabled());
+  EXPECT_EQ(p.nodes().size(), 1u);
+  EXPECT_TRUE(p.samples().empty());
+  EXPECT_EQ(p.clock_source(), &now_ms);
+  p.Sample();  // Samplers survive Reset.
+  EXPECT_EQ(p.samples().count("kept"), 1u);
+  p.RemoveSampler("kept");
+  p.SetClockSource(nullptr);
+}
+
+}  // namespace
+}  // namespace totoro

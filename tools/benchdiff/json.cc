@@ -1,0 +1,236 @@
+#include "tools/benchdiff/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace totoro::benchdiff {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing garbage after top-level value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& reason) {
+    *error_ = "offset " + std::to_string(pos_) + ": " + reason;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return ConsumeLiteral("true") || Fail("bad literal");
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return ConsumeLiteral("false") || Fail("bad literal");
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return ConsumeLiteral("null") || Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key string");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) {
+        return true;
+      }
+      if (!Consume(',')) {
+        return Fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          const unsigned long code =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          // BENCH files only escape control characters; encode as UTF-8 up to 0x7FF.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->number_value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("bad number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  std::string local_error;
+  Parser parser(text, error != nullptr ? error : &local_error);
+  return parser.Parse(out);
+}
+
+}  // namespace totoro::benchdiff

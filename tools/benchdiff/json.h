@@ -1,0 +1,42 @@
+// Minimal JSON reader for benchdiff.
+//
+// Parses the subset of JSON that BENCH_*.json files use (objects, arrays, strings,
+// numbers, booleans, null) into a tree of JsonValue nodes. Object member order is
+// preserved so diagnostics can echo the file's own ordering. No dependencies beyond
+// the standard library; parse errors carry a byte offset and a short reason.
+#ifndef TOOLS_BENCHDIFF_JSON_H_
+#define TOOLS_BENCHDIFF_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace totoro::benchdiff {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // Preserves file order.
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses `text` into `out`. On failure returns false and describes the problem
+// ("offset 17: expected ':'") in `error`. Trailing garbage after the top-level
+// value is an error.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace totoro::benchdiff
+
+#endif  // TOOLS_BENCHDIFF_JSON_H_

@@ -1,0 +1,155 @@
+// benchdiff: compare a fresh set of BENCH_*.json bench reports against a committed
+// baseline and fail on regressions.
+//
+// Usage:
+//   benchdiff --baseline <dir> --current <dir> [--fail-above <rel>]
+//
+// The BASELINE directory drives the comparison: every BENCH_*.json in it must have a
+// counterpart in the current directory. Per-metric semantics live in diff.h; in short,
+// fingerprints and tolerance-0 metrics compare exactly (hard fail on any drift), and
+// wall-clock metrics warn beyond their own tolerance and fail beyond
+// max(tolerance, --fail-above) (default 0.25).
+//
+// Exit codes: 0 clean (notes/warnings allowed), 1 regression detected, 2 usage/IO
+// error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/benchdiff/diff.h"
+
+namespace fs = std::filesystem;
+using totoro::benchdiff::DiffOptions;
+using totoro::benchdiff::Issue;
+using totoro::benchdiff::Report;
+using totoro::benchdiff::Severity;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool LoadReport(const fs::path& path, Report* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::string error;
+  if (!totoro::benchdiff::ParseReport(text, out, &error)) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path.string().c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool IsBenchReportFile(const fs::path& path) {
+  const std::string filename = path.filename().string();
+  return filename.rfind("BENCH_", 0) == 0 && path.extension() == ".json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir;
+  std::string current_dir;
+  DiffOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "benchdiff: %s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      baseline_dir = next("--baseline");
+    } else if (arg == "--current") {
+      current_dir = next("--current");
+    } else if (arg == "--fail-above") {
+      options.fail_above = std::strtod(next("--fail-above"), nullptr);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: benchdiff --baseline <dir> --current <dir> [--fail-above <rel>]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "benchdiff: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_dir.empty() || current_dir.empty()) {
+    std::fprintf(stderr, "benchdiff: --baseline and --current are required\n");
+    return 2;
+  }
+  if (!fs::is_directory(baseline_dir)) {
+    std::fprintf(stderr, "benchdiff: baseline dir %s not found\n", baseline_dir.c_str());
+    return 2;
+  }
+
+  std::vector<fs::path> baseline_files;
+  for (const auto& entry : fs::directory_iterator(baseline_dir)) {
+    if (entry.is_regular_file() && IsBenchReportFile(entry.path())) {
+      baseline_files.push_back(entry.path());
+    }
+  }
+  std::sort(baseline_files.begin(), baseline_files.end());
+  if (baseline_files.empty()) {
+    std::fprintf(stderr, "benchdiff: no BENCH_*.json in %s\n", baseline_dir.c_str());
+    return 2;
+  }
+
+  std::vector<Issue> issues;
+  Severity worst = Severity::kNote;
+  size_t compared = 0;
+  for (const fs::path& baseline_path : baseline_files) {
+    Report baseline;
+    if (!LoadReport(baseline_path, &baseline)) {
+      return 2;
+    }
+    const fs::path current_path = fs::path(current_dir) / baseline_path.filename();
+    if (!fs::exists(current_path)) {
+      Issue issue;
+      issue.severity = Severity::kFail;
+      issue.report = baseline.name;
+      issue.what = "current run produced no " + baseline_path.filename().string();
+      issues.push_back(std::move(issue));
+      worst = Severity::kFail;
+      continue;
+    }
+    Report current;
+    if (!LoadReport(current_path, &current)) {
+      return 2;
+    }
+    const Severity s = totoro::benchdiff::DiffReports(baseline, current, options, &issues);
+    if (static_cast<int>(s) > static_cast<int>(worst)) {
+      worst = s;
+    }
+    ++compared;
+  }
+
+  for (const Issue& issue : issues) {
+    std::fprintf(stderr, "[%s] %s: %s\n", totoro::benchdiff::SeverityLabel(issue.severity),
+                 issue.report.c_str(), issue.what.c_str());
+  }
+  if (worst == Severity::kFail) {
+    std::fprintf(stderr, "benchdiff: REGRESSION (%zu report(s) compared)\n", compared);
+    return 1;
+  }
+  std::printf("benchdiff: ok (%zu report(s) compared, %zu issue(s))\n", compared,
+              issues.size());
+  return 0;
+}

@@ -16,6 +16,11 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
 }
 
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
 bool UnderDir(const std::string& path, const std::string& dir) {
   return StartsWith(path, dir + "/") || path == dir;
 }
@@ -456,6 +461,25 @@ void CheckR4(const std::vector<std::pair<std::string, const LexedFile*>>& files,
   }
 }
 
+// R5: every bench binary fills a BenchReport so tools/benchdiff can gate it. A lexer-
+// level identifier check is enough — the type has no reason to be named except to
+// construct or receive one, and benches use the explicit type name (never `auto`).
+void CheckR5(const std::string& path, const LexedFile& lexed, const LintOptions& options,
+             std::vector<Finding>* findings) {
+  if (!StartsWith(path, options.bench_prefix) || !EndsWith(path, ".cc")) {
+    return;
+  }
+  for (const Token& t : lexed.tokens) {
+    if (IsIdent(t, "BenchReport")) {
+      return;
+    }
+  }
+  findings->push_back({"R5", path, 1, "BenchReport",
+                       "bench binary never references BenchReport; emit BENCH_<name>."
+                       "json via src/obs/bench_report.h so tools/benchdiff can gate "
+                       "regressions (no ASCII-only benches)"});
+}
+
 }  // namespace
 
 std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
@@ -476,6 +500,7 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
   for (const auto& [path, lf] : lexed) {
     CheckR1(path, lf, options, &findings);
     CheckR3(path, lf, options, &findings);
+    CheckR5(path, lf, options, &findings);
 
     // R2 needs the unordered names of this file plus its transitive project includes.
     std::set<std::string> visited;

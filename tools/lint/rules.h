@@ -18,6 +18,9 @@
 //       src/ matches the `layer.noun_verb` convention (lowercase dot-separated
 //       [a-z][a-z0-9_]* segments, >= 2 segments; a trailing '.' marks a composed
 //       prefix) and each full name is registered at exactly one site with one kind.
+//   R5  Every bench binary (bench/bench_*.cc) emits a machine-readable BenchReport:
+//       the file must reference the `BenchReport` identifier (src/obs/bench_report.h).
+//       ASCII-only benches are invisible to tools/benchdiff regression gating.
 //
 // The engine is lexer-level by design: no LLVM/clang dependency, so it builds with the
 // project toolchain and runs in a few hundred milliseconds over the whole tree. The
@@ -37,7 +40,7 @@ struct SourceFile {
 };
 
 struct Finding {
-  std::string rule;    // "R1".."R4".
+  std::string rule;    // "R1".."R5".
   std::string file;    // Repo-relative path.
   int line = 0;        // 1-based.
   std::string symbol;  // Offending identifier / metric name; allowlist match key.
@@ -53,6 +56,8 @@ struct LintOptions {
   std::string env_sanctioned_prefix = "src/common/env.";
   // R4 scans files under this prefix.
   std::string metric_dir = "src/";
+  // R5 applies to files matching this path prefix (bench binaries).
+  std::string bench_prefix = "bench/bench_";
 };
 
 // Runs all rules over `files` (every file is both a lint target and an include-
