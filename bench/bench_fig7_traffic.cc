@@ -8,6 +8,8 @@
 // scales linearly with tree count.
 #include "bench/bench_util.h"
 #include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/pubsub/wire_batcher.h"
 
 namespace totoro {
 namespace {
@@ -59,6 +61,51 @@ double MeasureCentralServerBytes(int num_apps, double window_ms) {
   return periods * kClientsPerApp * num_apps * kHeartbeatBytes * 2.0;
 }
 
+// --- Wire batching arm: bytes on the wire with and without envelope coalescing. ---
+//
+// Ten trees over the SAME 40 subscribers, so every (parent, child) pair carries one
+// keep-alive per topic per tick over the same edge — the coalescable pattern. Both
+// arms use the same per-message framing model (kAccountOnly vs kCoalesce with a zero
+// window, see src/pubsub/wire_batcher.h), so the delta is purely envelope savings.
+
+struct BatchArmResult {
+  uint64_t wire_bytes = 0;    // Bytes in the steady-state measurement window.
+  uint64_t bytes_saved = 0;   // pubsub.batch.bytes_saved over the window.
+  uint64_t envelopes = 0;
+};
+
+uint64_t BatchCounterValue(const char* name) {
+  const Counter* c = GlobalMetrics().FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+BatchArmResult MeasureBatchingArm(WireBatchConfig::Mode mode, double window_ms) {
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 500.0;
+  scribe_config.batch.mode = mode;
+  scribe_config.batch.window_ms = 0.0;  // Same-tick sends coalesce; timings unchanged.
+  bench::Stack stack(300, 72, PastryConfig{}, scribe_config, /*model_bandwidth=*/false);
+  stack.forest->StartMaintenance();
+  Rng pick(73);
+  const auto members = stack.RandomNodes(40, pick);
+  for (int t = 0; t < 10; ++t) {
+    const NodeId topic = stack.forest->CreateTopic("fig7-batch-" + std::to_string(t));
+    stack.forest->SubscribeAll(topic, members, /*settle_ms=*/200.0);
+  }
+  // Steady state: only maintenance keep-alives remain.
+  stack.net->metrics().Reset();
+  const uint64_t saved_before = BatchCounterValue("pubsub.batch.bytes_saved");
+  const uint64_t envelopes_before = BatchCounterValue("pubsub.batch.envelopes");
+  const double window_start = stack.sim.Now();
+  stack.sim.RunUntil(window_start + window_ms);
+  BatchArmResult out;
+  out.wire_bytes = stack.net->metrics().total_bytes();
+  out.bytes_saved = BatchCounterValue("pubsub.batch.bytes_saved") - saved_before;
+  out.envelopes = BatchCounterValue("pubsub.batch.envelopes") - envelopes_before;
+  return out;
+}
+
 }  // namespace
 }  // namespace totoro
 
@@ -91,11 +138,32 @@ int main() {
   std::printf("10x trees => Totoro TCP x%.2f, UDP x%.2f (paper: 1.19x TCP, 1.29x UDP);\n"
               "hub-and-spoke server traffic scales 10x\n",
               tcp10 / tcp1, udp10 / udp1);
+  constexpr double kBatchWindowMs = 10000.0;
+  const auto unbatched =
+      totoro::MeasureBatchingArm(totoro::WireBatchConfig::Mode::kAccountOnly, kBatchWindowMs);
+  const auto batched =
+      totoro::MeasureBatchingArm(totoro::WireBatchConfig::Mode::kCoalesce, kBatchWindowMs);
+  const double drop_pct = 100.0 *
+      static_cast<double>(unbatched.wire_bytes - batched.wire_bytes) /
+      static_cast<double>(unbatched.wire_bytes);
+  std::printf("\nwire batching, 10 trees x same 40 subscribers, steady-state %.0fs window:\n"
+              "  unbatched (per-msg framing): %llu B\n"
+              "  batched   (envelopes):       %llu B  (%llu envelopes, -%.1f%%)\n",
+              kBatchWindowMs / 1000.0,
+              static_cast<unsigned long long>(unbatched.wire_bytes),
+              static_cast<unsigned long long>(batched.wire_bytes),
+              static_cast<unsigned long long>(batched.envelopes), drop_pct);
+
   totoro::BenchReport report = totoro::bench::MakeReport("fig7_traffic", 70, "default");
   // Traffic is virtual-time-driven and deterministic; ratios compare exactly.
   report.SetMetric("fig7_tcp_growth_10x", tcp10 / tcp1, "ratio", 0.0);
   report.SetMetric("fig7_udp_growth_10x", udp10 / udp1, "ratio", 0.0);
   report.SetMetric("fig7_tcp_bytes_per_node_10trees", tcp10, "bytes", 0.0);
+  report.SetMetric("fig7_batch_unbatched_bytes",
+                   static_cast<double>(unbatched.wire_bytes), "bytes", 0.0);
+  report.SetMetric("fig7_batch_batched_bytes",
+                   static_cast<double>(batched.wire_bytes), "bytes", 0.0);
+  report.SetMetric("fig7_batch_bytes_drop_pct", drop_pct, "pct", 0.0);
   report.SetFingerprint("fig7_table", totoro::FingerprintBytes(rendered));
   return report.Write() ? 0 : 1;
 }

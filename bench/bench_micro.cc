@@ -6,6 +6,7 @@
 #include "bench/bench_util.h"
 #include "src/bandit/kl_ucb.h"
 #include "src/fl/aggregation.h"
+#include "src/ml/quantized.h"
 #include "src/ml/serialize.h"
 #include "src/sim/event_queue.h"
 
@@ -151,6 +152,60 @@ void BM_MlpTrainStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * config.batch_size);
 }
 BENCHMARK(BM_MlpTrainStep);
+
+// One minibatch SGD step on a FEMNIST-scale model (128 -> 512 -> 62): long weight
+// rows, so the kernel dispatch (KAxpy forward/backward, the MulMatT restructure, the
+// scratch-reuse path) dominates over the per-step softmax/sampling overhead. This is
+// the model-math headline metric the committed baseline gates.
+void BM_SgdStep(benchmark::State& state) {
+  SyntheticSpec spec = SyntheticTask::FemnistLike(1);
+  spec.dim = 128;
+  SyntheticTask task(spec);
+  Rng rng(2);
+  Dataset shard = task.Generate(200, rng);
+  auto model = MakeMlp("sgd-femnist-512", 128, 512, 62, 3);
+  TrainConfig config;
+  config.local_steps = 1;
+  config.batch_size = 20;
+  Rng train_rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->TrainLocal(shard, config, train_rng));
+  }
+  state.SetItemsProcessed(state.iterations() * config.batch_size);
+}
+BENCHMARK(BM_SgdStep);
+
+// Float inference over a 256-example Speech-like batch through the SIMD kernels
+// (KAxpy hidden/output stages + KSoftmax) — the serving-side half of the model math.
+void BM_PredictFloat(benchmark::State& state) {
+  SyntheticTask task(SyntheticTask::SpeechCommandsLike(1));
+  Rng rng(7);
+  const Dataset batch = task.Generate(256, rng);
+  auto model = MakeResNet34Proxy(64, 35, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->Accuracy(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_PredictFloat);
+
+// Same batch through the dequantize-free int8 path: per-row scales folded into the
+// KAxpyI8 alpha, weights consumed directly from the EncodeInt8 wire blob.
+void BM_PredictInt8(benchmark::State& state) {
+  SyntheticTask task(SyntheticTask::SpeechCommandsLike(1));
+  Rng rng(7);
+  const Dataset batch = task.Generate(256, rng);
+  auto model = MakeResNet34Proxy(64, 35, 8);
+  const QuantizedMlp quantized = QuantizedMlp::FromInt8Blob(
+      EncodeInt8(model->GetWeights()), QuantizedMlp::Layout{64, 256, 35});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantized.Accuracy(batch));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_PredictInt8);
 
 void BM_FedAvgMerge(benchmark::State& state) {
   const size_t dim = 25000;

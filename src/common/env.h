@@ -14,6 +14,10 @@
 //   TOTORO_PROFILE         >= 1 enables the phase profiler  (src/obs/profiler.cc)
 //   TOTORO_BENCH_REPORT_DIR  BENCH_*.json output dir, default "."; "off" disables
 //                                                           (src/obs/bench_report.cc)
+//   TOTORO_SIMD            kernel dispatch level: scalar/unrolled/sse2/avx2/neon;
+//                          default = best the CPU supports. All levels are
+//                          bit-identical, so this only affects speed.
+//                                                           (src/ml/kernels.cc)
 #ifndef SRC_COMMON_ENV_H_
 #define SRC_COMMON_ENV_H_
 

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/ml/kernels.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
 #include "src/obs/trace.h"
@@ -511,10 +512,8 @@ void TotoroEngine::OnAsyncUpdate(const NodeId& key, const Message& msg) {
   }
   // FedAsync mixing: w <- (1 - alpha) w + alpha w_update.
   const float alpha = static_cast<float>(mix);
-  for (size_t i = 0; i < app.global_weights.size(); ++i) {
-    app.global_weights[i] =
-        (1.0f - alpha) * app.global_weights[i] + alpha * payload.weights[i];
-  }
+  KLerp(app.global_weights.data(), payload.weights.data(), alpha,
+        app.global_weights.size());
   app.async_updates_received += 1;
   forest_->pastry().network()->metrics().ChargeWork(
       forest_->scribe(app.master_index).host(), WorkKind::kFlTask,

@@ -34,7 +34,9 @@ LocalUpdate LocalTrainer::Train(std::span<const float> global_weights,
   if (compression.has_value() && compression->kind != CompressionKind::kNone) {
     CompressedUpdate compressed =
         CompressUpdate(update.weights, global_weights, *compression);
-    update.weights = std::move(compressed.reconstructed);
+    // Reconstruct in place over the trained-weights buffer: the compressed form holds
+    // everything needed, so no dense scratch vector is materialized on the send path.
+    compressed.ReconstructInto(global_weights, update.weights);
     update.wire_bytes = compressed.wire_bytes;
   }
   return update;

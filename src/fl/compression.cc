@@ -2,25 +2,66 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "src/common/check.h"
 #include "src/ml/serialize.h"
 
 namespace totoro {
 
+void CompressedUpdate::ReconstructInto(std::span<const float> reference,
+                                       std::span<float> out) const {
+  CHECK_EQ(out.size(), num_params);
+  switch (kind) {
+    case CompressionKind::kNone: {
+      CHECK_EQ(payload.size(), num_params * sizeof(float));
+      std::memcpy(out.data(), payload.data(), payload.size());
+      return;
+    }
+    case CompressionKind::kInt8: {
+      CHECK_EQ(payload.size(), sizeof(float) + num_params);
+      // Same math as DecodeInt8, written into the caller's buffer.
+      float scale = 0.0f;
+      std::memcpy(&scale, payload.data(), sizeof(float));
+      const uint8_t* q = payload.data() + sizeof(float);
+      for (size_t i = 0; i < num_params; ++i) {
+        out[i] = static_cast<float>(static_cast<int8_t>(q[i])) * scale;
+      }
+      return;
+    }
+    case CompressionKind::kTopK: {
+      CHECK_EQ(reference.size(), num_params);
+      CHECK(out.data() != reference.data());
+      std::copy(reference.begin(), reference.end(), out.begin());
+      for (size_t i = 0; i < topk_indices.size(); ++i) {
+        out[topk_indices[i]] += topk_deltas[i];
+      }
+      return;
+    }
+  }
+  CHECK(false);
+}
+
+std::vector<float> CompressedUpdate::Reconstruct(std::span<const float> reference) const {
+  std::vector<float> out(num_params);
+  ReconstructInto(reference, out);
+  return out;
+}
+
 CompressedUpdate CompressUpdate(std::span<const float> weights, std::span<const float> reference,
                                 const CompressionConfig& config) {
   CompressedUpdate out;
+  out.kind = config.kind;
+  out.num_params = weights.size();
   switch (config.kind) {
     case CompressionKind::kNone: {
-      out.reconstructed.assign(weights.begin(), weights.end());
+      out.payload = EncodeFloat32(weights);
       out.wire_bytes = weights.size() * sizeof(float);
       return out;
     }
     case CompressionKind::kInt8: {
-      const auto bytes = EncodeInt8(weights);
-      out.reconstructed = DecodeInt8(bytes);
-      out.wire_bytes = bytes.size();
+      out.payload = EncodeInt8(weights);
+      out.wire_bytes = out.payload.size();
       return out;
     }
     case CompressionKind::kTopK: {
@@ -41,9 +82,11 @@ CompressedUpdate CompressUpdate(std::span<const float> weights, std::span<const 
                        [&](size_t a, size_t b) {
                          return std::abs(delta[a]) > std::abs(delta[b]);
                        });
-      out.reconstructed.assign(reference.begin(), reference.end());
+      out.topk_indices.reserve(k);
+      out.topk_deltas.reserve(k);
       for (size_t i = 0; i < k; ++i) {
-        out.reconstructed[order[i]] += delta[order[i]];
+        out.topk_indices.push_back(static_cast<uint32_t>(order[i]));
+        out.topk_deltas.push_back(delta[order[i]]);
       }
       // Wire format: k (index, value) pairs.
       out.wire_bytes = k * (sizeof(uint32_t) + sizeof(float));

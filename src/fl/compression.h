@@ -1,9 +1,12 @@
 // Update-compression techniques (§2.2.1 application-specific customization).
 //
 // Two standard schemes: top-k sparsification (keep the k largest-magnitude deltas) and
-// int8 quantization. Compress() returns both the reconstructed dense update (what the
-// aggregator uses) and the wire size (what the network charges), so experiments can
-// trade accuracy against traffic.
+// int8 quantization. CompressUpdate() returns the COMPRESSED form only — the int8 wire
+// blob or the (index, delta) pairs — plus the wire size the network charges.
+// Reconstruction of the dense float update is lazy: callers that need it (the
+// aggregation path) call ReconstructInto(), typically in place over the buffer they
+// already own; callers that consume the quantized payload directly
+// (QuantizedMlp::FromInt8Blob, src/ml/quantized.h) never pay for a dense decode at all.
 #ifndef SRC_FL_COMPRESSION_H_
 #define SRC_FL_COMPRESSION_H_
 
@@ -22,12 +25,33 @@ struct CompressionConfig {
 };
 
 struct CompressedUpdate {
-  std::vector<float> reconstructed;  // Dense weights after a compress/decompress trip.
+  CompressionKind kind = CompressionKind::kNone;
+  size_t num_params = 0;
   uint64_t wire_bytes = 0;
+
+  // kInt8: the EncodeInt8 blob ([float32 scale][int8 ...]) exactly as it would travel
+  // the wire; consumable without decode by QuantizedMlp::FromInt8Blob. kNone: the raw
+  // float32 encoding. Empty for kTopK.
+  std::vector<uint8_t> payload;
+  // kTopK: the kept coordinates and their deltas vs the reference (the wire pairs).
+  std::vector<uint32_t> topk_indices;
+  std::vector<float> topk_deltas;
+
+  // Materializes the dense reconstructed update into `out` (size num_params).
+  //   kNone  — decodes the float payload (== the original weights).
+  //   kInt8  — dequantizes the blob (reference unused; may be empty).
+  //   kTopK  — copies `reference` then re-applies the kept deltas. `out` must not
+  //            alias `reference`.
+  // Float semantics are identical to the old eager path bit for bit.
+  void ReconstructInto(std::span<const float> reference, std::span<float> out) const;
+
+  // Allocating convenience wrapper around ReconstructInto (tests, one-shot callers).
+  std::vector<float> Reconstruct(std::span<const float> reference) const;
 };
 
 // Compresses `weights` relative to `reference` (the broadcast global weights): top-k is
-// applied to the delta, then the delta is re-applied to the reference.
+// applied to the delta; int8 quantizes the weights themselves. No dense reconstruction
+// happens here — see CompressedUpdate::ReconstructInto.
 CompressedUpdate CompressUpdate(std::span<const float> weights, std::span<const float> reference,
                                 const CompressionConfig& config);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/ml/kernels.h"
 #include "src/ml/model.h"
 
 namespace totoro {
@@ -129,39 +130,35 @@ class Conv1dModel : public Model {
                std::vector<float>& pooled, std::vector<float>& probs) const {
     act.assign(static_cast<size_t>(filters_) * positions_, 0.0f);
     pooled.assign(static_cast<size_t>(filters_), 0.0f);
+    // k-outer axpy over positions: each act[p] still accumulates b, then w_0*x[p],
+    // w_1*x[p+1], ... in the same order as the old per-position k-loop, but every pass
+    // is now a unit-stride vectorizable sweep instead of a K-long dot product.
     for (int f = 0; f < filters_; ++f) {
+      float* arow = act.data() + static_cast<size_t>(f) * positions_;
+      std::fill(arow, arow + positions_, conv_b_[static_cast<size_t>(f)]);
+      for (int k = 0; k < kernel_; ++k) {
+        KAxpy(conv_w_[static_cast<size_t>(f * kernel_ + k)],
+              x.data() + static_cast<size_t>(k), arow, static_cast<size_t>(positions_));
+      }
+      KRelu(arow, static_cast<size_t>(positions_));
+      // The pool sum stays a sequential scalar reduction (its order is part of the
+      // fingerprinted numerics).
+      float sum = 0.0f;
       for (int p = 0; p < positions_; ++p) {
-        float acc = conv_b_[static_cast<size_t>(f)];
-        for (int k = 0; k < kernel_; ++k) {
-          acc += conv_w_[static_cast<size_t>(f * kernel_ + k)] *
-                 x[static_cast<size_t>(p + k)];
-        }
-        const float relu = std::max(acc, 0.0f);
-        act[static_cast<size_t>(f * positions_ + p)] = relu;
-        pooled[static_cast<size_t>(f)] += relu;
+        sum += arow[p];
       }
-      pooled[static_cast<size_t>(f)] /= static_cast<float>(positions_);
+      pooled[static_cast<size_t>(f)] = sum / static_cast<float>(positions_);
     }
-    probs.assign(static_cast<size_t>(num_classes_), 0.0f);
-    for (int c = 0; c < num_classes_; ++c) {
-      float acc = dense_b_[static_cast<size_t>(c)];
-      for (int f = 0; f < filters_; ++f) {
-        acc += pooled[static_cast<size_t>(f)] * dense_w_[static_cast<size_t>(f * num_classes_ + c)];
+    probs.assign(dense_b_.begin(), dense_b_.end());
+    for (int f = 0; f < filters_; ++f) {
+      const float pv = pooled[static_cast<size_t>(f)];
+      if (pv == 0.0f) {
+        continue;
       }
-      probs[static_cast<size_t>(c)] = acc;
+      KAxpy(pv, dense_w_.data() + static_cast<size_t>(f * num_classes_), probs.data(),
+            static_cast<size_t>(num_classes_));
     }
-    float max_v = probs[0];
-    for (float v : probs) {
-      max_v = std::max(max_v, v);
-    }
-    float sum = 0.0f;
-    for (float& v : probs) {
-      v = std::exp(v - max_v);
-      sum += v;
-    }
-    for (float& v : probs) {
-      v /= sum;
-    }
+    KSoftmax(probs.data(), probs.size());
   }
 
   float SgdStep(const Dataset& shard, const std::vector<size_t>& idx,
@@ -215,12 +212,14 @@ class Conv1dModel : public Model {
     const float mu = config.fedprox_mu;
     size_t off = 0;
     auto update = [&](std::vector<float>& w, const std::vector<float>& g) {
-      for (size_t i = 0; i < w.size(); ++i) {
-        float grad = g[i];
-        if (mu > 0.0f) {
-          grad += mu * (w[i] - anchor[off + i]);
+      if (mu > 0.0f) {
+        for (size_t i = 0; i < w.size(); ++i) {
+          const float grad = g[i] + mu * (w[i] - anchor[off + i]);
+          w[i] -= lr * grad;
         }
-        w[i] -= lr * grad;
+      } else {
+        // w -= lr * g is bit-identical to w += (-lr) * g (sign flip is exact).
+        KAxpy(-lr, g.data(), w.data(), w.size());
       }
       off += w.size();
     };

@@ -1,6 +1,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/ml/kernels.h"
 #include "src/ml/model.h"
 #include "src/ml/tensor.h"
 
@@ -137,10 +138,8 @@ class MlpModel : public Model {
         if (xd == 0.0f) {
           continue;
         }
-        const auto wrow = w1_.row(static_cast<size_t>(d));
-        for (int c = 0; c < num_classes_; ++c) {
-          probs[static_cast<size_t>(c)] += xd * wrow[static_cast<size_t>(c)];
-        }
+        KAxpy(xd, w1_.row(static_cast<size_t>(d)).data(), probs.data(),
+              static_cast<size_t>(num_classes_));
       }
     } else {
       hidden_scratch_.assign(b1_.begin(), b1_.end());
@@ -149,10 +148,8 @@ class MlpModel : public Model {
         if (xd == 0.0f) {
           continue;
         }
-        const auto wrow = w1_.row(static_cast<size_t>(d));
-        for (int h = 0; h < hidden_dim_; ++h) {
-          hidden_scratch_[static_cast<size_t>(h)] += xd * wrow[static_cast<size_t>(h)];
-        }
+        KAxpy(xd, w1_.row(static_cast<size_t>(d)).data(), hidden_scratch_.data(),
+              static_cast<size_t>(hidden_dim_));
       }
       probs.assign(b2_.begin(), b2_.end());
       for (int h = 0; h < hidden_dim_; ++h) {
@@ -160,56 +157,46 @@ class MlpModel : public Model {
         if (hv == 0.0f) {
           continue;
         }
-        const auto wrow = w2_.row(static_cast<size_t>(h));
-        for (int c = 0; c < num_classes_; ++c) {
-          probs[static_cast<size_t>(c)] += hv * wrow[static_cast<size_t>(c)];
-        }
+        KAxpy(hv, w2_.row(static_cast<size_t>(h)).data(), probs.data(),
+              static_cast<size_t>(num_classes_));
       }
     }
-    // Softmax.
-    float max_v = probs[0];
-    for (float v : probs) {
-      max_v = std::max(max_v, v);
-    }
-    float sum = 0.0f;
-    for (float& v : probs) {
-      v = std::exp(v - max_v);
-      sum += v;
-    }
-    for (float& v : probs) {
-      v /= sum;
-    }
+    KSoftmax(probs.data(), probs.size());
   }
 
   // One minibatch SGD step; returns the batch's mean cross-entropy.
   float SgdStep(const Dataset& shard, const std::vector<size_t>& idx, const TrainConfig& config,
                 const std::vector<float>& anchor) {
     const size_t bsz = idx.size();
-    Matrix x(bsz, static_cast<size_t>(input_dim_));
+    // All scratch matrices are members reused across steps (fully overwritten each
+    // call: MatMul/MulMatT Fill their output, gradient buffers are zeroed below), so
+    // the hot path does no per-step allocation after the first batch.
+    Matrix& x = x_scratch_;
+    x.Resize(bsz, static_cast<size_t>(input_dim_));
     for (size_t i = 0; i < bsz; ++i) {
       const auto& ex = shard.example(idx[i]).x;
       std::copy(ex.begin(), ex.end(), x.row(i).begin());
     }
     const int first_out = hidden_dim_ > 0 ? hidden_dim_ : num_classes_;
 
-    Matrix a1(bsz, static_cast<size_t>(first_out));
+    Matrix& a1 = a1_scratch_;
+    a1.Resize(bsz, static_cast<size_t>(first_out));
     MatMul(x, w1_, a1);
     for (size_t i = 0; i < bsz; ++i) {
       Axpy(1.0f, b1_, a1.row(i));
     }
-    Matrix logits(0, 0);
     // After ReLU, a1 IS the hidden activation and is not modified again; alias it
-    // instead of copying a bsz x hidden_dim matrix every step.
+    // instead of copying a bsz x hidden_dim matrix every step. With no hidden layer,
+    // a1 already holds the logits, so alias it there too instead of copying.
     const Matrix& hidden = a1;
+    Matrix& logits = hidden_dim_ > 0 ? logits_scratch_ : a1;
     if (hidden_dim_ > 0) {
       ReluInPlace(a1);
-      logits = Matrix(bsz, static_cast<size_t>(num_classes_));
+      logits.Resize(bsz, static_cast<size_t>(num_classes_));
       MatMul(hidden, w2_, logits);
       for (size_t i = 0; i < bsz; ++i) {
         Axpy(1.0f, b2_, logits.row(i));
       }
-    } else {
-      logits = a1;
     }
     SoftmaxRows(logits);
     // Cross-entropy and dLogits = (softmax - onehot) / batch.
@@ -225,32 +212,39 @@ class MlpModel : public Model {
     const float lr = config.learning_rate;
     if (hidden_dim_ > 0) {
       // Grad for W2/b2.
-      Matrix gw2(static_cast<size_t>(hidden_dim_), static_cast<size_t>(num_classes_));
+      Matrix& gw2 = gw2_scratch_;
+      gw2.Resize(static_cast<size_t>(hidden_dim_), static_cast<size_t>(num_classes_));
+      gw2.Fill(0.0f);
       MatTMulAdd(hidden, logits, gw2);
-      std::vector<float> gb2(static_cast<size_t>(num_classes_), 0.0f);
+      gb2_scratch_.assign(static_cast<size_t>(num_classes_), 0.0f);
       for (size_t i = 0; i < bsz; ++i) {
-        Axpy(1.0f, logits.row(i), gb2);
+        Axpy(1.0f, logits.row(i), gb2_scratch_);
       }
       // Backprop into hidden.
-      Matrix dh(bsz, static_cast<size_t>(hidden_dim_));
-      MulMatT(logits, w2_, dh);
+      Matrix& dh = dh_scratch_;
+      dh.Resize(bsz, static_cast<size_t>(hidden_dim_));
+      MulMatT(logits, w2_, dh, bt_scratch_);
       ReluBackward(hidden, dh);
       // Grad for W1/b1.
-      Matrix gw1(static_cast<size_t>(input_dim_), static_cast<size_t>(hidden_dim_));
+      Matrix& gw1 = gw1_scratch_;
+      gw1.Resize(static_cast<size_t>(input_dim_), static_cast<size_t>(hidden_dim_));
+      gw1.Fill(0.0f);
       MatTMulAdd(x, dh, gw1);
-      std::vector<float> gb1(static_cast<size_t>(hidden_dim_), 0.0f);
+      gb1_scratch_.assign(static_cast<size_t>(hidden_dim_), 0.0f);
       for (size_t i = 0; i < bsz; ++i) {
-        Axpy(1.0f, dh.row(i), gb1);
+        Axpy(1.0f, dh.row(i), gb1_scratch_);
       }
-      ApplyUpdate(gw1, gb1, &gw2, &gb2, lr, config.fedprox_mu, anchor);
+      ApplyUpdate(gw1, gb1_scratch_, &gw2, &gb2_scratch_, lr, config.fedprox_mu, anchor);
     } else {
-      Matrix gw1(static_cast<size_t>(input_dim_), static_cast<size_t>(num_classes_));
+      Matrix& gw1 = gw1_scratch_;
+      gw1.Resize(static_cast<size_t>(input_dim_), static_cast<size_t>(num_classes_));
+      gw1.Fill(0.0f);
       MatTMulAdd(x, logits, gw1);
-      std::vector<float> gb1(static_cast<size_t>(num_classes_), 0.0f);
+      gb1_scratch_.assign(static_cast<size_t>(num_classes_), 0.0f);
       for (size_t i = 0; i < bsz; ++i) {
-        Axpy(1.0f, logits.row(i), gb1);
+        Axpy(1.0f, logits.row(i), gb1_scratch_);
       }
-      ApplyUpdate(gw1, gb1, nullptr, nullptr, lr, config.fedprox_mu, anchor);
+      ApplyUpdate(gw1, gb1_scratch_, nullptr, nullptr, lr, config.fedprox_mu, anchor);
     }
     return loss;
   }
@@ -262,12 +256,14 @@ class MlpModel : public Model {
     // using the flattened anchor layout of GetWeights().
     size_t off = 0;
     auto update = [&](std::span<float> w, std::span<const float> g) {
-      for (size_t i = 0; i < w.size(); ++i) {
-        float grad = g[i];
-        if (mu > 0.0f) {
-          grad += mu * (w[i] - anchor[off + i]);
+      if (mu > 0.0f) {
+        for (size_t i = 0; i < w.size(); ++i) {
+          const float grad = g[i] + mu * (w[i] - anchor[off + i]);
+          w[i] -= lr * grad;
         }
-        w[i] -= lr * grad;
+      } else {
+        // w -= lr * g is bit-identical to w += (-lr) * g (sign flip is exact).
+        KAxpy(-lr, g.data(), w.data(), w.size());
       }
       off += w.size();
     };
@@ -289,6 +285,11 @@ class MlpModel : public Model {
   std::vector<float> b2_;
   // Per-instance Predict scratch (models are single-threaded; trainers own clones).
   mutable std::vector<float> hidden_scratch_;
+  // SgdStep scratch, reused across steps. Every buffer is fully overwritten per call,
+  // so reuse carries no state between steps and the math stays bit-identical.
+  Matrix x_scratch_, a1_scratch_, logits_scratch_, gw1_scratch_, gw2_scratch_;
+  Matrix dh_scratch_, bt_scratch_;
+  std::vector<float> gb1_scratch_, gb2_scratch_;
 };
 
 }  // namespace

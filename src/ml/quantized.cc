@@ -1,0 +1,182 @@
+#include "src/ml/quantized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/ml/kernels.h"
+
+namespace totoro {
+namespace {
+
+// Quantizes one row with the same symmetric scheme as EncodeInt8 (serialize.cc):
+// scale = max_abs / 127, NaN -> 0, saturate to +/-127.
+void QuantizeRow(const float* row, int cols, int8_t* out, float* scale_out) {
+  float max_abs = 0.0f;
+  for (int j = 0; j < cols; ++j) {
+    if (std::isfinite(row[j])) {
+      max_abs = std::max(max_abs, std::abs(row[j]));
+    }
+  }
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  for (int j = 0; j < cols; ++j) {
+    const float q = std::isnan(row[j]) ? 0.0f : std::round(row[j] / scale);
+    out[j] = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+  *scale_out = scale;
+}
+
+}  // namespace
+
+size_t QuantizedMlp::Layout::NumParams() const {
+  return static_cast<size_t>(input_dim) * static_cast<size_t>(hidden_dim) +
+         static_cast<size_t>(hidden_dim) +
+         static_cast<size_t>(hidden_dim) * static_cast<size_t>(num_classes) +
+         static_cast<size_t>(num_classes);
+}
+
+QuantizedMlp QuantizedMlp::FromWeights(std::span<const float> weights,
+                                       const Layout& layout) {
+  CHECK_GT(layout.input_dim, 0);
+  CHECK_GT(layout.hidden_dim, 0);
+  CHECK_GT(layout.num_classes, 0);
+  CHECK_EQ(weights.size(), layout.NumParams());
+  QuantizedMlp m;
+  m.layout_ = layout;
+  const size_t w1_n = static_cast<size_t>(layout.input_dim) * layout.hidden_dim;
+  const size_t w2_n = static_cast<size_t>(layout.hidden_dim) * layout.num_classes;
+  const float* w1 = weights.data();
+  const float* b1 = w1 + w1_n;
+  const float* w2 = b1 + layout.hidden_dim;
+  const float* b2 = w2 + w2_n;
+
+  m.w1_.rows = layout.input_dim;
+  m.w1_.cols = layout.hidden_dim;
+  m.w1_.values.resize(w1_n);
+  m.w1_.scales.resize(layout.input_dim);
+  for (int d = 0; d < layout.input_dim; ++d) {
+    QuantizeRow(w1 + static_cast<size_t>(d) * layout.hidden_dim, layout.hidden_dim,
+                m.w1_.values.data() + static_cast<size_t>(d) * layout.hidden_dim,
+                &m.w1_.scales[d]);
+  }
+
+  m.w2_.rows = layout.hidden_dim;
+  m.w2_.cols = layout.num_classes;
+  m.w2_.values.resize(w2_n);
+  m.w2_.scales.resize(layout.hidden_dim);
+  for (int h = 0; h < layout.hidden_dim; ++h) {
+    QuantizeRow(w2 + static_cast<size_t>(h) * layout.num_classes, layout.num_classes,
+                m.w2_.values.data() + static_cast<size_t>(h) * layout.num_classes,
+                &m.w2_.scales[h]);
+  }
+
+  m.b1_.assign(b1, b1 + layout.hidden_dim);
+  m.b2_.assign(b2, b2 + layout.num_classes);
+  return m;
+}
+
+QuantizedMlp QuantizedMlp::FromInt8Blob(std::span<const uint8_t> blob,
+                                        const Layout& layout) {
+  CHECK_GT(layout.input_dim, 0);
+  CHECK_GT(layout.hidden_dim, 0);
+  CHECK_GT(layout.num_classes, 0);
+  CHECK_EQ(blob.size(), sizeof(float) + layout.NumParams());
+  float scale = 0.0f;
+  std::memcpy(&scale, blob.data(), sizeof(float));
+  const int8_t* q = reinterpret_cast<const int8_t*>(blob.data() + sizeof(float));
+
+  QuantizedMlp m;
+  m.layout_ = layout;
+  const size_t w1_n = static_cast<size_t>(layout.input_dim) * layout.hidden_dim;
+  const size_t w2_n = static_cast<size_t>(layout.hidden_dim) * layout.num_classes;
+  const int8_t* q_w1 = q;
+  const int8_t* q_b1 = q_w1 + w1_n;
+  const int8_t* q_w2 = q_b1 + layout.hidden_dim;
+  const int8_t* q_b2 = q_w2 + w2_n;
+
+  m.w1_.rows = layout.input_dim;
+  m.w1_.cols = layout.hidden_dim;
+  m.w1_.values.assign(q_w1, q_w1 + w1_n);
+  m.w1_.scales.assign(static_cast<size_t>(layout.input_dim), scale);
+
+  m.w2_.rows = layout.hidden_dim;
+  m.w2_.cols = layout.num_classes;
+  m.w2_.values.assign(q_w2, q_w2 + w2_n);
+  m.w2_.scales.assign(static_cast<size_t>(layout.hidden_dim), scale);
+
+  // Biases are a negligible fraction of the parameters; dequantizing them keeps the
+  // accumulation float and matches DecodeInt8's value exactly.
+  m.b1_.resize(layout.hidden_dim);
+  for (int h = 0; h < layout.hidden_dim; ++h) {
+    m.b1_[h] = static_cast<float>(q_b1[h]) * scale;
+  }
+  m.b2_.resize(layout.num_classes);
+  for (int c = 0; c < layout.num_classes; ++c) {
+    m.b2_[c] = static_cast<float>(q_b2[c]) * scale;
+  }
+  return m;
+}
+
+void QuantizedMlp::PredictInto(std::span<const float> x, std::vector<float>& hidden,
+                               std::vector<float>& probs) const {
+  CHECK_EQ(x.size(), static_cast<size_t>(layout_.input_dim));
+  const int H = layout_.hidden_dim;
+  const int C = layout_.num_classes;
+  hidden.assign(b1_.begin(), b1_.end());
+  // hidden[h] += (x_d * scale_d) * q1[d][h] — the row scale folds into alpha so the
+  // int8 row is consumed directly. Same axpy accumulation order as MlpModel::Predict.
+  for (int d = 0; d < layout_.input_dim; ++d) {
+    const float xd = x[static_cast<size_t>(d)];
+    if (xd == 0.0f) {
+      continue;
+    }
+    KAxpyI8(xd * w1_.scales[static_cast<size_t>(d)],
+            w1_.values.data() + static_cast<size_t>(d) * H, hidden.data(),
+            static_cast<size_t>(H));
+  }
+  probs.assign(b2_.begin(), b2_.end());
+  for (int h = 0; h < H; ++h) {
+    const float hv = std::max(hidden[static_cast<size_t>(h)], 0.0f);
+    if (hv == 0.0f) {
+      continue;
+    }
+    KAxpyI8(hv * w2_.scales[static_cast<size_t>(h)],
+            w2_.values.data() + static_cast<size_t>(h) * C, probs.data(),
+            static_cast<size_t>(C));
+  }
+  KSoftmax(probs.data(), static_cast<size_t>(C));
+}
+
+std::vector<float> QuantizedMlp::Predict(std::span<const float> x) const {
+  std::vector<float> hidden;
+  std::vector<float> probs;
+  PredictInto(x, hidden, probs);
+  return probs;
+}
+
+double QuantizedMlp::Accuracy(const Dataset& data) const {
+  if (data.size() == 0) {
+    return 0.0;
+  }
+  std::vector<float> hidden;
+  std::vector<float> probs;
+  size_t correct = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const Example& e = data.example(i);
+    PredictInto(e.x, hidden, probs);
+    const size_t pred = static_cast<size_t>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    if (pred == static_cast<size_t>(e.label)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+uint64_t QuantizedMlp::WireBytes() const {
+  return w1_.WireBytes() + w2_.WireBytes() +
+         static_cast<uint64_t>(b1_.size() + b2_.size()) * sizeof(float);
+}
+
+}  // namespace totoro

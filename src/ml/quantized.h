@@ -1,0 +1,91 @@
+// Dequantize-free int8 inference for the two-layer MLP family.
+//
+// The FL compression path ships EncodeInt8 blobs ([float32 scale][int8 ...],
+// src/ml/serialize.h). Before this layer existed, a consumer had to DecodeInt8 the blob
+// back into a full float weight vector before predicting. QuantizedMlp instead keeps the
+// int8 payload as-is and folds the quantization scale into the axpy alpha
+// (`y += (x_d * scale_row) * q_row`, KAxpyI8), so inference runs straight off the
+// quantized bytes — ~4x less weight memory traffic and no dequantized matrices
+// materialized.
+//
+// Two constructors:
+//   FromWeights(float weights) — rowwise symmetric quantization (per-row max_abs/127
+//     scales), the higher-fidelity path when the float weights are at hand.
+//   FromInt8Blob(EncodeInt8 bytes) — consumes the wire blob directly: one per-tensor
+//     scale (replicated per row), int8 values aliased without decode; only the biases
+//     (a few dozen floats) are dequantized.
+//
+// Like the float kernels, the accumulation order matches MlpModel::Predict exactly
+// (axpy over rows, ReLU, axpy, softmax), so results are bit-identical across SIMD
+// dispatch levels — quantization error is the only difference from the float path.
+#ifndef SRC_ML_QUANTIZED_H_
+#define SRC_ML_QUANTIZED_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/ml/dataset.h"
+
+namespace totoro {
+
+// Row-major int8 matrix with one float scale per row: row i dequantizes as
+// scales[i] * int8 value.
+struct QuantizedMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int8_t> values;  // rows * cols, row-major.
+  std::vector<float> scales;   // rows.
+
+  uint64_t WireBytes() const {
+    return static_cast<uint64_t>(values.size()) +
+           static_cast<uint64_t>(scales.size()) * sizeof(float);
+  }
+};
+
+class QuantizedMlp {
+ public:
+  struct Layout {
+    int input_dim = 0;
+    int hidden_dim = 0;  // > 0; the two-layer MLP shape used by the proxy models.
+    int num_classes = 0;
+
+    size_t NumParams() const;
+  };
+
+  // Rowwise quantization of a flattened [w1, b1, w2, b2] float weight vector (the
+  // Model::GetWeights layout). weights.size() must equal layout.NumParams().
+  static QuantizedMlp FromWeights(std::span<const float> weights, const Layout& layout);
+
+  // Consumes an EncodeInt8 blob of the same flattened weight vector without decoding
+  // it: the blob's single per-tensor scale becomes every row's scale and the int8
+  // values are copied byte-for-byte. Biases are dequantized to float.
+  static QuantizedMlp FromInt8Blob(std::span<const uint8_t> blob, const Layout& layout);
+
+  // Softmax class probabilities for one example. `x` must have layout.input_dim
+  // elements. Bit-identical across SIMD dispatch levels.
+  std::vector<float> Predict(std::span<const float> x) const;
+
+  // Scratch-reusing form for hot loops; hidden/probs are resized as needed.
+  void PredictInto(std::span<const float> x, std::vector<float>& hidden,
+                   std::vector<float>& probs) const;
+
+  // Top-1 accuracy on a dataset (same contract as Model::Accuracy).
+  double Accuracy(const Dataset& data) const;
+
+  const Layout& layout() const { return layout_; }
+  // Bytes this representation would occupy on the wire (int8 values + per-row scales
+  // + float biases).
+  uint64_t WireBytes() const;
+
+ private:
+  Layout layout_;
+  QuantizedMatrix w1_;       // input_dim x hidden_dim.
+  QuantizedMatrix w2_;       // hidden_dim x num_classes.
+  std::vector<float> b1_;    // hidden_dim.
+  std::vector<float> b2_;    // num_classes.
+};
+
+}  // namespace totoro
+
+#endif  // SRC_ML_QUANTIZED_H_

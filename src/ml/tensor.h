@@ -30,6 +30,14 @@ class Matrix {
 
   void Fill(float v);
 
+  // Reshape to rows x cols, reallocating only when the element count grows.
+  // Contents are unspecified afterwards; callers must fully overwrite.
+  void Resize(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
@@ -42,6 +50,9 @@ void MatMul(const Matrix& a, const Matrix& b, Matrix& out);
 void MatTMulAdd(const Matrix& a, const Matrix& b, Matrix& out);
 // out[m x k] = a[m x n] * b^T[k x n]^T  i.e. a * transpose(b) (gradient of inputs).
 void MulMatT(const Matrix& a, const Matrix& b, Matrix& out);
+// Same, but reuses `bt_scratch` for the internal transpose of b so a hot caller
+// (e.g. the MLP backward pass) avoids reallocating it every step.
+void MulMatT(const Matrix& a, const Matrix& b, Matrix& out, Matrix& bt_scratch);
 
 // y += alpha * x (sizes must match).
 void Axpy(float alpha, std::span<const float> x, std::span<float> y);

@@ -3,6 +3,7 @@
 #define SRC_PUBSUB_MESSAGES_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/dht/node_id.h"
 #include "src/sim/message.h"
@@ -15,6 +16,7 @@ enum PubSubMsgType : int {
   kScribeUpdate = 102,         // Direct, child -> parent, up-tree.
   kScribeParentHeartbeat = 103,  // Direct, parent -> children keep-alive.
   kScribeLeave = 104,          // Direct, child -> parent.
+  kScribeBatch = 105,          // Direct: several coalesced messages in one envelope.
 };
 
 // JOIN toward the rendezvous node. `child_host` is rewritten at every hop that grafts
@@ -63,6 +65,22 @@ struct ScribeParentHeartbeat {
 struct ScribeLeave {
   NodeId topic;
   HostId child_host = kInvalidHost;
+};
+
+// Several scribe messages bound for the same (dst, transport, traffic class) within
+// one virtual-time window, coalesced into a single wire envelope (boki-style
+// appendable buffer): one per-message framing header is paid for the whole batch, each
+// inner message costs only a small subheader. Items keep their original opcode, size
+// and trace context so the receiver unpacks them as if they had arrived individually
+// (src/pubsub/wire_batcher.h owns the flush rule and the byte accounting).
+struct BatchEnvelope {
+  struct Item {
+    int type = 0;               // Inner opcode (kScribeBroadcast, kScribeUpdate, ...).
+    uint64_t size_bytes = 0;    // Inner payload size (pre-framing).
+    TraceContext trace;         // Causal context of the original send.
+    std::shared_ptr<const void> payload;
+  };
+  std::vector<Item> items;  // In enqueue order — the order they would have been sent.
 };
 
 }  // namespace totoro

@@ -71,7 +71,8 @@ AggregationPiece DefaultCombine(const std::vector<AggregationPiece>& pieces) {
 }  // namespace
 
 ScribeNode::ScribeNode(PastryNode* pastry, ScribeConfig config)
-    : pastry_(pastry), config_(config), combine_(DefaultCombine) {
+    : pastry_(pastry), config_(config), batcher_(pastry, config.batch),
+      combine_(DefaultCombine) {
   pastry_->SetForwardHandler(kScribeJoin, [this](const NodeId& key, Message& inner,
                                                  HostId next_hop) {
     return OnJoinForward(key, inner, next_hop);
@@ -82,6 +83,9 @@ ScribeNode::ScribeNode(PastryNode* pastry, ScribeConfig config)
     pastry_->SetDeliverHandler(
         type, [this](const NodeId&, const Message& msg, int) { OnDirectMessage(msg); });
   }
+  pastry_->SetDeliverHandler(kScribeBatch, [this](const NodeId&, const Message& msg, int) {
+    batcher_.Unpack(msg, [this](const Message& inner) { OnDirectMessage(inner); });
+  });
 }
 
 ScribeNode::TopicState& ScribeNode::GetOrCreate(const NodeId& topic) {
@@ -114,7 +118,7 @@ void ScribeNode::AddChild(TopicState& state, HostId child_host, const NodeId& ch
   m.traffic = TrafficClass::kTreeControl;
   m.transport = Transport::kUdp;
   m.SetPayload(ScribeParentHeartbeat{state.topic, pastry_->id()});
-  pastry_->SendDirect(child_host, std::move(m));
+  batcher_.Send(child_host, std::move(m));
 }
 
 void ScribeNode::SendJoin(const NodeId& topic, bool direct) {
@@ -160,7 +164,7 @@ void ScribeNode::Unsubscribe(const NodeId& topic) {
     m.traffic = TrafficClass::kTreeControl;
     m.transport = Transport::kUdp;
     m.SetPayload(ScribeLeave{topic, host()});
-    pastry_->SendDirect(state.parent, std::move(m));
+    batcher_.Send(state.parent, std::move(m));
   }
   ChargeState(-kTopicStateBytes -
               kChildEntryBytes * static_cast<int64_t>(state.children.size()));
@@ -248,7 +252,7 @@ void ScribeNode::ForwardBroadcastToChildren(const TopicState& state, const Scrib
     ScribeBroadcast next = bc;
     next.depth = bc.depth + 1;
     m.SetPayload(std::move(next));
-    pastry_->SendDirect(child_host, std::move(m));
+    batcher_.Send(child_host, std::move(m));
   }
 }
 
@@ -417,7 +421,7 @@ void ScribeNode::MaybeForwardAggregate(TopicState& state, uint64_t round, bool t
   upd.size_bytes = size_bytes;
   upd.origin_time = origin;
   m.SetPayload(std::move(upd));
-  pastry_->SendDirect(state.parent, std::move(m));
+  batcher_.Send(state.parent, std::move(m));
 }
 
 void ScribeNode::HandleUpdate(const Message& msg) {
@@ -449,7 +453,7 @@ void ScribeNode::HandleParentHeartbeat(const Message& msg) {
     leave.traffic = TrafficClass::kTreeControl;
     leave.transport = Transport::kUdp;
     leave.SetPayload(ScribeLeave{hb.topic, host()});
-    pastry_->SendDirect(target, std::move(leave));
+    batcher_.Send(target, std::move(leave));
   };
   auto it = topics_.find(hb.topic);
   if (it == topics_.end()) {
@@ -584,7 +588,7 @@ void ScribeNode::MaintenanceTick() {
       m.traffic = TrafficClass::kTreeControl;
       m.transport = Transport::kUdp;
       m.SetPayload(ScribeParentHeartbeat{state.topic, pastry_->id()});
-      pastry_->SendDirect(child_host, std::move(m));
+      batcher_.Send(child_host, std::move(m));
     }
     // Child side: detect a dead parent and re-route a JOIN toward the topic (§4.5).
     if (!state.is_root && state.parent != kInvalidHost &&

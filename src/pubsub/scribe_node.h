@@ -28,6 +28,7 @@
 
 #include "src/dht/pastry_node.h"
 #include "src/pubsub/messages.h"
+#include "src/pubsub/wire_batcher.h"
 
 namespace totoro {
 
@@ -55,6 +56,9 @@ struct ScribeConfig {
   // Requires enable_tree_repair (retries ride the maintenance tick).
   double join_retry_ms = 0.0;
   double join_retry_max_ms = 3200.0;
+  // Wire batching for every direct send this node makes (kOff preserves the exact
+  // pre-batching byte stream; see src/pubsub/wire_batcher.h).
+  WireBatchConfig batch;
 };
 
 class ScribeNode {
@@ -178,6 +182,7 @@ class ScribeNode {
 
   PastryNode* pastry_;
   ScribeConfig config_;
+  WireBatcher batcher_;
   CombineFn combine_;
   std::map<U128, CombineFn> topic_combine_;
   BroadcastFn on_broadcast_;

@@ -79,7 +79,7 @@ TEST(CompressionTest, NoneKeepsEverything) {
   std::vector<float> ref = {0.0f, 0.0f};
   CompressionConfig config;
   const auto out = CompressUpdate(w, ref, config);
-  EXPECT_EQ(out.reconstructed, w);
+  EXPECT_EQ(out.Reconstruct(ref), w);
   EXPECT_EQ(out.wire_bytes, 8u);
 }
 
@@ -92,8 +92,9 @@ TEST(CompressionTest, TopKKeepsLargestDeltas) {
   config.kind = CompressionKind::kTopK;
   config.topk_fraction = 0.1;  // Keep 1 of 10.
   const auto out = CompressUpdate(w, ref, config);
-  EXPECT_FLOAT_EQ(out.reconstructed[3], 10.0f);
-  EXPECT_FLOAT_EQ(out.reconstructed[7], 0.0f);  // Dropped.
+  const auto reconstructed = out.Reconstruct(ref);
+  EXPECT_FLOAT_EQ(reconstructed[3], 10.0f);
+  EXPECT_FLOAT_EQ(reconstructed[7], 0.0f);  // Dropped.
   EXPECT_EQ(out.wire_bytes, 8u);                 // 1 (index,value) pair.
   EXPECT_LT(out.wire_bytes, 10 * 4u);
 }
@@ -105,7 +106,7 @@ TEST(CompressionTest, Int8ShrinksWire) {
   config.kind = CompressionKind::kInt8;
   const auto out = CompressUpdate(w, ref, config);
   EXPECT_LT(out.wire_bytes, 100 * 4u);
-  for (float v : out.reconstructed) {
+  for (float v : out.Reconstruct(ref)) {
     EXPECT_NEAR(v, 0.5f, 0.01f);
   }
 }
@@ -127,18 +128,20 @@ TEST(CompressionTest, TopKReconstructionIdentityAndWireAccounting) {
   config.topk_fraction = 0.25;
   const size_t k = 16;  // ceil(0.25 * 64).
   const auto out = CompressUpdate(w, ref, config);
-  ASSERT_EQ(out.reconstructed.size(), n);
+  const auto dense = out.Reconstruct(ref);
+  ASSERT_EQ(dense.size(), n);
+  EXPECT_EQ(out.topk_indices.size(), k);
   EXPECT_EQ(out.wire_bytes, k * (sizeof(uint32_t) + sizeof(float)));
 
   size_t kept = 0;
   float min_kept_delta = 1e30f;
   float max_dropped_delta = 0.0f;
   for (size_t i = 0; i < n; ++i) {
-    if (out.reconstructed[i] == ref[i] && w[i] != ref[i]) {
+    if (dense[i] == ref[i] && w[i] != ref[i]) {
       max_dropped_delta = std::max(max_dropped_delta, std::abs(w[i] - ref[i]));
       continue;  // Dropped coordinate: exactly the reference.
     }
-    EXPECT_EQ(out.reconstructed[i], w[i]) << "kept coordinate must be exact at " << i;
+    EXPECT_EQ(dense[i], w[i]) << "kept coordinate must be exact at " << i;
     if (w[i] != ref[i]) {
       ++kept;
       min_kept_delta = std::min(min_kept_delta, std::abs(w[i] - ref[i]));
@@ -160,20 +163,24 @@ TEST(CompressionTest, Int8AndNoneParity) {
   }
   CompressionConfig none;
   const auto plain = CompressUpdate(w, ref, none);
-  EXPECT_EQ(plain.reconstructed, w);
+  EXPECT_EQ(plain.Reconstruct(ref), w);
   EXPECT_EQ(plain.wire_bytes, n * sizeof(float));
 
   CompressionConfig int8;
   int8.kind = CompressionKind::kInt8;
   const auto quantized = CompressUpdate(w, ref, int8);
   EXPECT_EQ(quantized.wire_bytes, n + sizeof(float));
-  EXPECT_EQ(quantized.reconstructed, DecodeInt8(EncodeInt8(w)));
+  // The stored payload IS the wire blob, and its lazy reconstruction matches the
+  // serializer's encode/decode round trip bit-for-bit.
+  EXPECT_EQ(quantized.payload, EncodeInt8(w));
+  const auto dense = quantized.Reconstruct({});
+  EXPECT_EQ(dense, DecodeInt8(EncodeInt8(w)));
   float max_abs = 0.0f;
   for (float v : w) {
     max_abs = std::max(max_abs, std::abs(v));
   }
   for (size_t i = 0; i < n; ++i) {
-    EXPECT_NEAR(quantized.reconstructed[i], w[i], max_abs / 127.0f * 0.51f);
+    EXPECT_NEAR(dense[i], w[i], max_abs / 127.0f * 0.51f);
   }
 }
 

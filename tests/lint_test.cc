@@ -1,6 +1,6 @@
 // Tests for the totoro_lint rule engine (tools/lint/): synthetic source snippets are
 // fed through RunLint and the findings checked per rule — a positive and a negative
-// case for each of R1–R5, annotation escape hatches, include-closure resolution, and
+// case for each of R1–R6, annotation escape hatches, include-closure resolution, and
 // allowlist parsing/matching.
 #include <algorithm>
 #include <string>
@@ -269,6 +269,68 @@ TEST(R5Test, MentionInStringDoesNotCount) {
       "bench/bench_widget.cc",
       "int main() { std::printf(\"BenchReport goes here someday\\n\"); return 0; }\n");
   EXPECT_TRUE(HasFinding(findings, "R5", "BenchReport"));
+}
+
+// --- R6: committed baselines must be regenerated by CI ------------------------------
+
+namespace {
+
+// A minimal but structurally faithful workflow: a bench-telemetry job running some
+// benches, followed by a sibling job that also mentions a bench (which must NOT
+// satisfy R6 — only references inside bench-telemetry count).
+constexpr char kWorkflow[] =
+    "name: CI\n"
+    "jobs:\n"
+    "  verify:\n"
+    "    steps:\n"
+    "      - run: ctest\n"
+    "  bench-telemetry:\n"
+    "    steps:\n"
+    "      - run: |\n"
+    "          ./build/bench/bench_micro\n"
+    "          ./build/bench/bench_fig8_fig9_tta\n"
+    "  lint:\n"
+    "    steps:\n"
+    "      - run: ./build/bench/bench_orphan\n";
+
+std::vector<Finding> LintBaselines(std::vector<std::string> baselines,
+                                   std::string workflow) {
+  LintOptions options;
+  options.baseline_names = std::move(baselines);
+  options.ci_workflow_text = std::move(workflow);
+  return RunLint({{"src/obs/export.cc", "int x;\n"}}, options);
+}
+
+}  // namespace
+
+TEST(R6Test, QuietWhenEveryBaselineBenchRunsInBenchTelemetry) {
+  const auto findings =
+      LintBaselines({"BENCH_micro.json", "BENCH_fig8_fig9_tta.json"}, kWorkflow);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(R6Test, FlagsBaselineWhoseBenchCiNeverRuns) {
+  const auto findings = LintBaselines({"BENCH_micro.json", "BENCH_fig7_traffic.json"},
+                                      kWorkflow);
+  EXPECT_TRUE(HasFinding(findings, "R6", "bench_fig7_traffic"));
+  EXPECT_FALSE(HasFinding(findings, "R6", "bench_micro"));
+}
+
+TEST(R6Test, MentionOutsideBenchTelemetryJobDoesNotCount) {
+  // bench_orphan appears in the lint job, after bench-telemetry ended.
+  const auto findings = LintBaselines({"BENCH_orphan.json"}, kWorkflow);
+  EXPECT_TRUE(HasFinding(findings, "R6", "bench_orphan"));
+}
+
+TEST(R6Test, MissingBenchTelemetryJobIsItselfAFinding) {
+  const auto findings = LintBaselines({"BENCH_micro.json"},
+                                      "name: CI\njobs:\n  verify:\n    steps: []\n");
+  EXPECT_TRUE(HasFinding(findings, "R6", "bench-telemetry"));
+}
+
+TEST(R6Test, InactiveWithoutBaselinesOrWorkflow) {
+  EXPECT_TRUE(LintBaselines({}, kWorkflow).empty());
+  EXPECT_TRUE(LintBaselines({"BENCH_micro.json"}, "").empty());
 }
 
 // --- Allowlist ---------------------------------------------------------------------

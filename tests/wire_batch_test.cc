@@ -1,0 +1,377 @@
+// Wire batching tests: exact byte reconciliation between the batched and unbatched
+// arms, determinism of batched runs, no double-counting through the traffic metrics,
+// and batches dying cleanly when a fault lands mid-window.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/faultsim/fault_injector.h"
+#include "src/obs/export.h"
+#include "src/pubsub/forest.h"
+#include "src/pubsub/wire_batcher.h"
+
+namespace totoro {
+namespace {
+
+// Same overlay harness as pubsub_test.cc: fixed seeds end to end.
+struct World {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<PastryNetwork> pastry;
+  std::unique_ptr<Forest> forest;
+  Rng rng{777};
+
+  explicit World(size_t n, ScribeConfig scribe = {}) {
+    NetworkConfig net_config;
+    net_config.model_bandwidth = false;
+    net = std::make_unique<Network>(
+        &sim, std::make_unique<PairwiseUniformLatency>(1.0, 10.0, 3), net_config);
+    pastry = std::make_unique<PastryNetwork>(net.get(), PastryConfig{});
+    for (size_t i = 0; i < n; ++i) {
+      pastry->AddRandomNode(rng);
+    }
+    pastry->BuildOracle(rng);
+    forest = std::make_unique<Forest>(pastry.get(), scribe);
+  }
+
+  std::vector<size_t> AllNodes() const {
+    std::vector<size_t> out(pastry->size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = i;
+    }
+    return out;
+  }
+};
+
+uint64_t CounterValue(const std::string& name) {
+  const Counter* c = GlobalMetrics().FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+Message MakeControlMsg(uint64_t size_bytes,
+                       TrafficClass traffic = TrafficClass::kTreeControl) {
+  Message msg;
+  msg.type = kScribeParentHeartbeat;
+  msg.size_bytes = size_bytes;
+  msg.traffic = traffic;
+  msg.transport = Transport::kUdp;
+  return msg;
+}
+
+// --- Unit level: a standalone WireBatcher between two pastry nodes. ---------------
+
+struct BatcherRunResult {
+  uint64_t wire_bytes = 0;       // Network-accounted bytes for the run.
+  uint64_t wire_messages = 0;    // Network-level sends (envelopes count once).
+  uint64_t delivered = 0;        // Inner messages handed to the deliver handler.
+  uint64_t delivered_bytes = 0;  // Sum of delivered inner size_bytes.
+  uint64_t bytes_saved = 0;      // pubsub.batch.bytes_saved delta.
+  uint64_t envelopes = 0;
+  uint64_t coalesced = 0;
+  uint64_t singles = 0;
+};
+
+// Sends a fixed message schedule from node 0 to node 1 through a WireBatcher in the
+// given mode: a burst of 4 at t=0, a lone message at t=50, a second burst of 3 spread
+// across t=100..100+2 inside one 5 ms window, and a cross-class pair at t=200.
+BatcherRunResult RunBatcherSchedule(WireBatchConfig config) {
+  World world(10);
+  PastryNode& sender = world.pastry->node(0);
+  PastryNode& receiver = world.pastry->node(1);
+  const HostId dst = receiver.host();
+
+  const uint64_t saved_before = CounterValue("pubsub.batch.bytes_saved");
+  const uint64_t envelopes_before = CounterValue("pubsub.batch.envelopes");
+  const uint64_t coalesced_before = CounterValue("pubsub.batch.coalesced_msgs");
+  const uint64_t singles_before = CounterValue("pubsub.batch.singles");
+  const uint64_t bytes_before = world.net->metrics().total_bytes();
+  const uint64_t msgs_before = world.net->metrics().total_messages();
+
+  WireBatcher batcher(&sender, config);
+  WireBatcher unbatcher(&receiver, config);
+  BatcherRunResult result;
+  auto deliver = [&result](const NodeId&, const Message& inner, int) {
+    EXPECT_EQ(inner.hops, 0) << "inner messages must never re-enter routing";
+    ++result.delivered;
+    result.delivered_bytes += inner.size_bytes;
+  };
+  receiver.SetDeliverHandler(kScribeParentHeartbeat, deliver);
+  receiver.SetDeliverHandler(
+      kScribeBatch, [&unbatcher, deliver](const NodeId& id, const Message& msg, int) {
+        unbatcher.Unpack(msg, [&](const Message& inner) { deliver(id, inner, 0); });
+      });
+
+  world.sim.Schedule(0.0, [&] {
+    for (int i = 0; i < 4; ++i) {
+      batcher.Send(dst, MakeControlMsg(48 + static_cast<uint64_t>(i)));
+    }
+  });
+  world.sim.Schedule(50.0, [&] { batcher.Send(dst, MakeControlMsg(64)); });
+  for (int i = 0; i < 3; ++i) {
+    world.sim.Schedule(100.0 + i, [&] { batcher.Send(dst, MakeControlMsg(32)); });
+  }
+  // Same instant, different traffic classes: separate edges, must not merge.
+  world.sim.Schedule(200.0, [&] {
+    batcher.Send(dst, MakeControlMsg(40, TrafficClass::kTreeControl));
+    batcher.Send(dst, MakeControlMsg(40, TrafficClass::kGradient));
+  });
+  world.sim.Run();
+
+  result.wire_bytes = world.net->metrics().total_bytes() - bytes_before;
+  result.wire_messages = world.net->metrics().total_messages() - msgs_before;
+  result.bytes_saved = CounterValue("pubsub.batch.bytes_saved") - saved_before;
+  result.envelopes = CounterValue("pubsub.batch.envelopes") - envelopes_before;
+  result.coalesced = CounterValue("pubsub.batch.coalesced_msgs") - coalesced_before;
+  result.singles = CounterValue("pubsub.batch.singles") - singles_before;
+  return result;
+}
+
+constexpr uint64_t kScheduleMsgs = 10;
+constexpr uint64_t kSchedulePayloadBytes =
+    (48 + 49 + 50 + 51) + 64 + 3 * 32 + 2 * 40;
+
+TEST(WireBatcherTest, AccountOnlyChargesFramingPerMessage) {
+  WireBatchConfig config;
+  config.mode = WireBatchConfig::Mode::kAccountOnly;
+  const auto r = RunBatcherSchedule(config);
+  EXPECT_EQ(r.wire_messages, kScheduleMsgs);
+  EXPECT_EQ(r.delivered, kScheduleMsgs);
+  EXPECT_EQ(r.wire_bytes, kSchedulePayloadBytes + kScheduleMsgs * config.framing_bytes);
+  EXPECT_EQ(r.bytes_saved, 0u);
+  EXPECT_EQ(r.envelopes, 0u);
+}
+
+TEST(WireBatcherTest, CoalesceReconciliationIsExact) {
+  WireBatchConfig account;
+  account.mode = WireBatchConfig::Mode::kAccountOnly;
+  WireBatchConfig coalesce;
+  coalesce.mode = WireBatchConfig::Mode::kCoalesce;
+  coalesce.window_ms = 5.0;
+
+  const auto a = RunBatcherSchedule(account);
+  const auto c = RunBatcherSchedule(coalesce);
+
+  // Every inner message arrives in both arms. kAccountOnly inflates each delivered
+  // size by its framing; coalesced inner messages arrive at their original size (only
+  // the three singles carry framing).
+  EXPECT_EQ(a.delivered, kScheduleMsgs);
+  EXPECT_EQ(c.delivered, kScheduleMsgs);
+  EXPECT_EQ(a.delivered_bytes,
+            kSchedulePayloadBytes + kScheduleMsgs * account.framing_bytes);
+  EXPECT_EQ(c.delivered_bytes, kSchedulePayloadBytes + 3 * coalesce.framing_bytes);
+  // The schedule coalesces the burst of 4 and the burst of 3; the lone message and the
+  // two cross-class messages go out as framed singles.
+  EXPECT_EQ(c.envelopes, 2u);
+  EXPECT_EQ(c.coalesced, 7u);
+  EXPECT_EQ(c.singles, 3u);
+  EXPECT_EQ(c.wire_messages, c.envelopes + c.singles);
+  // The reconciliation law, exactly: batched bytes == unbatched bytes - bytes_saved.
+  EXPECT_EQ(c.wire_bytes, a.wire_bytes - c.bytes_saved);
+  // And bytes_saved matches the closed form (k-1)*framing - k*subheader per envelope.
+  const uint64_t expected_saved =
+      (3 * coalesce.framing_bytes - 4 * coalesce.subheader_bytes) +
+      (2 * coalesce.framing_bytes - 3 * coalesce.subheader_bytes);
+  EXPECT_EQ(c.bytes_saved, expected_saved);
+}
+
+TEST(WireBatcherTest, ZeroWindowStillBatchesSameInstantMessages) {
+  // window_ms = 0 coalesces a maintenance tick's same-instant sends: the flush event
+  // runs after the enqueues at the same virtual time.
+  WireBatchConfig config;
+  config.mode = WireBatchConfig::Mode::kCoalesce;
+  config.window_ms = 0.0;
+  const auto r = RunBatcherSchedule(config);
+  EXPECT_EQ(r.delivered, kScheduleMsgs);
+  // Only the t=0 burst shares an instant; the t=100..102 burst spreads over 3 instants.
+  EXPECT_EQ(r.envelopes, 1u);
+  EXPECT_EQ(r.coalesced, 4u);
+  EXPECT_EQ(r.singles, 6u);
+}
+
+TEST(WireBatcherTest, SenderCrashMidWindowDropsPendingBatch) {
+  WireBatchConfig config;
+  config.mode = WireBatchConfig::Mode::kCoalesce;
+  config.window_ms = 10.0;
+
+  World world(10);
+  PastryNode& sender = world.pastry->node(0);
+  PastryNode& receiver = world.pastry->node(1);
+  WireBatcher batcher(&sender, config);
+  uint64_t delivered = 0;
+  receiver.SetDeliverHandler(kScribeBatch,
+                             [&](const NodeId&, const Message&, int) { ++delivered; });
+  receiver.SetDeliverHandler(kScribeParentHeartbeat,
+                             [&](const NodeId&, const Message&, int) { ++delivered; });
+
+  const uint64_t envelopes_before = CounterValue("pubsub.batch.envelopes");
+  const uint64_t bytes_before = world.net->metrics().total_bytes();
+  world.sim.Schedule(0.0, [&] {
+    batcher.Send(receiver.host(), MakeControlMsg(48));
+    batcher.Send(receiver.host(), MakeControlMsg(48));
+  });
+  // The sender dies inside the window; the armed flush finds it dead and the batch
+  // dies with it — nothing reaches the wire, no counters move.
+  world.sim.Schedule(5.0, [&] { world.net->SetHostUp(sender.host(), false); });
+  world.sim.Run();
+
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(world.net->metrics().total_bytes(), bytes_before);
+  EXPECT_EQ(CounterValue("pubsub.batch.envelopes"), envelopes_before);
+}
+
+TEST(WireBatcherTest, PartitionMidWindowDropsEnvelopeOnceNotPerInnerMessage) {
+  // faultsim scenario: the edge partitions while a batch is accumulating. The flush
+  // still runs (the sender is alive), the envelope hits the partition, and the network
+  // charges exactly ONE drop — the envelope — not one per inner message.
+  WireBatchConfig config;
+  config.mode = WireBatchConfig::Mode::kCoalesce;
+  config.window_ms = 10.0;
+
+  World world(10);
+  PastryNode& sender = world.pastry->node(0);
+  PastryNode& receiver = world.pastry->node(1);
+  FaultInjector injector(world.pastry.get(), nullptr, /*seed=*/42);
+  WireBatcher batcher(&sender, config);
+  uint64_t delivered = 0;
+  receiver.SetDeliverHandler(kScribeBatch,
+                             [&](const NodeId&, const Message&, int) { ++delivered; });
+
+  FaultScript script;
+  script.PartitionAt(5.0, {sender.host()}, {receiver.host()});
+  injector.Schedule(script);
+
+  const uint64_t dropped_before = world.net->metrics().dropped_messages();
+  world.sim.Schedule(0.0, [&] {
+    for (int i = 0; i < 3; ++i) {
+      batcher.Send(receiver.host(), MakeControlMsg(48));
+    }
+  });
+  world.sim.Run();
+
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(injector.stats().partition_drops, 1u);
+  EXPECT_EQ(world.net->metrics().dropped_messages() - dropped_before, 1u);
+  // The envelope was still built and accounted: the bytes were saved, then lost.
+  EXPECT_GE(CounterValue("pubsub.batch.envelopes"), 1u);
+}
+
+// --- End to end: a Forest with batching in the ScribeConfig. ----------------------
+
+struct ForestRunResult {
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
+  uint64_t broadcasts_delivered = 0;
+  uint64_t root_totals = 0;
+  uint64_t bytes_saved = 0;
+  uint64_t envelopes = 0;
+  std::string metrics_json;
+};
+
+// Maintenance heartbeats across several same-membership topics are the coalescable
+// traffic: each tick a parent sends one heartbeat per (child, topic), and topics
+// sharing the (parent, child) edge merge into one envelope.
+ForestRunResult RunForestScenario(WireBatchConfig batch) {
+  GlobalMetrics().ResetValues();
+  ScribeConfig scribe;
+  scribe.enable_tree_repair = true;
+  scribe.parent_heartbeat_ms = 100.0;
+  scribe.parent_timeout_ms = 350.0;
+  scribe.batch = batch;
+  World world(60, scribe);
+
+  std::vector<NodeId> topics;
+  for (int t = 0; t < 6; ++t) {
+    topics.push_back(world.forest->CreateTopic("batch-app-" + std::to_string(t)));
+    world.forest->SubscribeAll(topics.back(), world.AllNodes());
+  }
+
+  ForestRunResult result;
+  for (size_t i = 0; i < world.forest->size(); ++i) {
+    world.forest->scribe(i).SetOnBroadcast(
+        [&result](const NodeId&, uint64_t, const ScribeBroadcast&) {
+          ++result.broadcasts_delivered;
+        });
+    world.forest->scribe(i).SetOnRootAggregate(
+        [&result](const NodeId&, uint64_t, const AggregationPiece&) {
+          ++result.root_totals;
+        });
+  }
+  world.forest->StartMaintenance();
+
+  // Two app rounds over the first topic while heartbeats tick underneath.
+  for (uint64_t round = 1; round <= 2; ++round) {
+    world.sim.Schedule(150.0 * static_cast<double>(round), [&world, &topics, round] {
+      const size_t root = world.forest->RootOf(topics[0]);
+      world.forest->scribe(root).Broadcast(topics[0], round,
+                                           std::make_shared<int>(7), 2048);
+    });
+    world.sim.Schedule(150.0 * static_cast<double>(round) + 60.0,
+                       [&world, &topics, round] {
+                         for (size_t i = 0; i < world.forest->size(); ++i) {
+                           AggregationPiece piece;
+                           world.forest->scribe(i).SubmitUpdate(topics[0], round,
+                                                                std::move(piece), 512);
+                         }
+                       });
+  }
+  world.sim.RunFor(1000.0);
+
+  result.total_bytes = world.net->metrics().total_bytes();
+  result.total_messages = world.net->metrics().total_messages();
+  result.bytes_saved = CounterValue("pubsub.batch.bytes_saved");
+  result.envelopes = CounterValue("pubsub.batch.envelopes");
+  world.net->metrics().PublishTo(GlobalMetrics());
+  result.metrics_json = MetricsToJson(GlobalMetrics());
+  return result;
+}
+
+TEST(WireBatchForestTest, CoalescedRunIsDeterministicByteEqualExports) {
+  WireBatchConfig batch;
+  batch.mode = WireBatchConfig::Mode::kCoalesce;
+  batch.window_ms = 0.0;
+  const auto r1 = RunForestScenario(batch);
+  const auto r2 = RunForestScenario(batch);
+  EXPECT_GT(r1.envelopes, 0u) << "scenario must actually exercise coalescing";
+  EXPECT_EQ(r1.total_bytes, r2.total_bytes);
+  EXPECT_EQ(r1.total_messages, r2.total_messages);
+  EXPECT_EQ(r1.bytes_saved, r2.bytes_saved);
+  EXPECT_EQ(r1.metrics_json, r2.metrics_json) << "same seed must export byte-equal";
+}
+
+TEST(WireBatchForestTest, EndToEndReconciliationAndNoDoubleCount) {
+  WireBatchConfig account;
+  account.mode = WireBatchConfig::Mode::kAccountOnly;
+  WireBatchConfig coalesce;
+  coalesce.mode = WireBatchConfig::Mode::kCoalesce;
+  coalesce.window_ms = 0.0;  // Zero window: identical timings, so identical app traffic.
+
+  const auto a = RunForestScenario(account);
+  const auto c = RunForestScenario(coalesce);
+
+  // The application outcome is unchanged by batching.
+  EXPECT_EQ(c.broadcasts_delivered, a.broadcasts_delivered);
+  EXPECT_EQ(c.root_totals, a.root_totals);
+  EXPECT_GT(c.broadcasts_delivered, 0u);
+
+  // Coalescing happened (heartbeats across the 6 same-membership topics share edges)
+  // and the byte ledger reconciles exactly: nothing double-counted, nothing lost.
+  EXPECT_GT(c.envelopes, 0u);
+  EXPECT_GT(c.bytes_saved, 0u);
+  EXPECT_EQ(c.total_bytes, a.total_bytes - c.bytes_saved);
+  EXPECT_LT(c.total_messages, a.total_messages);
+}
+
+TEST(WireBatchForestTest, OffModeTouchesNothing) {
+  const auto off = RunForestScenario(WireBatchConfig{});
+  EXPECT_EQ(off.bytes_saved, 0u);
+  EXPECT_EQ(off.envelopes, 0u);
+  EXPECT_GT(off.broadcasts_delivered, 0u);
+  // kOff is a pure passthrough: no batch series ever moves.
+  EXPECT_EQ(CounterValue("pubsub.batch.singles"), 0u);
+  EXPECT_EQ(CounterValue("pubsub.batch.coalesced_msgs"), 0u);
+  EXPECT_EQ(CounterValue("pubsub.batch.unpacked_msgs"), 0u);
+}
+
+}  // namespace
+}  // namespace totoro

@@ -3,12 +3,17 @@
 //
 // Usage:
 //   benchdiff --baseline <dir> --current <dir> [--fail-above <rel>]
+//   benchdiff --baseline <dir> --current <dir> --update-baselines
 //
 // The BASELINE directory drives the comparison: every BENCH_*.json in it must have a
 // counterpart in the current directory. Per-metric semantics live in diff.h; in short,
 // fingerprints and tolerance-0 metrics compare exactly (hard fail on any drift), and
 // wall-clock metrics warn beyond their own tolerance and fail beyond
 // max(tolerance, --fail-above) (default 0.25).
+//
+// --update-baselines inverts the flow: every BENCH_*.json in the CURRENT directory is
+// copied over the baseline directory (validated as a parseable report first), so an
+// intentional perf change refreshes the committed baselines in one step.
 //
 // Exit codes: 0 clean (notes/warnings allowed), 1 regression detected, 2 usage/IO
 // error.
@@ -63,9 +68,54 @@ bool IsBenchReportFile(const fs::path& path) {
 
 }  // namespace
 
+// Copies every parseable BENCH_*.json from `current_dir` over `baseline_dir`,
+// creating the baseline directory if needed. Returns the process exit code.
+int UpdateBaselines(const std::string& baseline_dir, const std::string& current_dir) {
+  if (!fs::is_directory(current_dir)) {
+    std::fprintf(stderr, "benchdiff: current dir %s not found\n", current_dir.c_str());
+    return 2;
+  }
+  std::vector<fs::path> current_files;
+  for (const auto& entry : fs::directory_iterator(current_dir)) {
+    if (entry.is_regular_file() && IsBenchReportFile(entry.path())) {
+      current_files.push_back(entry.path());
+    }
+  }
+  std::sort(current_files.begin(), current_files.end());
+  if (current_files.empty()) {
+    std::fprintf(stderr, "benchdiff: no BENCH_*.json in %s\n", current_dir.c_str());
+    return 2;
+  }
+  std::error_code ec;
+  fs::create_directories(baseline_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "benchdiff: cannot create %s: %s\n", baseline_dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  for (const fs::path& path : current_files) {
+    Report report;
+    if (!LoadReport(path, &report)) {
+      return 2;  // Refuse to commit an unparseable report as a baseline.
+    }
+    const fs::path dst = fs::path(baseline_dir) / path.filename();
+    fs::copy_file(path, dst, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      std::fprintf(stderr, "benchdiff: copy %s failed: %s\n", path.string().c_str(),
+                   ec.message().c_str());
+      return 2;
+    }
+    std::printf("benchdiff: baseline %s updated\n", dst.filename().string().c_str());
+  }
+  std::printf("benchdiff: %zu baseline(s) refreshed in %s\n", current_files.size(),
+              baseline_dir.c_str());
+  return 0;
+}
+
 int main(int argc, char** argv) {
   std::string baseline_dir;
   std::string current_dir;
+  bool update_baselines = false;
   DiffOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -82,9 +132,12 @@ int main(int argc, char** argv) {
       current_dir = next("--current");
     } else if (arg == "--fail-above") {
       options.fail_above = std::strtod(next("--fail-above"), nullptr);
+    } else if (arg == "--update-baselines") {
+      update_baselines = true;
     } else if (arg == "--help") {
       std::printf(
-          "usage: benchdiff --baseline <dir> --current <dir> [--fail-above <rel>]\n");
+          "usage: benchdiff --baseline <dir> --current <dir>"
+          " [--fail-above <rel>] [--update-baselines]\n");
       return 0;
     } else {
       std::fprintf(stderr, "benchdiff: unknown argument '%s'\n", arg.c_str());
@@ -94,6 +147,9 @@ int main(int argc, char** argv) {
   if (baseline_dir.empty() || current_dir.empty()) {
     std::fprintf(stderr, "benchdiff: --baseline and --current are required\n");
     return 2;
+  }
+  if (update_baselines) {
+    return UpdateBaselines(baseline_dir, current_dir);
   }
   if (!fs::is_directory(baseline_dir)) {
     std::fprintf(stderr, "benchdiff: baseline dir %s not found\n", baseline_dir.c_str());

@@ -1,4 +1,4 @@
-// totoro_lint driver: walks the source tree, runs the R1–R4 rule engine, applies the
+// totoro_lint driver: walks the source tree, runs the R1–R6 rule engine, applies the
 // allowlist, and exits nonzero on any unallowlisted finding, unused allow entry, or
 // allowlist-budget overrun.
 //
@@ -7,6 +7,7 @@
 //
 // Default scan set (relative to --root): src tools bench examples. Only .h/.cc/.cpp
 // files are read. Exit codes: 0 clean, 1 violations, 2 usage/IO error.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -100,8 +101,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<Finding> findings =
-      totoro::lint::RunLint(files, totoro::lint::LintOptions());
+  totoro::lint::LintOptions options;
+  // R6 inputs: committed baseline filenames and the CI workflow text. Neither lives
+  // in the lexed source set, so the driver loads them here; missing files simply
+  // leave the rule inactive (a tree without baselines has nothing to check).
+  const fs::path baselines = fs::path(root) / options.baselines_dir;
+  if (fs::is_directory(baselines)) {
+    for (const auto& entry : fs::directory_iterator(baselines)) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json") {
+        options.baseline_names.push_back(name);
+      }
+    }
+    std::sort(options.baseline_names.begin(), options.baseline_names.end());
+  }
+  const fs::path ci_workflow = fs::path(root) / options.ci_workflow_path;
+  if (fs::exists(ci_workflow) && !ReadFile(ci_workflow, &options.ci_workflow_text)) {
+    std::fprintf(stderr, "totoro_lint: cannot read %s\n",
+                 ci_workflow.string().c_str());
+    return 2;
+  }
+
+  const std::vector<Finding> findings = totoro::lint::RunLint(files, options);
 
   std::vector<AllowEntry> entries;
   int errors = 0;

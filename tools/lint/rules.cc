@@ -480,6 +480,50 @@ void CheckR5(const std::string& path, const LexedFile& lexed, const LintOptions&
                        "regressions (no ASCII-only benches)"});
 }
 
+// R6: every committed bench baseline must be kept honest by CI. The driver hands us
+// the baseline filenames and the raw workflow text; we slice out the bench-telemetry
+// job (from its key to the next two-space-indented job key) and require the
+// producing binary name bench_<name> to appear inside it. Purely textual — the same
+// trade-off as the rest of the engine: no YAML parser, heuristics plus an allowlist.
+void CheckR6(const LintOptions& options, std::vector<Finding>* findings) {
+  if (options.baseline_names.empty() || options.ci_workflow_text.empty()) {
+    return;
+  }
+  const std::string& text = options.ci_workflow_text;
+  const size_t begin = text.find("\n  bench-telemetry:");
+  if (begin == std::string::npos) {
+    findings->push_back({"R6", options.ci_workflow_path, 1, "bench-telemetry",
+                         "baselines are committed in " + options.baselines_dir +
+                             " but the workflow has no bench-telemetry job to "
+                             "regenerate and gate them"});
+    return;
+  }
+  // End of the job: the next line that is exactly two-space indented (a sibling job
+  // key). Step lines inside the job are indented four or more.
+  size_t end = text.size();
+  for (size_t pos = text.find('\n', begin + 1); pos != std::string::npos;
+       pos = text.find('\n', pos + 1)) {
+    if (pos + 3 < text.size() && text[pos + 1] == ' ' && text[pos + 2] == ' ' &&
+        text[pos + 3] != ' ' && text[pos + 3] != '\n' && text[pos + 3] != '#') {
+      end = pos;
+      break;
+    }
+  }
+  const std::string job = text.substr(begin, end - begin);
+  for (const std::string& baseline : options.baseline_names) {
+    // "BENCH_micro.json" -> "bench_micro".
+    const std::string stem = baseline.substr(6, baseline.size() - 6 - 5);
+    const std::string bench = "bench_" + stem;
+    if (job.find(bench) == std::string::npos) {
+      findings->push_back(
+          {"R6", options.baselines_dir + "/" + baseline, 1, bench,
+           "committed baseline is never regenerated by CI: run `" + bench +
+               "` in the bench-telemetry job of " + options.ci_workflow_path +
+               " (or delete the baseline)"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
@@ -538,6 +582,7 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
   }
 
   CheckR4(lexed_list, options, &findings);
+  CheckR6(options, &findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) {

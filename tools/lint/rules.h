@@ -21,6 +21,11 @@
 //   R5  Every bench binary (bench/bench_*.cc) emits a machine-readable BenchReport:
 //       the file must reference the `BenchReport` identifier (src/obs/bench_report.h).
 //       ASCII-only benches are invisible to tools/benchdiff regression gating.
+//   R6  Every committed baseline bench/baselines/BENCH_<name>.json must have its
+//       producing bench binary `bench_<name>` referenced inside the bench-telemetry
+//       job of .github/workflows/ci.yml. A baseline CI never regenerates either goes
+//       stale forever or hard-fails benchdiff with "current run produced no ..." —
+//       both mean the gate is not gating.
 //
 // The engine is lexer-level by design: no LLVM/clang dependency, so it builds with the
 // project toolchain and runs in a few hundred milliseconds over the whole tree. The
@@ -40,7 +45,7 @@ struct SourceFile {
 };
 
 struct Finding {
-  std::string rule;    // "R1".."R5".
+  std::string rule;    // "R1".."R6".
   std::string file;    // Repo-relative path.
   int line = 0;        // 1-based.
   std::string symbol;  // Offending identifier / metric name; allowlist match key.
@@ -58,6 +63,13 @@ struct LintOptions {
   std::string metric_dir = "src/";
   // R5 applies to files matching this path prefix (bench binaries).
   std::string bench_prefix = "bench/bench_";
+  // R6 inputs, filled by the driver (not derivable from the lexed source set):
+  // committed baseline filenames (e.g. "BENCH_micro.json") and the CI workflow text.
+  // An empty workflow text disables R6 (e.g. unit tests exercising other rules).
+  std::vector<std::string> baseline_names;
+  std::string ci_workflow_text;
+  std::string ci_workflow_path = ".github/workflows/ci.yml";
+  std::string baselines_dir = "bench/baselines";
 };
 
 // Runs all rules over `files` (every file is both a lint target and an include-
