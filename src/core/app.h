@@ -10,6 +10,7 @@
 
 #include "src/dht/node_id.h"
 #include "src/fl/client.h"
+#include "src/fl/robust.h"
 #include "src/ml/model.h"
 
 namespace totoro {
@@ -57,6 +58,12 @@ struct FlAppConfig {
   // correction when a straggler deadline cut part of the cohort. Synchronous protocol
   // only; requires >= 2 workers (and participants_per_round != 1 when selecting).
   bool secure_aggregation = false;
+  // Byzantine-robust aggregation (src/fl/robust.h). When rule != kNone the tree
+  // *collects* individual updates (MakeCollectCombiner) and the root applies the robust
+  // reduction once over the full list; non-finite updates are dropped before reduction.
+  // Synchronous protocol only; mutually exclusive with secure_aggregation (a masked
+  // update has no meaningful per-contributor norm or coordinate order statistics).
+  RobustConfig robust;
 };
 
 struct AccuracyPoint {

@@ -47,6 +47,7 @@ TotoroEngine::TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed)
     : forest_(forest), compute_(compute), rng_(seed),
       pool_(std::make_unique<ComputePool>(ComputePool::ThreadsFromEnv())) {
   speed_factors_.assign(forest_->size(), 1.0);
+  bandwidth_factors_.assign(forest_->size(), 1.0);
   // One set of callbacks per scribe node; dispatch on topic inside the engine.
   for (size_t i = 0; i < forest_->size(); ++i) {
     ScribeNode& scribe = forest_->scribe(i);
@@ -72,6 +73,11 @@ TotoroEngine::TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed)
 void TotoroEngine::SetSpeedFactors(std::vector<double> factors) {
   CHECK_EQ(factors.size(), forest_->size());
   speed_factors_ = std::move(factors);
+}
+
+void TotoroEngine::SetBandwidthFactors(std::vector<double> factors) {
+  CHECK_EQ(factors.size(), forest_->size());
+  bandwidth_factors_ = std::move(factors);
 }
 
 void TotoroEngine::SetComputeThreads(size_t threads) {
@@ -191,6 +197,17 @@ NodeId TotoroEngine::LaunchApp(const FlAppConfig& config, const std::vector<size
       forest_->scribe(i).SetCombineFnForTopic(topic, MakeSecureSumCombiner());
     }
   }
+  if (config.robust.rule != RobustAggregation::kNone) {
+    // Robust rules are not associative, so the tree cannot fold hop by hop: every node
+    // that could end up inside this application's tree collects individual updates
+    // instead (id-sorted, so the root's list is arrival-order independent) and the root
+    // applies the reduction once in OnRootAggregate.
+    CHECK(!config.async.has_value());
+    CHECK(!config.secure_aggregation);
+    for (size_t i = 0; i < forest_->size(); ++i) {
+      forest_->scribe(i).SetCombineFnForTopic(topic, MakeCollectCombiner());
+    }
+  }
   switch (config.selection) {
     case SelectionPolicy::kAll:
       break;
@@ -247,6 +264,7 @@ void TotoroEngine::StartRound(AppRuntime& app) {
         // Optimistic initialization: untrained clients look maximally useful.
         info.last_loss = slot.trainer->last_loss() > 0.0f ? slot.trainer->last_loss() : 1e6;
         info.speed_factor = slot.trainer->speed_factor();
+        info.bandwidth_factor = bandwidth_factors_[node];
         clients.push_back(info);
       }
       auto selected = std::make_shared<std::vector<size_t>>(
@@ -316,13 +334,47 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
     return;
   }
   AppRuntime& app = *it->second;
-  auto trainer_it = app.trainers.find(node_index);
-  if (trainer_it == app.trainers.end()) {
-    return;  // This node forwards but does not train for this app.
-  }
   CHECK(bc.data != nullptr);
   const auto* payload = static_cast<const RoundPayload*>(bc.data.get());
   Network* net = forest_->pastry().network();
+  auto trainer_it = app.trainers.find(node_index);
+  if (trainer_it == app.trainers.end()) {
+    // A subscriber with no trainer is a forged membership — a sybil join injected by
+    // the fault layer (legitimate workers always have a trainer slot). For synchronous
+    // apps its slot in the tree barrier must close either way: submit the forged
+    // update if the sybil provider supplies one, an empty piece otherwise.
+    if (app.config.async.has_value()) {
+      return;
+    }
+    AggregationPiece piece;
+    piece.data = nullptr;
+    piece.weight = 0.0;
+    piece.count = 0;
+    uint64_t piece_bytes = 16;
+    if (!app.config.secure_aggregation && sybil_provider_ != nullptr) {
+      std::vector<float> forged;
+      double forged_weight = 1.0;
+      if (sybil_provider_(topic, round, node_index, payload->weights, forged,
+                          forged_weight)) {
+        CHECK_EQ(forged.size(), payload->weights.size());
+        piece_bytes = forged.size() * sizeof(float);
+        if (app.config.robust.rule != RobustAggregation::kNone) {
+          auto list = std::make_shared<UpdateListPayload>();
+          list->ids = {static_cast<uint64_t>(node_index)};
+          list->updates = {WeightedUpdate{std::move(forged), forged_weight}};
+          piece.data = std::move(list);
+        } else {
+          auto forged_payload = std::make_shared<WeightsPayload>();
+          forged_payload->weights = std::move(forged);
+          piece.data = std::move(forged_payload);
+        }
+        piece.weight = forged_weight;
+        piece.count = 1;
+      }
+    }
+    forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(piece), piece_bytes);
+    return;
+  }
 
   const bool selected =
       payload->selected == nullptr ||
@@ -407,9 +459,16 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
   if (app.config.async.has_value()) {
     // Asynchronous protocol: route the update straight to the master; no tree barrier.
     net->sim()->ScheduleRejoin(
-        compute_ms, [this, node_index, topic, round, train_ctx, ticket]() mutable {
+        compute_ms,
+        [this, node_index, topic, round, train_ctx, ticket, broadcast_data]() mutable {
           LocalUpdate update = ticket.Take();
           ScopedTraceContext scope(train_ctx);
+          if (update_interceptor_ != nullptr) {
+            const auto* round_payload =
+                static_cast<const RoundPayload*>(broadcast_data.get());
+            update_interceptor_(topic, round, node_index, round_payload->weights,
+                                update.weights, update.sample_weight);
+          }
           AsyncUpdatePayload async_payload;
           async_payload.topic = topic;
           async_payload.round = round;
@@ -427,17 +486,36 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
   }
 
   const bool secure = group != nullptr;
+  const bool robust = app.config.robust.rule != RobustAggregation::kNone;
   net->sim()->ScheduleRejoin(
-      compute_ms, [this, node_index, topic, round, train_ctx, ticket, secure]() mutable {
+      compute_ms, [this, node_index, topic, round, train_ctx, ticket, secure, robust,
+                   broadcast_data]() mutable {
         LocalUpdate update = ticket.Take();
         ScopedTraceContext scope(train_ctx);
-        auto piece_payload = std::make_shared<WeightsPayload>();
-        piece_payload->weights = std::move(update.weights);
-        if (secure) {
-          piece_payload->contributors = {static_cast<uint64_t>(node_index)};
+        if (!secure && update_interceptor_ != nullptr) {
+          // Poisoning happens here — on the simulator thread, after the honest train
+          // and before the payload is built — so attacks perturb neither the compute
+          // schedule nor (for secure apps, where this is skipped) mask cancellation.
+          const auto* round_payload =
+              static_cast<const RoundPayload*>(broadcast_data.get());
+          update_interceptor_(topic, round, node_index, round_payload->weights,
+                              update.weights, update.sample_weight);
         }
         AggregationPiece piece;
-        piece.data = std::move(piece_payload);
+        if (robust) {
+          auto list = std::make_shared<UpdateListPayload>();
+          list->ids = {static_cast<uint64_t>(node_index)};
+          list->updates =
+              {WeightedUpdate{std::move(update.weights), update.sample_weight}};
+          piece.data = std::move(list);
+        } else {
+          auto piece_payload = std::make_shared<WeightsPayload>();
+          piece_payload->weights = std::move(update.weights);
+          if (secure) {
+            piece_payload->contributors = {static_cast<uint64_t>(node_index)};
+          }
+          piece.data = std::move(piece_payload);
+        }
         piece.weight = update.sample_weight;
         piece.count = 1;
         forest_->scribe(node_index).SubmitUpdate(topic, round, std::move(piece),
@@ -456,6 +534,55 @@ void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
     return;  // Stale aggregate from a straggler cut-off of an earlier round.
   }
   ProfileScope profile_aggregate("aggregate");
+  if (total.data != nullptr && app.config.robust.rule != RobustAggregation::kNone) {
+    // Robust path: the tree delivered the concatenated per-contributor updates
+    // (id-sorted, arrival-order independent); apply the defense once, here.
+    const auto* list = static_cast<const UpdateListPayload*>(total.data.get());
+    CHECK_EQ(list->ids.size(), list->updates.size());
+    std::vector<WeightedUpdate> clean;
+    clean.reserve(list->updates.size());
+    uint64_t rejected = 0;
+    for (const WeightedUpdate& u : list->updates) {
+      if (AllFinite(u.weights) && std::isfinite(u.sample_weight) &&
+          u.sample_weight > 0.0) {
+        clean.push_back(u);
+      } else {
+        ++rejected;
+      }
+    }
+    static thread_local Counter* collected =
+        &GlobalMetrics().GetCounter("engine.defense.updates_collected");
+    static thread_local Counter* rejected_counter =
+        &GlobalMetrics().GetCounter("engine.defense.updates_rejected");
+    static thread_local Counter* clipped_counter =
+        &GlobalMetrics().GetCounter("engine.defense.updates_clipped");
+    static thread_local Counter* rounds_defended =
+        &GlobalMetrics().GetCounter("engine.defense.rounds_defended");
+    collected->Increment(list->updates.size());
+    rejected_counter->Increment(rejected);
+    rounds_defended->Increment();
+    if (!clean.empty()) {
+      switch (app.config.robust.rule) {
+        case RobustAggregation::kNone:
+          break;  // Unreachable; the branch condition excludes it.
+        case RobustAggregation::kCoordinateMedian:
+          app.global_weights = CoordinateMedian(clean);
+          break;
+        case RobustAggregation::kTrimmedMean:
+          app.global_weights = TrimmedMean(clean, app.config.robust.trim_fraction);
+          break;
+        case RobustAggregation::kNormClip: {
+          size_t clipped = 0;
+          app.global_weights = NormClippedMean(clean, app.global_weights,
+                                               app.config.robust.clip_norm, &clipped);
+          clipped_counter->Increment(clipped);
+          break;
+        }
+      }
+    }
+    EvaluateAndAdvance(app, round);
+    return;
+  }
   if (total.data != nullptr) {
     const auto* merged = static_cast<const WeightsPayload*>(total.data.get());
     if (app.config.secure_aggregation) {

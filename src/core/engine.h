@@ -9,8 +9,10 @@
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/core/app.h"
@@ -29,6 +31,33 @@ class TotoroEngine {
 
   // Per-node relative compute speeds (heterogeneous devices). Defaults to 1.0 for all.
   void SetSpeedFactors(std::vector<double> factors);
+
+  // Per-node relative link bandwidth (heterogeneous fleet classes). Defaults to 1.0;
+  // surfaced to selectors through ClientInfo::bandwidth_factor so bandwidth-aware
+  // selection (OortLikeSelector::bandwidth_beta) can prefer well-connected devices.
+  void SetBandwidthFactors(std::vector<double> factors);
+
+  // Adversarial hooks, wired from outside the engine (the faultsim layer in tests) so
+  // core never depends on faultsim. Both run on the simulator thread.
+  //
+  // UpdateInterceptor may rewrite a freshly trained update in place just before it is
+  // submitted up the tree: `reference` is the round's broadcast weights, `weights` and
+  // `sample_weight` the trained update. Return value is informational (true = modified).
+  // Skipped for secure-aggregation apps — their updates are already pairwise-masked on
+  // the compute pool, so a post-hoc rewrite would corrupt mask cancellation rather than
+  // model a poisoning client.
+  using UpdateInterceptor = std::function<bool(
+      const NodeId& topic, uint64_t round, size_t node_index,
+      std::span<const float> reference, std::vector<float>& weights,
+      double& sample_weight)>;
+  void SetUpdateInterceptor(UpdateInterceptor fn) { update_interceptor_ = std::move(fn); }
+
+  // SybilProvider is consulted when a broadcast reaches a subscriber that has no
+  // trainer for the app — i.e. a forged membership (sybil join). Filling `weights` and
+  // returning true submits the forged update; returning false submits an empty piece
+  // (the tree barrier must close either way). Same signature as UpdateInterceptor;
+  // `weights` arrives empty.
+  void SetSybilProvider(UpdateInterceptor fn) { sybil_provider_ = std::move(fn); }
 
   // Master failover: every round the master replicates its checkpoint (global weights +
   // round counter) to `checkpoint_replicas` leaf-set neighbors; a periodic watchdog
@@ -149,6 +178,9 @@ class TotoroEngine {
   ComputeModel compute_;
   Rng rng_;
   std::vector<double> speed_factors_;
+  std::vector<double> bandwidth_factors_;
+  UpdateInterceptor update_interceptor_;
+  UpdateInterceptor sybil_provider_;
   // Ordered map: StartAll and WatchdogTick iterate this to schedule rounds, so the walk
   // order feeds event scheduling and must not depend on a hash function.
   std::map<U128, std::unique_ptr<AppRuntime>> apps_;

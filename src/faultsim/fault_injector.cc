@@ -20,6 +20,32 @@ Counter& PartitionDropCounter() {
   return *c;
 }
 
+Counter& PoisonedUpdateCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("faultsim.attack.updates_poisoned");
+  return *c;
+}
+
+Counter& ForgedUpdateCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("faultsim.attack.updates_forged");
+  return *c;
+}
+
+Counter& SybilJoinCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("faultsim.attack.sybils_joined");
+  return *c;
+}
+
+// SplitMix64 finalizer; mixes (seed, host, round) into one independent stream key.
+uint64_t MixSeed(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 // Builds an indexed membership vector from a host list.
 std::vector<uint8_t> BuildMembership(const std::vector<HostId>& hosts, size_t num_hosts) {
   std::vector<uint8_t> member(num_hosts, 0);
@@ -34,7 +60,7 @@ std::vector<uint8_t> BuildMembership(const std::vector<HostId>& hosts, size_t nu
 }  // namespace
 
 FaultInjector::FaultInjector(PastryNetwork* pastry, Forest* forest, uint64_t seed)
-    : pastry_(pastry), forest_(forest), rng_(seed) {
+    : pastry_(pastry), forest_(forest), rng_(seed), attack_seed_(MixSeed(seed)) {
   CHECK(pastry_ != nullptr);
   pastry_->network()->SetFaultFn(
       [this](const Message& msg, FaultAction* action) { return OnMessage(msg, action); });
@@ -149,7 +175,123 @@ void FaultInjector::ApplyNow(const FaultEvent& ev) {
                       perturbs_.end());
       return;
     }
+    case FaultKind::kAttackBegin: {
+      ActiveAttack a;
+      a.id = ev.perturb_id;
+      a.params = ev.attack;
+      a.member = BuildMembership(ev.attack.attackers, net->num_hosts());
+      attacks_.push_back(std::move(a));
+      stats_.attacks_begun += 1;
+      return;
+    }
+    case FaultKind::kAttackEnd: {
+      attacks_.erase(std::remove_if(attacks_.begin(), attacks_.end(),
+                                    [&](const ActiveAttack& a) { return a.id == ev.perturb_id; }),
+                     attacks_.end());
+      return;
+    }
+    case FaultKind::kSybilJoin: {
+      for (HostId h : ev.attack.attackers) {
+        if (h >= net->num_hosts() || !net->IsUp(h)) {
+          continue;
+        }
+        ScribeNode* scribe = ScribeForHost(h);
+        if (scribe == nullptr || scribe->IsSubscriber(ev.topic)) {
+          continue;
+        }
+        // The forged membership goes through the real JOIN protocol — the tree grafts
+        // the sybil exactly like an honest worker would be.
+        scribe->Subscribe(ev.topic);
+        ActiveSybil s;
+        s.topic = ev.topic;
+        s.host = h;
+        s.params = ev.attack;
+        sybils_.push_back(std::move(s));
+        stats_.sybil_joins += 1;
+        SybilJoinCounter().Increment();
+      }
+      return;
+    }
   }
+}
+
+Rng FaultInjector::AttackRng(HostId host, uint64_t round) const {
+  return Rng(attack_seed_ ^ MixSeed(static_cast<uint64_t>(host) * 0x632BE59BD9B4E019ull ^
+                                    round * 0xFF51AFD7ED558CCDull));
+}
+
+void FaultInjector::ApplyAttack(const AttackParams& params,
+                                std::span<const float> reference,
+                                std::vector<float>& weights, double& sample_weight,
+                                Rng& rng) {
+  CHECK_EQ(weights.size(), reference.size());
+  switch (params.kind) {
+    case AttackKind::kSignFlip:
+      for (size_t i = 0; i < weights.size(); ++i) {
+        const double delta =
+            static_cast<double>(weights[i]) - static_cast<double>(reference[i]);
+        weights[i] =
+            static_cast<float>(static_cast<double>(reference[i]) - params.scale * delta);
+      }
+      break;
+    case AttackKind::kGaussianNoise:
+      for (size_t i = 0; i < weights.size(); ++i) {
+        weights[i] = static_cast<float>(static_cast<double>(weights[i]) +
+                                        rng.Gaussian(0.0, params.noise_stddev));
+      }
+      break;
+    case AttackKind::kGradientScale:
+      for (size_t i = 0; i < weights.size(); ++i) {
+        const double delta =
+            static_cast<double>(weights[i]) - static_cast<double>(reference[i]);
+        weights[i] =
+            static_cast<float>(static_cast<double>(reference[i]) + params.scale * delta);
+      }
+      break;
+  }
+  if (params.claimed_weight > 0.0) {
+    sample_weight = params.claimed_weight;
+  }
+}
+
+bool FaultInjector::PoisonUpdate(uint64_t round, HostId host,
+                                 std::span<const float> reference,
+                                 std::vector<float>& weights, double& sample_weight) {
+  bool poisoned = false;
+  for (const ActiveAttack& a : attacks_) {
+    if (host >= a.member.size() || !a.member[host]) {
+      continue;
+    }
+    Rng derived = AttackRng(host, round);
+    ApplyAttack(a.params, reference, weights, sample_weight, derived);
+    poisoned = true;
+  }
+  if (poisoned) {
+    stats_.poisoned_updates += 1;
+    PoisonedUpdateCounter().Increment();
+  }
+  return poisoned;
+}
+
+bool FaultInjector::ForgeSybilUpdate(const NodeId& topic, uint64_t round, HostId host,
+                                     std::span<const float> reference,
+                                     std::vector<float>& weights,
+                                     double& sample_weight) {
+  for (const ActiveSybil& s : sybils_) {
+    if (s.host != host || !(s.topic == topic)) {
+      continue;
+    }
+    // A sybil's "honest" update is the reference itself; the attack params shape the
+    // forged payload from there.
+    weights.assign(reference.begin(), reference.end());
+    sample_weight = 1.0;
+    Rng derived = AttackRng(host, round);
+    ApplyAttack(s.params, reference, weights, sample_weight, derived);
+    stats_.forged_updates += 1;
+    ForgedUpdateCounter().Increment();
+    return true;
+  }
+  return false;
 }
 
 bool FaultInjector::Reachable(HostId a, HostId b) const {

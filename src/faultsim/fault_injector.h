@@ -12,6 +12,7 @@
 #define SRC_FAULTSIM_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/faultsim/fault_script.h"
@@ -31,6 +32,10 @@ class FaultInjector {
     uint64_t perturb_drops = 0;    // Messages dropped by a probabilistic rule.
     uint64_t duplicates = 0;       // Extra copies injected.
     uint64_t delay_spikes = 0;     // Messages given a delay spike.
+    uint64_t attacks_begun = 0;    // Attack windows activated.
+    uint64_t sybil_joins = 0;      // Forged memberships injected.
+    uint64_t poisoned_updates = 0; // Honest updates rewritten by an attacker rule.
+    uint64_t forged_updates = 0;   // Sybil updates fabricated from the reference.
   };
 
   // `forest` may be null when only DHT-level scenarios run (graceful leaves then skip
@@ -48,6 +53,23 @@ class FaultInjector {
 
   // Applies one event immediately (tests drive single faults without a timeline).
   void ApplyNow(const FaultEvent& event);
+
+  // Byzantine attacker roles. These are plugged into the engine's generic adversary
+  // hooks by the test harness (TotoroEngine::SetUpdateInterceptor / SetSybilProvider);
+  // the engine never depends on faultsim.
+  //
+  // Rewrites (`weights`, `sample_weight`) in place per every attack rule active for
+  // `host` right now. `reference` is the round's broadcast weights. Returns true when
+  // any rule applied. Noise draws come from an Rng derived from (seed, host, round),
+  // so poisoning is independent of submission order and thread count.
+  bool PoisonUpdate(uint64_t round, HostId host, std::span<const float> reference,
+                    std::vector<float>& weights, double& sample_weight);
+  // Fabricates a forged update for a sybil membership of `topic`: starts from the
+  // reference and applies the sybil's AttackParams. Returns false when `host` is not a
+  // registered sybil for `topic` (the caller then submits an empty piece).
+  bool ForgeSybilUpdate(const NodeId& topic, uint64_t round, HostId host,
+                        std::span<const float> reference, std::vector<float>& weights,
+                        double& sample_weight);
 
   // True when no active partition separates hosts a and b.
   bool Reachable(HostId a, HostId b) const;
@@ -67,6 +89,22 @@ class FaultInjector {
     std::vector<uint8_t> in_a;  // Prebuilt membership; empty => wildcard side.
     std::vector<uint8_t> in_b;
   };
+  struct ActiveAttack {
+    uint64_t id = 0;
+    AttackParams params;
+    std::vector<uint8_t> member;  // Indexed by HostId.
+  };
+  struct ActiveSybil {
+    NodeId topic;
+    HostId host = kInvalidHost;
+    AttackParams params;
+  };
+
+  // Applies `params` to (weights, sample_weight) with noise from `rng`.
+  void ApplyAttack(const AttackParams& params, std::span<const float> reference,
+                   std::vector<float>& weights, double& sample_weight, Rng& rng);
+  // Derived generator for one (host, round) poisoning decision.
+  Rng AttackRng(HostId host, uint64_t round) const;
 
   bool OnMessage(const Message& msg, FaultAction* action);
   bool PerturbMatches(const ActivePerturb& p, const Message& msg) const;
@@ -77,8 +115,13 @@ class FaultInjector {
   PastryNetwork* pastry_;
   Forest* forest_;  // Nullable.
   Rng rng_;
+  // Fixed at construction (before rng_ serves message faults) so attack noise derives
+  // from the seed alone, never from how many messages the run happened to perturb.
+  uint64_t attack_seed_ = 0;
   std::vector<ActivePartition> partitions_;
   std::vector<ActivePerturb> perturbs_;
+  std::vector<ActiveAttack> attacks_;
+  std::vector<ActiveSybil> sybils_;
   Stats stats_;
   SimTime last_fault_ms_ = 0.0;
 };

@@ -1,6 +1,7 @@
 #include "src/faultsim/fault_script.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/check.h"
 
@@ -22,6 +23,24 @@ const char* FaultKindName(FaultKind kind) {
       return "perturb_begin";
     case FaultKind::kPerturbEnd:
       return "perturb_end";
+    case FaultKind::kAttackBegin:
+      return "attack_begin";
+    case FaultKind::kAttackEnd:
+      return "attack_end";
+    case FaultKind::kSybilJoin:
+      return "sybil_join";
+  }
+  return "unknown";
+}
+
+const char* AttackKindName(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kSignFlip:
+      return "sign_flip";
+    case AttackKind::kGaussianNoise:
+      return "gaussian_noise";
+    case AttackKind::kGradientScale:
+      return "gradient_scale";
   }
   return "unknown";
 }
@@ -105,6 +124,65 @@ FaultScript& FaultScript::FlapLinkAt(SimTime at, HostId a, HostId b, double burs
     PerturbLinksAt(t, burst_ms, rule);
     t += burst_ms + gap_ms;
   }
+  return *this;
+}
+
+FaultScript& FaultScript::AttackAt(SimTime at, double duration_ms, AttackParams params) {
+  CHECK_GT(duration_ms, 0.0);
+  CHECK(!params.attackers.empty());
+  const uint64_t id = next_perturb_id_++;
+  FaultEvent begin;
+  begin.at = at;
+  begin.kind = FaultKind::kAttackBegin;
+  begin.attack = std::move(params);
+  begin.perturb_id = id;
+  events_.push_back(std::move(begin));
+  FaultEvent end;
+  end.at = at + duration_ms;
+  end.kind = FaultKind::kAttackEnd;
+  end.perturb_id = id;
+  events_.push_back(std::move(end));
+  return *this;
+}
+
+FaultScript& FaultScript::SignFlipAt(SimTime at, double duration_ms,
+                                     std::vector<HostId> attackers, double scale) {
+  AttackParams params;
+  params.kind = AttackKind::kSignFlip;
+  params.attackers = std::move(attackers);
+  params.scale = scale;
+  return AttackAt(at, duration_ms, std::move(params));
+}
+
+FaultScript& FaultScript::GaussianNoiseAt(SimTime at, double duration_ms,
+                                          std::vector<HostId> attackers, double stddev) {
+  CHECK_GT(stddev, 0.0);
+  AttackParams params;
+  params.kind = AttackKind::kGaussianNoise;
+  params.attackers = std::move(attackers);
+  params.noise_stddev = stddev;
+  return AttackAt(at, duration_ms, std::move(params));
+}
+
+FaultScript& FaultScript::GradientScaleAt(SimTime at, double duration_ms,
+                                          std::vector<HostId> attackers, double scale) {
+  AttackParams params;
+  params.kind = AttackKind::kGradientScale;
+  params.attackers = std::move(attackers);
+  params.scale = scale;
+  return AttackAt(at, duration_ms, std::move(params));
+}
+
+FaultScript& FaultScript::SybilJoinAt(SimTime at, const NodeId& topic,
+                                      std::vector<HostId> sybils, AttackParams params) {
+  CHECK(!sybils.empty());
+  FaultEvent ev;
+  ev.at = at;
+  ev.kind = FaultKind::kSybilJoin;
+  ev.topic = topic;
+  ev.attack = std::move(params);
+  ev.attack.attackers = std::move(sybils);
+  events_.push_back(std::move(ev));
   return *this;
 }
 
@@ -205,6 +283,69 @@ FaultScript GenerateRandomFaultScript(Rng& rng, size_t num_hosts, double duratio
     const double length = rng.Uniform(duration_ms * 0.03, duration_ms * 0.15);
     script.PerturbLinksAt(start, std::min(length, fault_hi - start + 1.0),
                           std::move(rule));
+  }
+  return script;
+}
+
+FaultScript GenerateDiurnalChurnScript(Rng& rng, size_t num_hosts, double duration_ms,
+                                       const DiurnalChurnOptions& opts) {
+  CHECK_GT(num_hosts, 2u);
+  CHECK_GT(duration_ms, 0.0);
+  CHECK_GT(opts.slot_ms, 0.0);
+  CHECK_GT(opts.period_ms, 0.0);
+  CHECK_GE(opts.regions, 1u);
+  CHECK_GE(opts.peak_churn_prob, opts.base_churn_prob);
+  CHECK_GE(opts.max_down_ms, opts.min_down_ms);
+  FaultScript script;
+  const double churn_lo = duration_ms * 0.05;
+  const double churn_hi = duration_ms * 0.9;
+  const size_t regions = std::min(opts.regions, num_hosts);
+  const size_t down_cap = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(num_hosts) *
+                             opts.max_concurrent_down_fraction));
+
+  auto is_protected = [&](HostId h) {
+    return std::find(opts.protected_hosts.begin(), opts.protected_hosts.end(), h) !=
+           opts.protected_hosts.end();
+  };
+  // EUA-style metro regions are contiguous id blocks (the topology assigns ids per
+  // region); region r covers hosts [r * num_hosts / regions, (r+1) * num_hosts / regions).
+  auto region_of = [&](HostId h) {
+    return static_cast<size_t>(h) * regions / num_hosts;
+  };
+
+  // Virtual time (ms) each host stays down until; 0 = up. Slot-major, host-minor walk
+  // keeps RNG consumption a pure function of the seed.
+  std::vector<double> down_until(num_hosts, 0.0);
+  size_t down_now = 0;
+  constexpr double kTwoPi = 6.283185307179586;
+  for (double t = churn_lo; t < churn_hi; t += opts.slot_ms) {
+    for (HostId h = 0; h < static_cast<HostId>(num_hosts); ++h) {
+      if (down_until[h] > 0.0 && down_until[h] <= t) {
+        down_until[h] = 0.0;
+        down_now -= 1;
+      }
+      if (down_until[h] > 0.0 || is_protected(h) || down_now >= down_cap) {
+        continue;
+      }
+      // Sinusoidal intensity with a per-region phase offset: region r peaks
+      // (r / regions) of a period after region 0.
+      const double phase =
+          kTwoPi * (t / opts.period_ms -
+                    static_cast<double>(region_of(h)) / static_cast<double>(regions));
+      const double wave = 0.5 * (1.0 + std::sin(phase));
+      const double p =
+          opts.base_churn_prob + (opts.peak_churn_prob - opts.base_churn_prob) * wave;
+      if (!rng.Bernoulli(p)) {
+        continue;
+      }
+      const double down_for = rng.Uniform(opts.min_down_ms, opts.max_down_ms);
+      const double up_at = std::min(t + down_for, churn_hi);
+      script.CrashAt(t, h);
+      script.RejoinAt(up_at, h);
+      down_until[h] = up_at;
+      down_now += 1;
+    }
   }
   return script;
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/dht/node_id.h"
 #include "src/sim/message.h"
 #include "src/sim/simulator.h"
 
@@ -45,9 +46,37 @@ enum class FaultKind {
   kRejoin,         // Same-id host comes back and re-joins via the protocol.
   kPerturbBegin,   // Activate a probabilistic link perturbation rule.
   kPerturbEnd,     // Deactivate it (matched by perturb_id).
+  kAttackBegin,    // Activate a Byzantine update-poisoning rule on attacker hosts.
+  kAttackEnd,      // Deactivate it (matched by perturb_id).
+  kSybilJoin,      // Forged memberships: hosts subscribe to a topic they never train.
 };
 
 const char* FaultKindName(FaultKind kind);
+
+// How an active attacker rewrites its freshly trained update. `ref` is the round's
+// broadcast global weights, `w` the honest local result.
+enum class AttackKind {
+  kSignFlip,       // w := ref - scale * (w - ref): invert (and amplify) the delta.
+  kGaussianNoise,  // w := w + N(0, stddev) per coordinate.
+  kGradientScale,  // w := ref + scale * (w - ref): amplify the delta.
+};
+
+const char* AttackKindName(AttackKind kind);
+
+// A Byzantine attacker rule. While active, every update submitted by a host in
+// `attackers` is rewritten via `kind`; sybil joins forge an update from the reference
+// alone (their "honest" w is the reference itself, so kGaussianNoise is the natural
+// sybil payload). Noise draws derive from (injector seed, host, round), never from
+// arrival order, so attacked runs stay bit-identical per seed at any thread count.
+struct AttackParams {
+  AttackKind kind = AttackKind::kSignFlip;
+  std::vector<HostId> attackers;
+  double scale = 1.0;          // kSignFlip / kGradientScale amplification.
+  double noise_stddev = 0.0;   // kGaussianNoise sigma.
+  // > 0: the attacker also lies about its sample weight (weight-inflation component);
+  // 0 keeps the honest weight. Robust rules ignore claimed weights for this reason.
+  double claimed_weight = 0.0;
+};
 
 // A probabilistic per-message rule applied while active. A message matches when its
 // traffic class is selected by `class_mask` (0 = all classes) and its endpoints match:
@@ -72,7 +101,11 @@ struct FaultEvent {
   std::vector<HostId> group_b;  // kPartition.
   HostId host = kInvalidHost;   // kCrash / kGracefulLeave / kRejoin.
   LinkPerturbation perturb;     // kPerturbBegin.
-  uint64_t perturb_id = 0;      // Matches kPerturbBegin with its kPerturbEnd.
+  // Matches kPerturbBegin with its kPerturbEnd and kAttackBegin with its kAttackEnd
+  // (one id space for both rule families).
+  uint64_t perturb_id = 0;
+  AttackParams attack;          // kAttackBegin / kSybilJoin.
+  NodeId topic;                 // kSybilJoin: the application tree being infiltrated.
 };
 
 class FaultScript {
@@ -91,6 +124,25 @@ class FaultScript {
   // `burst_ms` long, separated by `gap_ms` of clean link.
   FaultScript& FlapLinkAt(SimTime at, HostId a, HostId b, double burst_ms, double gap_ms,
                           int bursts);
+
+  // Byzantine attacker windows (each active for `duration_ms` virtual ms).
+  // Sign-flip model poisoning: attackers submit ref - scale * (w - ref).
+  FaultScript& SignFlipAt(SimTime at, double duration_ms, std::vector<HostId> attackers,
+                          double scale = 1.0);
+  // Additive gaussian-noise poisoning: attackers submit w + N(0, stddev).
+  FaultScript& GaussianNoiseAt(SimTime at, double duration_ms,
+                               std::vector<HostId> attackers, double stddev);
+  // Gradient-scaling attack: attackers submit ref + scale * (w - ref).
+  FaultScript& GradientScaleAt(SimTime at, double duration_ms,
+                               std::vector<HostId> attackers, double scale);
+  // Generic attacker window (full AttackParams control).
+  FaultScript& AttackAt(SimTime at, double duration_ms, AttackParams params);
+  // Sybil burst: `sybils` subscribe to `topic` without ever holding training data and,
+  // from `at` on, submit forged updates built from the broadcast reference per `params`
+  // (a sybil's "honest" update is the reference itself, so kGaussianNoise + optional
+  // claimed_weight is the natural payload). Membership persists for the rest of the run.
+  FaultScript& SybilJoinAt(SimTime at, const NodeId& topic, std::vector<HostId> sybils,
+                           AttackParams params);
 
   // Events in insertion order. The injector schedules them through the event queue,
   // which fires equal-time events FIFO, so insertion order is execution order for ties.
@@ -124,6 +176,30 @@ struct RandomScriptOptions {
 // `rng`; two generators seeded identically produce identical scripts.
 FaultScript GenerateRandomFaultScript(Rng& rng, size_t num_hosts, double duration_ms,
                                       const RandomScriptOptions& opts = {});
+
+// Trace-driven diurnal churn over the EUA topology: hosts are grouped into `regions`
+// contiguous blocks (matching how the EUA dataset clusters edge servers by metro
+// region) and each region's crash intensity follows a sinusoidal day/night curve with
+// a region-specific phase offset — churn waves sweep across regions the way timezones
+// sweep across a fleet. Discretized into `slot_ms` slots; within a slot the generator
+// walks regions then hosts in index order, so RNG consumption (and thus the script) is
+// a pure function of the seed.
+struct DiurnalChurnOptions {
+  double period_ms = 20000.0;    // One simulated "day".
+  double slot_ms = 500.0;        // Intensity discretization step.
+  size_t regions = 4;            // Contiguous host blocks with phase-shifted curves.
+  double base_churn_prob = 0.002;  // Per-host per-slot crash probability at the trough.
+  double peak_churn_prob = 0.05;   // ... and at the peak of the region's curve.
+  double min_down_ms = 800.0;    // Outage duration range (uniform).
+  double max_down_ms = 3000.0;
+  double max_concurrent_down_fraction = 0.25;  // Cap on simultaneously dead hosts.
+  std::vector<HostId> protected_hosts;
+};
+
+// Every crash is paired with a rejoin and all events land in [5%, 90%] of the run, so
+// invariant checks (post-heal convergence) stay meaningful. Deterministic in `rng`.
+FaultScript GenerateDiurnalChurnScript(Rng& rng, size_t num_hosts, double duration_ms,
+                                       const DiurnalChurnOptions& opts = {});
 
 }  // namespace totoro
 

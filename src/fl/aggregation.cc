@@ -55,4 +55,43 @@ CombineFn MakeFedAvgCombiner() {
   };
 }
 
+CombineFn MakeCollectCombiner() {
+  return [](const std::vector<AggregationPiece>& pieces) {
+    CHECK(!pieces.empty());
+    double total_weight = 0.0;
+    uint64_t total_count = 0;
+    auto merged = std::make_shared<UpdateListPayload>();
+    for (const auto& p : pieces) {
+      if (p.data == nullptr) {
+        CHECK_EQ(p.weight, 0.0);
+        continue;
+      }
+      const auto* payload = static_cast<const UpdateListPayload*>(p.data.get());
+      CHECK_EQ(payload->ids.size(), payload->updates.size());
+      for (size_t i = 0; i < payload->ids.size(); ++i) {
+        // Insert keeping the id order; contributions arrive a handful at a time, so the
+        // linear insertion stays cheap and the merged list is arrival-order independent.
+        const uint64_t id = payload->ids[i];
+        size_t pos = merged->ids.size();
+        while (pos > 0 && merged->ids[pos - 1] > id) {
+          --pos;
+        }
+        CHECK(pos == 0 || merged->ids[pos - 1] != id);  // No double submission.
+        merged->ids.insert(merged->ids.begin() + static_cast<ptrdiff_t>(pos), id);
+        merged->updates.insert(merged->updates.begin() + static_cast<ptrdiff_t>(pos),
+                               payload->updates[i]);
+      }
+      total_weight += p.weight;
+      total_count += p.count;
+    }
+    AggregationPiece out;
+    if (!merged->ids.empty()) {
+      out.data = std::move(merged);
+    }
+    out.weight = total_weight;
+    out.count = total_count;
+    return out;
+  };
+}
+
 }  // namespace totoro

@@ -7,19 +7,15 @@
 #ifndef SRC_FL_AGGREGATION_H_
 #define SRC_FL_AGGREGATION_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "src/fl/robust.h"
 #include "src/pubsub/scribe_node.h"
 
 namespace totoro {
-
-// A (weights, sample-count) contribution.
-struct WeightedUpdate {
-  std::vector<float> weights;
-  double sample_weight = 1.0;
-};
 
 // Sample-weighted average of updates; all vectors must agree in dimension.
 std::vector<float> FederatedAverage(const std::vector<WeightedUpdate>& updates);
@@ -37,6 +33,22 @@ struct WeightsPayload {
 // application-supplied aggregation function of the Totoro API (§4.3: "owners can specify
 // different aggregation functions in their trees").
 CombineFn MakeFedAvgCombiner();
+
+// The payload carried through pub/sub trees when a *non-associative* robust rule
+// (src/fl/robust.h) is active: interior nodes cannot fold a median hop by hop, so they
+// concatenate the individual contributions instead and the root applies the reduction
+// once over the full list. `ids` and `updates` are parallel arrays kept sorted by id,
+// which makes the merged list independent of arrival order (permutation invariance).
+struct UpdateListPayload {
+  std::vector<uint64_t> ids;
+  std::vector<WeightedUpdate> updates;
+};
+
+// CombineFn that merges UpdateListPayload pieces by id-sorted concatenation. Installed
+// per topic (ScribeNode::SetCombineFnForTopic) exactly like the secure-sum combiner.
+// Null-data pieces (unselected workers' acks) are skipped. Duplicate ids are rejected
+// with a CHECK — the closed-round guards upstream must prevent double submission.
+CombineFn MakeCollectCombiner();
 
 }  // namespace totoro
 

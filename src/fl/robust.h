@@ -1,0 +1,82 @@
+// Byzantine-robust aggregation rules (the defenses next to secure-agg).
+//
+// Plain FedAvg is a sample-weighted mean, so a single adversarial contributor with a
+// large (or sign-flipped, or noise-injected) update can move the global model
+// arbitrarily far. The three classical defenses here bound that influence:
+//
+//  - Coordinate-median: per coordinate, take the median of the contributors' values.
+//    Breaks down only past 50% attackers. Claimed sample weights are deliberately
+//    ignored — an attacker lies about them for free.
+//  - Trimmed-mean: per coordinate, sort the values, drop the `trim_fraction` extremes
+//    on each side, average the rest. Robust to f < trim_fraction attackers.
+//  - Norm-clipping: clip each contributor's *delta from the previous global weights*
+//    to an L2 budget (by default the median of the round's delta norms — itself
+//    robust), then sample-weighted FedAvg of the clipped updates. Removes the
+//    amplification of gradient-scaling attacks while preserving FedAvg exactly when
+//    nothing exceeds the clip.
+//
+// None of these rules is associative, so unlike FedAvg they cannot be folded hop by
+// hop inside the aggregation tree: interior nodes instead *concatenate* individual
+// updates (MakeCollectCombiner in aggregation.h) and the root applies one of these
+// reductions to the full list. All three are permutation-invariant in the contributor
+// order and deterministic (ties resolved by value ordering after an id-sorted merge),
+// so runs stay bit-identical per seed at any thread count.
+#ifndef SRC_FL_ROBUST_H_
+#define SRC_FL_ROBUST_H_
+
+#include <span>
+#include <vector>
+
+namespace totoro {
+
+// A (weights, sample-count) contribution.
+struct WeightedUpdate {
+  std::vector<float> weights;
+  double sample_weight = 1.0;
+};
+
+enum class RobustAggregation {
+  kNone,              // Plain FedAvg (no defense).
+  kCoordinateMedian,  // Per-coordinate median, sample weights ignored.
+  kTrimmedMean,       // Per-coordinate mean after symmetric trimming.
+  kNormClip,          // Per-update L2 delta clipping, then weighted FedAvg.
+};
+
+const char* RobustAggregationName(RobustAggregation rule);
+
+// Per-application defense selection (FlAppConfig::robust).
+struct RobustConfig {
+  RobustAggregation rule = RobustAggregation::kNone;
+  // kTrimmedMean: fraction of contributors trimmed from EACH side per coordinate
+  // (floor(trim_fraction * n) values). Must be < 0.5; coordinates with nothing left
+  // after trimming fall back to the untrimmed mean.
+  double trim_fraction = 0.2;
+  // kNormClip: L2 budget for each update's delta from the reference weights.
+  // 0 = auto (median of the round's delta norms).
+  double clip_norm = 0.0;
+};
+
+// True when every element of `weights` is finite. The engine drops non-finite updates
+// before any reduction (a NaN in a single coordinate would otherwise poison sorts and
+// means alike).
+bool AllFinite(std::span<const float> weights);
+
+// Per-coordinate median of the updates' weights; for an even count the midpoint of the
+// two central values. Sample weights are ignored (see header comment). All updates
+// must share a dimension; `updates` must be non-empty and finite.
+std::vector<float> CoordinateMedian(const std::vector<WeightedUpdate>& updates);
+
+// Per-coordinate mean after dropping floor(trim_fraction * n) values from each side.
+std::vector<float> TrimmedMean(const std::vector<WeightedUpdate>& updates,
+                               double trim_fraction);
+
+// Clips each update's delta from `reference` to L2 norm <= clip_norm (0 = median of
+// delta norms), then returns the sample-weighted FedAvg of the clipped updates.
+// `clipped_out` (optional) receives how many updates were actually clipped.
+std::vector<float> NormClippedMean(const std::vector<WeightedUpdate>& updates,
+                                   std::span<const float> reference, double clip_norm,
+                                   size_t* clipped_out = nullptr);
+
+}  // namespace totoro
+
+#endif  // SRC_FL_ROBUST_H_

@@ -19,8 +19,39 @@ std::vector<size_t> RandomSelector::Select(const std::vector<ClientInfo>& client
   return indices;
 }
 
-OortLikeSelector::OortLikeSelector(double exploration_fraction, double speed_alpha)
-    : exploration_fraction_(exploration_fraction), speed_alpha_(speed_alpha) {
+std::span<const DeviceClass> DefaultDeviceClasses() {
+  // Fractions sum to 1; ordered rich-to-poor so class index doubles as a tier rank.
+  static constexpr DeviceClass kClasses[] = {
+      {"edge_server", 4.0, 4.0, 0.10},
+      {"laptop", 2.0, 2.0, 0.25},
+      {"phone", 1.0, 1.0, 0.45},
+      {"sensor", 0.25, 0.25, 0.20},
+  };
+  return {kClasses, sizeof(kClasses) / sizeof(kClasses[0])};
+}
+
+std::vector<size_t> AssignDeviceClasses(size_t count,
+                                        std::span<const DeviceClass> classes,
+                                        uint64_t seed) {
+  CHECK(!classes.empty());
+  std::vector<double> fractions;
+  fractions.reserve(classes.size());
+  for (const DeviceClass& c : classes) {
+    CHECK_GT(c.fleet_fraction, 0.0);
+    fractions.push_back(c.fleet_fraction);
+  }
+  Rng rng(seed);
+  std::vector<size_t> assignment(count);
+  for (size_t i = 0; i < count; ++i) {
+    assignment[i] = rng.WeightedIndex(fractions);
+  }
+  return assignment;
+}
+
+OortLikeSelector::OortLikeSelector(double exploration_fraction, double speed_alpha,
+                                   double bandwidth_beta)
+    : exploration_fraction_(exploration_fraction), speed_alpha_(speed_alpha),
+      bandwidth_beta_(bandwidth_beta) {
   CHECK_GE(exploration_fraction_, 0.0);
   CHECK_LE(exploration_fraction_, 1.0);
 }
@@ -36,10 +67,14 @@ std::vector<size_t> OortLikeSelector::Select(const std::vector<ClientInfo>& clie
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = i;
   }
+  // bandwidth^0 == 1.0 exactly, so the default beta reproduces the compute-only
+  // utility bit-for-bit (existing golden runs must not move).
+  const auto utility = [&](size_t i) {
+    return clients[i].last_loss * std::pow(clients[i].speed_factor, speed_alpha_) *
+           std::pow(clients[i].bandwidth_factor, bandwidth_beta_);
+  };
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    const double ua = clients[a].last_loss * std::pow(clients[a].speed_factor, speed_alpha_);
-    const double ub = clients[b].last_loss * std::pow(clients[b].speed_factor, speed_alpha_);
-    return ua > ub;
+    return utility(a) > utility(b);
   });
   std::vector<size_t> chosen;
   std::vector<bool> taken(clients.size(), false);

@@ -8,6 +8,8 @@
 #include "src/core/engine.h"
 #include "src/faultsim/fault_injector.h"
 #include "src/faultsim/fault_script.h"
+#include "src/faultsim/invariant_checker.h"
+#include "src/obs/metrics_registry.h"
 #include "src/pubsub/forest.h"
 
 namespace totoro {
@@ -276,6 +278,78 @@ TEST(FaultInjectionTest, SimultaneousRootAndChildFailureRecovers) {
   EXPECT_EQ(world.forest->scribe(new_root).pastry().id(),
             world.pastry->ClosestLiveNode(topic)->id());
   EXPECT_TRUE(world.forest->IsFullyConnected(topic));
+}
+
+TEST(FaultInjectionTest, AttackerCrashMidRoundUnderSecureAggDropoutCorrects) {
+  // A scripted attacker host crashes mid-round inside a secure-aggregation app. Two
+  // things must hold: the poisoning interceptor never fires (rewriting a pairwise-
+  // masked update would corrupt mask cancellation, so the engine skips it for secure
+  // apps), and the root's dropout correction absorbs the dead cohort member without
+  // double-counting — audited by the invariant checker on every root aggregate.
+  GlobalMetrics().ResetValues();
+  ScribeConfig scribe_config;
+  scribe_config.enable_tree_repair = true;
+  scribe_config.parent_heartbeat_ms = 50.0;
+  scribe_config.parent_timeout_ms = 170.0;
+  scribe_config.aggregation_timeout_ms = 400.0;
+  FaultWorld world(60, scribe_config);
+  SyntheticSpec spec;
+  spec.dim = 16;
+  spec.num_classes = 4;
+  spec.seed = 980;
+  SyntheticTask task(spec);
+  Rng data_rng(981);
+  FlAppConfig config;
+  config.name = "secure-under-attack";
+  config.model_factory = [](uint64_t s) { return MakeSoftmaxRegression("sr", 16, 4, s); };
+  config.train.learning_rate = 0.1f;
+  config.target_accuracy = 2.0;
+  config.max_rounds = 8;
+  config.secure_aggregation = true;
+  std::vector<size_t> nodes;
+  std::vector<Dataset> shards;
+  for (size_t i = 0; i < 12; ++i) {
+    nodes.push_back(i);
+    shards.push_back(task.Generate(80, data_rng));
+  }
+  const NodeId topic =
+      world.engine->LaunchApp(config, nodes, std::move(shards), task.Generate(200, data_rng));
+
+  FaultInjector injector(world.pastry.get(), world.forest.get(), 982);
+  world.engine->SetUpdateInterceptor(
+      [&](const NodeId&, uint64_t round, size_t node_index, std::span<const float> reference,
+          std::vector<float>& weights, double& sample_weight) {
+        return injector.PoisonUpdate(round, world.forest->scribe(node_index).host(),
+                                     reference, weights, sample_weight);
+      });
+  const HostId attacker = world.forest->scribe(3).host();
+  FaultScript script;
+  script.SignFlipAt(0.0, 1e9, {attacker}, 4.0);
+  // Rounds on this substrate take ~30 virtual ms; 100 ms lands mid-training with the
+  // attacker's submission for the current round potentially already in flight.
+  script.CrashAt(100.0, attacker);
+  injector.Schedule(script);
+
+  InvariantChecker checker(world.pastry.get(), world.forest.get());
+  checker.WatchTopic(topic);
+  checker.SetFaultInjector(&injector);
+  checker.Start();
+
+  world.forest->StartMaintenance();
+  world.engine->StartAll();
+  ASSERT_TRUE(world.engine->RunToCompletion(1e8));
+  checker.Stop();
+  const auto& result = world.engine->result(topic);
+  EXPECT_EQ(result.rounds_completed, 8u);
+  EXPECT_GT(result.final_accuracy, 0.5);
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  // Secure apps bypass the interceptor entirely.
+  EXPECT_EQ(injector.stats().poisoned_updates, 0u);
+  // The crashed cohort member was corrected out at the root at least once.
+  EXPECT_GT(GlobalMetrics().GetCounter("engine.secure.dropout_corrections").value(), 0u);
+  for (const InvariantViolation& v : checker.violations()) {
+    ADD_FAILURE() << v.invariant << " at " << v.at << ": " << v.detail;
+  }
 }
 
 TEST(FaultInjectionTest, ConcurrentAppsIsolateFaults) {
