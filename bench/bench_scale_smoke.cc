@@ -5,28 +5,43 @@
 // at the O(log_{2^b} N) bound; the printed throughput is the number EXPERIMENTS.md
 // tracks for the simulator hot path at scale.
 //
+// Engine selection: TOTORO_SIM_SHARDS=1 (default) runs the single-queue engine;
+// K > 1 runs the identical workload on K shards behind the conservative barrier.
+// Routes launch in staggered groups so thousands of lookups are in flight at once —
+// that in-flight concurrency is what the sharded engine spreads across workers — and
+// the route_stats fingerprint (delivered / hops / events) is the same for every K,
+// so CI gates the K=1 and K=4 runs against the SAME committed baseline.
+//
 // Usage: bench_scale_smoke [nodes] [routes]   (defaults: 100000 nodes, 20000 routes)
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/obs/export.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/profiler.h"
+#include "src/sim/sharded_sim.h"
 
 namespace totoro {
 namespace {
 
 int Run(size_t nodes, size_t routes) {
-  std::printf("building %zu-node overlay (oracle construction)...\n", nodes);
+  std::unique_ptr<Simulator> sim = MakeSimulatorFromEnv();
+  const size_t shards = sim->num_shards();
+  std::printf("building %zu-node overlay (oracle construction, %zu shard%s)...\n", nodes,
+              shards, shards == 1 ? "" : "s");
   bench::Stack stack(nodes, 20240807, PastryConfig{}, ScribeConfig{},
-                     /*model_bandwidth=*/false);
-  stack.sim.ReserveEvents(4096);
+                     /*model_bandwidth=*/false, /*latency_lo=*/2.0, /*latency_hi=*/40.0,
+                     std::move(sim));
+  stack.sim.ReserveEvents(1 << 16);
   // Live throughput: update the events/sec gauge from inside the run (sliding window)
   // instead of only as a final average. This makes the gauge wall-clock dependent, so
   // the determinism fingerprint below hashes routing results, never the registry.
-  // 8192 keeps even the CI-sized run (20k nodes / 5k routes ~= 17k events) sampling
-  // a few windows while adding nothing measurable to the 100k-node hot path.
+  // The sharded engine ignores periodic sampling; the gauge then only carries the
+  // whole-run average published at the end.
   stack.sim.EnablePeriodicSampling(8192);
   // Per-host work hook for TOTORO_PROFILE runs: the periodic sampler drives this on
   // the same deterministic trigger as the queue-depth series, so the profile shows
@@ -35,29 +50,58 @@ int Run(size_t nodes, size_t routes) {
     return stack.net->metrics().TotalWork(WorkKind::kDhtTask);
   });
 
-  uint64_t delivered = 0;
-  uint64_t total_hops = 0;
+  // Deliveries land on whichever shard owns the target host; relaxed atomics keep the
+  // sums exact — and deterministic, since addition commutes — at every K.
+  std::atomic<uint64_t> delivered{0};
+  std::atomic<uint64_t> total_hops{0};
   for (size_t i = 0; i < stack.pastry->size(); ++i) {
     stack.pastry->node(i).SetDeliverHandler(
         1200, [&delivered, &total_hops](const NodeId&, const Message&, int hops) {
-          ++delivered;
-          total_hops += static_cast<uint64_t>(hops);
+          delivered.fetch_add(1, std::memory_order_relaxed);
+          total_hops.fetch_add(static_cast<uint64_t>(hops), std::memory_order_relaxed);
         });
   }
 
+  // Pre-plan every route (launch time, source, target) from the seeded Rng so the
+  // schedule is one deterministic artifact shared by every engine and shard count.
+  // Groups of 256 launch 5 virtual ms apart: with ~2-40ms hop latencies, several
+  // groups' worth of lookups overlap in flight by mid-run.
+  struct PlannedRoute {
+    double at = 0.0;
+    size_t src = 0;
+    NodeId target;
+  };
   Rng rng(20240808);
+  std::vector<PlannedRoute> plan;
+  plan.reserve(routes);
   for (size_t r = 0; r < routes; ++r) {
-    Message m;
-    m.type = 1200;
-    stack.pastry->node(rng.NextBelow(stack.pastry->size()))
-        .Route(RandomNodeId(rng), std::move(m));
-    stack.sim.Run();
+    PlannedRoute pr;
+    pr.at = static_cast<double>(r / 256) * 5.0;
+    pr.src = rng.NextBelow(stack.pastry->size());
+    pr.target = RandomNodeId(rng);
+    plan.push_back(pr);
   }
+  for (const PlannedRoute& pr : plan) {
+    stack.sim.ScheduleAt(pr.at, [&stack, pr]() {
+      // Launch with the source as the scheduling identity so the lookup's hop chain
+      // carries canonical per-host event keys under the sharded engine.
+      stack.sim.RunAsHost(stack.pastry->node(pr.src).host(), [&stack, &pr] {
+        Message m;
+        m.type = 1200;
+        stack.pastry->node(pr.src).Route(pr.target, std::move(m));
+      });
+    });
+  }
+  stack.sim.Run();
 
-  const double mean_hops =
-      delivered == 0 ? 0.0 : static_cast<double>(total_hops) / static_cast<double>(delivered);
+  const uint64_t delivered_total = delivered.load();
+  const uint64_t hops_total = total_hops.load();
+  const double mean_hops = delivered_total == 0 ? 0.0
+                                                : static_cast<double>(hops_total) /
+                                                      static_cast<double>(delivered_total);
   std::printf("routes issued:      %zu\n", routes);
-  std::printf("routes delivered:   %llu\n", static_cast<unsigned long long>(delivered));
+  std::printf("routes delivered:   %llu\n",
+              static_cast<unsigned long long>(delivered_total));
   std::printf("mean hops:          %.3f\n", mean_hops);
   std::printf("events fired:       %llu\n",
               static_cast<unsigned long long>(stack.sim.events_fired()));
@@ -69,17 +113,19 @@ int Run(size_t nodes, size_t routes) {
   std::printf("events/sec (wall):  %.0f\n", stack.sim.EventsPerSecond());
 
   // Machine-readable record for tools/benchdiff. The fingerprint covers the routing
-  // outcome (deterministic for a given workload); events/sec is wall-clock and gets a
-  // wide tolerance.
+  // outcome (deterministic for a given workload and ANY shard count); events/sec is
+  // wall-clock and gets a wide tolerance.
   char probe[128];
   std::snprintf(probe, sizeof(probe), "delivered=%llu hops=%llu events=%llu",
-                static_cast<unsigned long long>(delivered),
-                static_cast<unsigned long long>(total_hops),
+                static_cast<unsigned long long>(delivered_total),
+                static_cast<unsigned long long>(hops_total),
                 static_cast<unsigned long long>(stack.sim.events_fired()));
   char workload[64];
   std::snprintf(workload, sizeof(workload), "nodes=%zu,routes=%zu", nodes, routes);
   BenchReport report = bench::MakeReport("scale_smoke", 20240807, workload);
-  report.SetMetric("routes_delivered", static_cast<double>(delivered), "routes", 0.0);
+  report.SetMeta("sim_shards", std::to_string(shards));
+  report.SetMetric("routes_delivered", static_cast<double>(delivered_total), "routes",
+                   0.0);
   report.SetMetric("mean_hops", mean_hops, "hops", 0.0);
   report.SetMetric("events_fired", static_cast<double>(stack.sim.events_fired()),
                    "events", 0.0);
@@ -89,9 +135,9 @@ int Run(size_t nodes, size_t routes) {
   report.SetFingerprint("route_stats", FingerprintBytes(probe));
   report.Write();
 
-  if (delivered != routes) {
+  if (delivered_total != routes) {
     std::printf("FAIL: %llu routes lost\n",
-                static_cast<unsigned long long>(routes - delivered));
+                static_cast<unsigned long long>(routes - delivered_total));
     return 1;
   }
   // Pastry's bound with the default 4-bit digits: ceil(log16 N) rows plus slack for

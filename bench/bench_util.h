@@ -25,8 +25,14 @@ namespace totoro {
 namespace bench {
 
 // A complete Totoro stack on a uniform-latency WAN.
+//
+// The engine defaults to the single-threaded Simulator; pass `custom_sim` (e.g.
+// MakeSimulatorFromEnv(), which honors TOTORO_SIM_SHARDS) to run the same stack on the
+// sharded engine. The constructor wires the conservative-barrier lookahead from the
+// latency model unconditionally — a no-op on the default engine.
 struct Stack {
-  Simulator sim;
+  std::unique_ptr<Simulator> sim_owner;
+  Simulator& sim;
   std::unique_ptr<Network> net;
   std::unique_ptr<PastryNetwork> pastry;
   std::unique_ptr<Forest> forest;
@@ -34,13 +40,18 @@ struct Stack {
 
   Stack(size_t nodes, uint64_t seed, PastryConfig pastry_config = {},
         ScribeConfig scribe_config = {}, bool model_bandwidth = true,
-        double latency_lo = 2.0, double latency_hi = 40.0)
-      : rng(seed) {
+        double latency_lo = 2.0, double latency_hi = 40.0,
+        std::unique_ptr<Simulator> custom_sim = nullptr)
+      : sim_owner(custom_sim != nullptr ? std::move(custom_sim)
+                                        : std::make_unique<Simulator>()),
+        sim(*sim_owner),
+        rng(seed) {
     NetworkConfig net_config;
     net_config.model_bandwidth = model_bandwidth;
     net = std::make_unique<Network>(
         &sim, std::make_unique<PairwiseUniformLatency>(latency_lo, latency_hi, seed ^ 0xFEED),
         net_config);
+    sim.SetLookaheadMs(net->latency_model().MinLatencyMs());
     pastry = std::make_unique<PastryNetwork>(net.get(), pastry_config);
     pastry->Reserve(nodes);
     for (size_t i = 0; i < nodes; ++i) {

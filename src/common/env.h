@@ -18,6 +18,10 @@
 //                          default = best the CPU supports. All levels are
 //                          bit-identical, so this only affects speed.
 //                                                           (src/ml/kernels.cc)
+//   TOTORO_SIM_SHARDS      simulator shard count for MakeSimulatorFromEnv, >= 1;
+//                          1 (default) = the single-threaded engine, K > 1 = K
+//                          worker shards behind the conservative barrier. All K
+//                          produce bit-identical exports (src/sim/sharded_sim.cc)
 #ifndef SRC_COMMON_ENV_H_
 #define SRC_COMMON_ENV_H_
 

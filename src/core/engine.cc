@@ -46,6 +46,19 @@ int VirtualNodeCount(int cpu_cores) {
 TotoroEngine::TotoroEngine(Forest* forest, ComputeModel compute, uint64_t seed)
     : forest_(forest), compute_(compute), rng_(seed),
       pool_(std::make_unique<ComputePool>(ComputePool::ThreadsFromEnv())) {
+  MetricsRegistry& metrics = GlobalMetrics();
+  series_.deadline_expired = &metrics.GetCounter("engine.round.deadline_expired");
+  series_.train_tasks = &metrics.GetCounter("engine.compute.train_tasks");
+  series_.defense_collected = &metrics.GetCounter("engine.defense.updates_collected");
+  series_.defense_rejected = &metrics.GetCounter("engine.defense.updates_rejected");
+  series_.defense_clipped = &metrics.GetCounter("engine.defense.updates_clipped");
+  series_.defense_rounds = &metrics.GetCounter("engine.defense.rounds_defended");
+  series_.secure_corrections = &metrics.GetCounter("engine.secure.dropout_corrections");
+  series_.secure_dropped = &metrics.GetCounter("engine.secure.dropped_clients");
+  series_.async_staleness =
+      &metrics.GetHistogram("engine.async.staleness_rounds", Histogram::HopCountBounds());
+  series_.round_duration =
+      &metrics.GetHistogram("engine.round.duration_ms", Histogram::DefaultLatencyBoundsMs());
   speed_factors_.assign(forest_->size(), 1.0);
   bandwidth_factors_.assign(forest_->size(), 1.0);
   // One set of callbacks per scribe node; dispatch on topic inside the engine.
@@ -314,9 +327,7 @@ void TotoroEngine::StartRound(AppRuntime& app) {
           if (it == apps_.end() || it->second->done || it->second->round != round) {
             return;  // The round closed normally (or the app finished).
           }
-          static thread_local Counter* expired =
-              &GlobalMetrics().GetCounter("engine.round.deadline_expired");
-          expired->Increment();
+          series_.deadline_expired->Increment();
           TLOG_INFO("app %s round %llu hit the straggler deadline; closing partial",
                     it->second->config.name.c_str(), static_cast<unsigned long long>(round));
           // Partial-aggregation fallback: whatever aggregate reached the master already
@@ -431,9 +442,7 @@ void TotoroEngine::OnBroadcast(size_t node_index, const NodeId& topic, uint64_t 
   // (model, shard, RNG) plus immutable inputs — never the thread-local tracer/metrics
   // registries — and secure masking rides along so the per-client O(cohort * dim) PRG
   // work also leaves the simulator thread.
-  static thread_local Counter* train_tasks =
-      &GlobalMetrics().GetCounter("engine.compute.train_tasks");
-  train_tasks->Increment();
+  series_.train_tasks->Increment();
   std::shared_ptr<const SecureAggregationGroup> group;
   if (app.config.secure_aggregation) {
     auto group_it = app.secure_groups.find(round);
@@ -550,17 +559,9 @@ void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
         ++rejected;
       }
     }
-    static thread_local Counter* collected =
-        &GlobalMetrics().GetCounter("engine.defense.updates_collected");
-    static thread_local Counter* rejected_counter =
-        &GlobalMetrics().GetCounter("engine.defense.updates_rejected");
-    static thread_local Counter* clipped_counter =
-        &GlobalMetrics().GetCounter("engine.defense.updates_clipped");
-    static thread_local Counter* rounds_defended =
-        &GlobalMetrics().GetCounter("engine.defense.rounds_defended");
-    collected->Increment(list->updates.size());
-    rejected_counter->Increment(rejected);
-    rounds_defended->Increment();
+    series_.defense_collected->Increment(list->updates.size());
+    series_.defense_rejected->Increment(rejected);
+    series_.defense_rounds->Increment();
     if (!clean.empty()) {
       switch (app.config.robust.rule) {
         case RobustAggregation::kNone:
@@ -575,7 +576,7 @@ void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
           size_t clipped = 0;
           app.global_weights = NormClippedMean(clean, app.global_weights,
                                                app.config.robust.clip_norm, &clipped);
-          clipped_counter->Increment(clipped);
+          series_.defense_clipped->Increment(clipped);
           break;
         }
       }
@@ -599,12 +600,8 @@ void TotoroEngine::OnRootAggregate(const NodeId& topic, uint64_t round,
         for (size_t i = 0; i < sum.size(); ++i) {
           sum[i] = static_cast<float>(static_cast<double>(sum[i]) - correction[i]);
         }
-        static thread_local Counter* corrections =
-            &GlobalMetrics().GetCounter("engine.secure.dropout_corrections");
-        static thread_local Counter* dropped =
-            &GlobalMetrics().GetCounter("engine.secure.dropped_clients");
-        corrections->Increment();
-        dropped->Increment(group.size() - survivors.size());
+        series_.secure_corrections->Increment();
+        series_.secure_dropped->Increment(group.size() - survivors.size());
       }
       app.global_weights = FinalizeSecureAverage(sum, total.weight);
     } else {
@@ -630,9 +627,7 @@ void TotoroEngine::OnAsyncUpdate(const NodeId& key, const Message& msg) {
   // from the current round is fresh (0); older ones get the FedBuff/Totoro+-style
   // discount 1/(1+s)^exponent on the mixing rate.
   const uint64_t staleness = payload.round <= app.round ? app.round - payload.round : 0;
-  static thread_local Histogram* staleness_hist = &GlobalMetrics().GetHistogram(
-      "engine.async.staleness_rounds", Histogram::HopCountBounds());
-  staleness_hist->Observe(static_cast<double>(staleness));
+  series_.async_staleness->Observe(static_cast<double>(staleness));
   double mix = async.mix_alpha;
   if (async.staleness_exponent > 0.0 && staleness > 0) {
     mix /= std::pow(1.0 + static_cast<double>(staleness), async.staleness_exponent);
@@ -673,9 +668,7 @@ void TotoroEngine::EvaluateAndAdvance(AppRuntime& app, uint64_t round) {
                                {"accuracy", std::to_string(accuracy)}});
       app.round_trace = TraceContext{};
     }
-    static thread_local Histogram* round_hist = &GlobalMetrics().GetHistogram(
-        "engine.round.duration_ms", Histogram::DefaultLatencyBoundsMs());
-    round_hist->Observe(now - app.round_start_ms);
+    series_.round_duration->Observe(now - app.round_start_ms);
     if (failover_enabled_) {
       ReplicateCheckpoint(app);
     }

@@ -20,6 +20,7 @@
 #include "src/fl/compute_pool.h"
 #include "src/fl/secure_agg.h"
 #include "src/fl/selection.h"
+#include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
 #include "src/pubsub/forest.h"
 
@@ -174,8 +175,29 @@ class TotoroEngine {
   void ReplicateCheckpoint(AppRuntime& app);
   void WatchdogTick();
 
+  // Metric series resolved once, in the constructor, from the constructing thread's
+  // registry. These used to be function-scope `static thread_local` caches at the
+  // increment sites, which bind each series to whichever thread first executes the site
+  // for the remainder of that thread's life — so an engine created after a registry
+  // swap, or sharing a reused worker thread with an earlier engine, would increment a
+  // stale or foreign series. Per-engine members make the attribution explicit and stay
+  // valid across MetricsRegistry::ResetValues() (which keeps registrations).
+  struct MetricSeries {
+    Counter* deadline_expired = nullptr;
+    Counter* train_tasks = nullptr;
+    Counter* defense_collected = nullptr;
+    Counter* defense_rejected = nullptr;
+    Counter* defense_clipped = nullptr;
+    Counter* defense_rounds = nullptr;
+    Counter* secure_corrections = nullptr;
+    Counter* secure_dropped = nullptr;
+    Histogram* async_staleness = nullptr;
+    Histogram* round_duration = nullptr;
+  };
+
   Forest* forest_;
   ComputeModel compute_;
+  MetricSeries series_;
   Rng rng_;
   std::vector<double> speed_factors_;
   std::vector<double> bandwidth_factors_;

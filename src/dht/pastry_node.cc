@@ -384,7 +384,12 @@ void PastryNode::StartKeepAlive() {
     return;
   }
   keepalive_running_ = true;
-  net_->sim()->Schedule(config_.keepalive_interval_ms, [this]() { KeepAliveTick(); });
+  // Establish this node as the scheduling identity so the timer (and every reschedule
+  // from inside the tick) lands on this host's shard under the sharded engine. A no-op
+  // identity on the single-queue engine.
+  net_->sim()->RunAsHost(host_, [this] {
+    net_->sim()->Schedule(config_.keepalive_interval_ms, [this]() { KeepAliveTick(); });
+  });
 }
 
 void PastryNode::KeepAliveTick() {

@@ -329,7 +329,7 @@ bool FaultInjector::PerturbMatches(const ActivePerturb& p, const Message& msg) c
 bool FaultInjector::OnMessage(const Message& msg, FaultAction* action) {
   if (!Reachable(msg.src, msg.dst)) {
     action->drop = true;
-    stats_.partition_drops += 1;
+    partition_drops_.fetch_add(1, std::memory_order_relaxed);
     PartitionDropCounter().Increment();
     return true;
   }
@@ -340,17 +340,17 @@ bool FaultInjector::OnMessage(const Message& msg, FaultAction* action) {
     }
     if (p.rule.drop_prob > 0.0 && rng_.Bernoulli(p.rule.drop_prob)) {
       action->drop = true;
-      stats_.perturb_drops += 1;
+      perturb_drops_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
     if (p.rule.duplicate_prob > 0.0 && rng_.Bernoulli(p.rule.duplicate_prob)) {
       action->extra_copies += 1;
-      stats_.duplicates += 1;
+      duplicates_.fetch_add(1, std::memory_order_relaxed);
       affected = true;
     }
     if (p.rule.delay_spike_prob > 0.0 && rng_.Bernoulli(p.rule.delay_spike_prob)) {
       action->extra_delay_ms += p.rule.delay_spike_ms;
-      stats_.delay_spikes += 1;
+      delay_spikes_.fetch_add(1, std::memory_order_relaxed);
       affected = true;
     }
   }

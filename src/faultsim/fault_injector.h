@@ -11,6 +11,7 @@
 #ifndef SRC_FAULTSIM_FAULT_INJECTOR_H_
 #define SRC_FAULTSIM_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -76,7 +77,18 @@ class FaultInjector {
   bool PartitionActive() const { return !partitions_.empty(); }
   // Virtual time of the most recently applied fault event (0 before the first).
   SimTime last_fault_ms() const { return last_fault_ms_; }
-  const Stats& stats() const { return stats_; }
+  // By-value snapshot: the message-path counters live in atomics (the network fault
+  // hook runs on the sending shard's worker thread under the sharded engine), so the
+  // snapshot folds them into the plain struct at read time. Read it with all shards
+  // parked (i.e. outside Run) for exact totals.
+  Stats stats() const {
+    Stats out = stats_;
+    out.partition_drops = partition_drops_.load(std::memory_order_relaxed);
+    out.perturb_drops = perturb_drops_.load(std::memory_order_relaxed);
+    out.duplicates = duplicates_.load(std::memory_order_relaxed);
+    out.delay_spikes = delay_spikes_.load(std::memory_order_relaxed);
+    return out;
+  }
 
  private:
   struct ActivePartition {
@@ -122,7 +134,15 @@ class FaultInjector {
   std::vector<ActivePerturb> perturbs_;
   std::vector<ActiveAttack> attacks_;
   std::vector<ActiveSybil> sybils_;
+  // Control-path fields of Stats (partitions, crashes, ...) mutate only from scripted
+  // events, which execute with every shard parked; the four message-path counters
+  // mutate from OnMessage on worker threads and live in these relaxed atomics instead
+  // (their Stats fields are ignored until stats() folds the atomics in).
   Stats stats_;
+  std::atomic<uint64_t> partition_drops_{0};
+  std::atomic<uint64_t> perturb_drops_{0};
+  std::atomic<uint64_t> duplicates_{0};
+  std::atomic<uint64_t> delay_spikes_{0};
   SimTime last_fault_ms_ = 0.0;
 };
 

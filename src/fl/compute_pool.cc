@@ -22,6 +22,10 @@ struct ComputePool::Ticket::State {
   void Run() {
     LocalUpdate update;
     std::exception_ptr err;
+    // Accumulates into the RUNNING thread's profiler: the caller's tree in inline
+    // mode (nested under the submitting phase), the worker's thread-local tree in
+    // pooled mode (drained into the pool owner's tree at destruction).
+    ProfileScope profile_task("compute_task");
     try {
       update = fn();
     } catch (...) {
@@ -57,9 +61,12 @@ ComputePool::ComputePool(size_t threads) {
   if (threads <= 1) {
     return;  // Inline mode.
   }
+  // Pre-sized before any thread starts, so workers store into their slot without
+  // synchronization beyond the join in the destructor.
+  worker_profilers_ = std::vector<Profiler>(threads);
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -72,6 +79,12 @@ ComputePool::~ComputePool() {
     cv_.notify_all();
     for (auto& worker : workers_) {
       worker.join();
+    }
+    // Fold worker-side phases into this (the owning) thread's profiler in worker-index
+    // order: fixed fold order + name-ordered phase maps = deterministic merged tree.
+    Profiler& profiler = GlobalProfiler();
+    for (const Profiler& worker_tree : worker_profilers_) {
+      profiler.MergeFrom(worker_tree);
     }
   }
   // Queued-but-unstarted tasks still owe their tickets a result (a rejoin event may
@@ -99,20 +112,23 @@ ComputePool::Ticket ComputePool::Submit(TrainFn fn) {
   return Ticket(std::move(state));
 }
 
-void ComputePool::WorkerLoop() {
+void ComputePool::WorkerLoop(size_t index) {
   for (;;) {
     std::shared_ptr<Ticket::State> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
-        return;  // stopping_ with a drained queue.
+        break;  // stopping_ with a drained queue.
       }
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task->Run();
   }
+  // Snapshot this worker's thread-local profiler before it dies with the thread; the
+  // destructor merges the slots after joining us, so the store is ordered by the join.
+  worker_profilers_[index] = GlobalProfiler();
 }
 
 size_t ComputePool::ThreadsFromEnv() {

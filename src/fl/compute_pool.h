@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/fl/client.h"
+#include "src/obs/profiler.h"
 
 namespace totoro {
 
@@ -73,9 +74,17 @@ class ComputePool {
   static size_t ThreadsFromEnv();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
 
   std::vector<std::thread> workers_;
+  // One slot per worker: each worker copies its thread-local profiler (where any
+  // ProfileScope inside a task accumulated) into its own slot just before its
+  // GlobalProfiler dies with the thread. The destructor folds the slots into the
+  // joining thread's profiler in worker-index order — phase maps are name-ordered and
+  // the fold order is fixed, so the merged tree is deterministic for a given thread
+  // count. Without this drain, worker-side phases land in orphan trees that vanish at
+  // thread exit and never reach any export.
+  std::vector<Profiler> worker_profilers_;
   uint64_t tasks_submitted_ = 0;
 
   std::mutex mu_;

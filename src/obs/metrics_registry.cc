@@ -68,6 +68,25 @@ void Histogram::Reset() {
   max_ = 0.0;
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  CHECK(bounds_ == other.bounds_);
+  if (other.count_ == 0) {
+    return;
+  }
+  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+    bucket_counts_[i] += other.bucket_counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
 std::vector<double> Histogram::DefaultLatencyBoundsMs() {
   std::vector<double> bounds;
   for (double b = 0.5; b <= 65536.0; b *= 2.0) {
@@ -133,6 +152,18 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, histogram] : histograms_) {
     (void)name;
     histogram->Reset();
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, counter] : other.counters_) {
+    GetCounter(name).Increment(counter->value());
+  }
+  for (const auto& [name, gauge] : other.gauges_) {
+    GetGauge(name).Set(gauge->value());
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    GetHistogram(name, histogram->bounds()).MergeFrom(*histogram);
   }
 }
 

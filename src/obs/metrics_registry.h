@@ -76,6 +76,11 @@ class Histogram {
 
   void Reset();
 
+  // Folds another histogram's observations into this one. Bounds must match (CHECKed).
+  // Summation order is caller-controlled, so deterministic folds (fixed shard order)
+  // give bit-identical sums.
+  void MergeFrom(const Histogram& other);
+
   // Exponential virtual-ms bounds 0.5 .. 65536 (covers one NIC hop to a long round).
   static std::vector<double> DefaultLatencyBoundsMs();
   // Small-integer bounds 0..32 for hop/fan-out style counts.
@@ -112,6 +117,12 @@ class MetricsRegistry {
 
   // Zeroes every series but keeps registrations, so cached pointers stay valid.
   void ResetValues();
+
+  // Folds `other` into this registry: counters add, histograms merge (bounds adopted on
+  // first sight), gauges overwrite (last writer wins — callers merge shards in fixed
+  // order). Series absent here are registered. `other` is untouched; the sharded
+  // coordinator resets worker registries separately after each fold.
+  void MergeFrom(const MetricsRegistry& other);
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;

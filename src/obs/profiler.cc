@@ -67,22 +67,25 @@ double Profiler::WallSeconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
 }
 
+size_t Profiler::ChildNode(size_t parent, const std::string& name) {
+  auto it = nodes_[parent].children.find(name);
+  if (it != nodes_[parent].children.end()) {
+    return it->second;
+  }
+  const size_t node = nodes_.size();
+  PhaseNode fresh;
+  fresh.name = name;
+  fresh.parent = parent;
+  fresh.depth = nodes_[parent].depth + 1;
+  nodes_[parent].children.emplace(fresh.name, node);
+  nodes_.push_back(std::move(fresh));
+  return node;
+}
+
 void Profiler::Enter(const char* name) {
   CHECK(ValidPhaseName(name));
   const size_t parent = stack_.empty() ? 0 : stack_.back().node;
-  size_t node;
-  auto it = nodes_[parent].children.find(name);
-  if (it != nodes_[parent].children.end()) {
-    node = it->second;
-  } else {
-    node = nodes_.size();
-    PhaseNode fresh;
-    fresh.name = name;
-    fresh.parent = parent;
-    fresh.depth = nodes_[parent].depth + 1;
-    nodes_[parent].children.emplace(fresh.name, node);
-    nodes_.push_back(std::move(fresh));
-  }
+  const size_t node = ChildNode(parent, name);
   Frame frame;
   frame.node = node;
   frame.wall_start = WallSeconds();
@@ -242,6 +245,39 @@ void Profiler::Reset() {
   nodes_.clear();
   nodes_.push_back(PhaseNode{});
   samples_.clear();
+}
+
+void Profiler::MergeSubtree(const Profiler& other, size_t src, size_t dst) {
+  for (const auto& [name, src_child] : other.nodes_[src].children) {
+    const size_t dst_child = ChildNode(dst, name);
+    const PhaseStats& in = other.nodes_[src_child].stats;
+    PhaseStats& out = nodes_[dst_child].stats;
+    out.calls += in.calls;
+    out.wall_seconds += in.wall_seconds;
+    out.virtual_ms += in.virtual_ms;
+    out.events += in.events;
+    MergeSubtree(other, src_child, dst_child);
+  }
+}
+
+void Profiler::MergeFrom(const Profiler& other) {
+  CHECK(other.stack_.empty());  // A phase still open on another thread can't fold.
+  MergeSubtree(other, 0, 0);
+  for (const auto& [name, series] : other.samples_) {
+    SampleSeries& out = samples_[name];
+    if (series.count == 0) {
+      continue;
+    }
+    if (out.count == 0) {
+      out = series;
+      continue;
+    }
+    out.min = std::min(out.min, series.min);
+    out.max = std::max(out.max, series.max);
+    out.count += series.count;
+    out.sum += series.sum;
+    out.last = series.last;  // Merge order is fixed, so this stays deterministic.
+  }
 }
 
 Profiler& GlobalProfiler() {

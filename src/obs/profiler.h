@@ -129,8 +129,19 @@ class Profiler {
   // state, sources, and registered samplers.
   void Reset();
 
+  // Folds `other`'s phase tree and sample series into this profiler, matching phases
+  // by path (stats add field-wise). `other` must have no open scopes. Callers merge in
+  // a fixed order (worker index, shard index) so double sums stay deterministic for a
+  // given thread count. This is how worker-thread phases — recorded into the workers'
+  // thread-local profilers — reach the exported tree instead of dying with the thread.
+  void MergeFrom(const Profiler& other);
+
  private:
   friend class ProfileScope;
+
+  // Find-or-create the child `name` under `parent` (shared by Enter and MergeFrom).
+  size_t ChildNode(size_t parent, const std::string& name);
+  void MergeSubtree(const Profiler& other, size_t src, size_t dst);
 
   struct Frame {
     size_t node = 0;

@@ -51,8 +51,8 @@ ScopedTraceContext::~ScopedTraceContext() {
 TraceSpan Tracer::BeginImpl(const char* name, const char* category, uint32_t host,
                             TraceContext parent) {
   SpanRecord record;
-  record.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
-  record.span_id = next_span_id_++;
+  record.trace_id = parent.valid() ? parent.trace_id : NextTraceId();
+  record.span_id = NextSpanId();
   record.parent_span_id = parent.span_id;
   record.name = name;
   record.category = category;
@@ -73,8 +73,8 @@ void Tracer::EndSpan(SpanRecord record) {
 TraceContext Tracer::RecordCompleteImpl(const char* name, const char* category,
                                         uint32_t host, double start_ms, double end_ms,
                                         TraceContext parent, TraceArgs args) {
-  const TraceContext ctx{parent.valid() ? parent.trace_id : next_trace_id_++,
-                         next_span_id_++};
+  const TraceContext ctx{parent.valid() ? parent.trace_id : NextTraceId(),
+                         NextSpanId()};
   SpanRecord record;
   record.trace_id = ctx.trace_id;
   record.span_id = ctx.span_id;
@@ -92,8 +92,8 @@ TraceContext Tracer::RecordCompleteImpl(const char* name, const char* category,
 void Tracer::InstantAtImpl(const char* name, const char* category, uint32_t host,
                            double at_ms, TraceContext parent, TraceArgs args) {
   SpanRecord record;
-  record.trace_id = parent.valid() ? parent.trace_id : next_trace_id_++;
-  record.span_id = next_span_id_++;
+  record.trace_id = parent.valid() ? parent.trace_id : NextTraceId();
+  record.span_id = NextSpanId();
   record.parent_span_id = parent.span_id;
   record.name = name;
   record.category = category;

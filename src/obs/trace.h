@@ -167,7 +167,35 @@ class Tracer {
     if (!enabled_) {
       return TraceContext{};
     }
-    return TraceContext{next_trace_id_++, next_span_id_++};
+    return TraceContext{NextTraceId(), NextSpanId()};
+  }
+
+  // --- Canonical id source (sharded execution) ---
+  // While set, every new trace/span id is `base + (*counter)++` instead of the tracer's
+  // own sequential counters. The sharded run loop installs the executing host's
+  // (base, per-host op counter) before each event, which makes every allocated id a
+  // pure function of that host's execution stream — independent of shard count and of
+  // which worker thread runs the event. Ids from distinct hosts can't collide because
+  // each host owns a disjoint `base` range, and none collide with the sequential ids
+  // (those stay below the smallest base).
+  void SetIdSource(uint64_t base, uint64_t* counter) {
+    id_base_ = base;
+    id_counter_ = counter;
+  }
+  void ClearIdSource() { id_counter_ = nullptr; }
+
+  // Moves all recorded spans out (sink left empty; id counters untouched). The sharded
+  // coordinator drains worker tracers with this and folds the result into the main
+  // tracer via AppendSpans in canonical (span_id) order.
+  std::vector<SpanRecord> TakeSpans() {
+    std::vector<SpanRecord> out = std::move(spans_);
+    spans_.clear();
+    return out;
+  }
+  void AppendSpans(std::vector<SpanRecord> spans) {
+    for (SpanRecord& s : spans) {
+      spans_.push_back(std::move(s));
+    }
   }
   void EmitSpan(TraceContext ctx, uint64_t parent_span_id, const char* name,
                 const char* category, uint32_t host, double start_ms, double end_ms,
@@ -184,6 +212,13 @@ class Tracer {
   friend class TraceSpan;
   friend class ScopedTraceContext;
 
+  uint64_t NextTraceId() {
+    return id_counter_ != nullptr ? id_base_ + (*id_counter_)++ : next_trace_id_++;
+  }
+  uint64_t NextSpanId() {
+    return id_counter_ != nullptr ? id_base_ + (*id_counter_)++ : next_span_id_++;
+  }
+
   TraceSpan BeginImpl(const char* name, const char* category, uint32_t host,
                       TraceContext parent);
   TraceContext RecordCompleteImpl(const char* name, const char* category, uint32_t host,
@@ -199,6 +234,8 @@ class Tracer {
   const double* clock_ = nullptr;
   uint64_t next_trace_id_ = 1;
   uint64_t next_span_id_ = 1;
+  uint64_t id_base_ = 0;
+  uint64_t* id_counter_ = nullptr;  // Non-null => canonical id source active.
   std::vector<TraceContext> scope_;
   std::vector<SpanRecord> spans_;
 };

@@ -29,9 +29,12 @@ void Forest::SubscribeAll(const NodeId& topic, const std::vector<size_t>& member
   if (span.active()) {
     span.AddArg("members", std::to_string(members.size()));
   }
+  Simulator* sim = pastry_->network()->sim();
   for (size_t i : members) {
     CHECK_LT(i, scribes_.size());
-    scribes_[i]->Subscribe(topic);
+    // Establish the member as the scheduling identity so its JOIN (and any timers the
+    // join path arms) lands on its own shard under the sharded engine.
+    sim->RunAsHost(scribes_[i]->host(), [this, i, &topic] { scribes_[i]->Subscribe(topic); });
   }
   if (settle_ms > 0.0) {
     pastry_->network()->sim()->RunFor(settle_ms);

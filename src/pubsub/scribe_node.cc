@@ -549,7 +549,11 @@ void ScribeNode::StartMaintenance() {
       state.last_parent_heartbeat = std::max(state.last_parent_heartbeat, now);
     }
   }
-  pastry_->net()->sim()->Schedule(config_.parent_heartbeat_ms, [this]() { MaintenanceTick(); });
+  // As in PastryNode::StartKeepAlive: pin the timer to this host's shard.
+  pastry_->net()->sim()->RunAsHost(host(), [this] {
+    pastry_->net()->sim()->Schedule(config_.parent_heartbeat_ms,
+                                    [this]() { MaintenanceTick(); });
+  });
 }
 
 void ScribeNode::MaintenanceTick() {

@@ -35,6 +35,17 @@ Counter& UnpackedCounter() {
   return *c;
 }
 
+Counter& DeadBatchMsgsCounter() {
+  static thread_local Counter* c =
+      &GlobalMetrics().GetCounter("pubsub.batch.dead_batch_msgs");
+  return *c;
+}
+
+Counter& DeadBatchesCounter() {
+  static thread_local Counter* c = &GlobalMetrics().GetCounter("pubsub.batch.dead_batches");
+  return *c;
+}
+
 Histogram& MsgsPerEnvelopeHistogram() {
   static thread_local Histogram* h = &GlobalMetrics().GetHistogram(
       "pubsub.batch.msgs_per_envelope", Histogram::HopCountBounds());
@@ -55,6 +66,14 @@ void WireBatcher::Send(HostId dst, Message msg) {
     case WireBatchConfig::Mode::kCoalesce:
       break;
   }
+  if (!pastry_->alive()) {
+    // A dead sender must not open (or extend) a window: kAccountOnly would hand this
+    // message straight to the network, which records the src-down drop and charges no
+    // bytes. Mirror that exactly so the reconciliation law compares identical drops.
+    msg.size_bytes += config_.framing_bytes;
+    pastry_->SendDirect(dst, std::move(msg));
+    return;
+  }
   const EdgeKey key{dst, static_cast<uint8_t>(msg.transport),
                     static_cast<uint8_t>(msg.traffic)};
   std::vector<Message>& queue = pending_[key];
@@ -74,7 +93,21 @@ void WireBatcher::Flush(const EdgeKey& key) {
   std::vector<Message> batch = std::move(it->second);
   pending_.erase(it);
   if (!pastry_->alive()) {
-    return;  // The node died mid-window; the batch dies with it.
+    // The sender died mid-window and the batch dies with it — but not silently. The
+    // kAccountOnly arm already put each of these messages on the wire (size + framing)
+    // back when the sender was alive, so the batched arm must book the whole batch as
+    // saved bytes to keep the reconciliation law
+    //   bytes(kCoalesce) == bytes(kAccountOnly) - bytes_saved
+    // exact across the crash. Before this accounting, a mid-window crash made the two
+    // arms silently drift by the dead batch's bytes.
+    uint64_t dead_bytes = 0;
+    for (const Message& m : batch) {
+      dead_bytes += m.size_bytes + config_.framing_bytes;
+    }
+    DeadBatchesCounter().Increment();
+    DeadBatchMsgsCounter().Increment(batch.size());
+    BytesSavedCounter().Increment(dead_bytes);
+    return;
   }
   const HostId dst = std::get<0>(key);
   if (batch.size() == 1) {

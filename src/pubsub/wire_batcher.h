@@ -30,7 +30,13 @@
 // Accounting (obs registry): pubsub.batch.{envelopes,coalesced_msgs,singles,
 // bytes_saved,unpacked_msgs} counters and a msgs-per-envelope histogram. The
 // reconciliation law — bytes(kCoalesce run) == bytes(kAccountOnly run) - bytes_saved —
-// is enforced exactly by tests/wire_batch_test.cc. Inner messages are delivered via
+// is enforced exactly by tests/wire_batch_test.cc — including across a sender crash
+// mid-window: a flush that finds its node dead books the whole batch (size + framing
+// per message) into bytes_saved and bumps pubsub.batch.{dead_batches,dead_batch_msgs},
+// since the unbatched arm had already charged those messages to the wire before the
+// crash; and a Send() on an already-dead node bypasses the window entirely, taking the
+// kAccountOnly path so both arms record the identical src-down drop.
+// Inner messages are delivered via
 // Unpack() on the receiver and never re-enter Network::Send, so nothing double-counts
 // through Message::hops or the traffic metrics.
 #ifndef SRC_PUBSUB_WIRE_BATCHER_H_

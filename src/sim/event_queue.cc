@@ -147,4 +147,105 @@ void EventQueue::Reserve(size_t n) {
   slab_->slots.reserve(n);
 }
 
+uint32_t KeyedEventQueue::AcquireSlot() {
+  internal::EventSlab& slab = *slab_;
+  if (slab.free_head != internal::kNilSlot) {
+    const uint32_t slot = slab.free_head;
+    slab.free_head = slab.slots[slot].next_free;
+    slab.slots[slot].next_free = internal::kNilSlot;
+    return slot;
+  }
+  CHECK_LT(slab.slots.size(), static_cast<size_t>(UINT32_MAX));
+  slab.slots.emplace_back();
+  return static_cast<uint32_t>(slab.slots.size() - 1);
+}
+
+void KeyedEventQueue::ReleaseSlot(uint32_t slot) {
+  internal::EventSlot& s = slab_->slots[slot];
+  s.fn.Reset();
+  s.cancelled = false;
+  ++s.generation;
+  s.next_free = slab_->free_head;
+  slab_->free_head = slot;
+}
+
+void KeyedEventQueue::SiftUp(size_t i) {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const size_t parent = (i - 1) / 4;
+    if (!Earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void KeyedEventQueue::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  HeapEntry entry = heap_[i];
+  while (true) {
+    const size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t best = first_child;
+    const size_t last_child = std::min(first_child + 4, n);
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (Earlier(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Earlier(heap_[best], entry)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+EventHandle KeyedEventQueue::Push(SimTime at, uint64_t key, uint32_t exec_host, EventFn fn) {
+  const uint32_t slot = AcquireSlot();
+  internal::EventSlot& s = slab_->slots[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(HeapEntry{at, key, slot, exec_host});
+  SiftUp(heap_.size() - 1);
+  return EventHandle(slab_, slot, s.generation);
+}
+
+SimTime KeyedEventQueue::NextTime() const {
+  CHECK(!heap_.empty());
+  return heap_[0].at;
+}
+
+bool KeyedEventQueue::PopNext(SimTime* at, uint32_t* exec_host, EventFn* fn) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      SiftDown(0);
+    }
+    internal::EventSlot& s = slab_->slots[top.slot];
+    const bool cancelled = s.cancelled;
+    if (!cancelled) {
+      *at = top.at;
+      *exec_host = top.exec_host;
+      *fn = std::move(s.fn);
+    }
+    ReleaseSlot(top.slot);
+    if (!cancelled) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void KeyedEventQueue::Reserve(size_t n) {
+  heap_.reserve(n);
+  slab_->slots.reserve(n);
+}
+
 }  // namespace totoro

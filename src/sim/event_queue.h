@@ -70,6 +70,7 @@ class EventHandle {
 
  private:
   friend class EventQueue;
+  friend class KeyedEventQueue;
   EventHandle(std::weak_ptr<internal::EventSlab> slab, uint32_t slot, uint32_t generation)
       : slab_(std::move(slab)), slot_(slot), generation_(generation) {}
 
@@ -134,6 +135,59 @@ class EventQueue {
   std::shared_ptr<internal::EventSlab> slab_;
   std::vector<HeapEntry> heap_;
   uint64_t next_seq_ = 0;
+};
+
+// Priority queue ordered by (time, explicit 64-bit key) for the sharded simulator.
+//
+// The sharded engine keys every event with a canonical, shard-count-independent id —
+// (origin host, per-origin sequence) packed into 64 bits — so the pop order of any
+// shard's queue is a pure function of the event population, never of K or of push
+// order. Keys are unique by construction (each origin's counter only ever increments),
+// so (at, key) is a strict total order and no FIFO tiebreak sequence is needed.
+//
+// Each entry also carries the host the event executes AS (`exec_host`): the run loop
+// re-establishes that host's identity (canonical id counter, trace ids) before
+// invoking the callback. Slab, EventFn storage, and cancellation handles are shared
+// with EventQueue — an EventHandle works identically against either queue.
+class KeyedEventQueue {
+ public:
+  KeyedEventQueue() : slab_(std::make_shared<internal::EventSlab>()) {}
+  KeyedEventQueue(const KeyedEventQueue&) = delete;
+  KeyedEventQueue& operator=(const KeyedEventQueue&) = delete;
+
+  EventHandle Push(SimTime at, uint64_t key, uint32_t exec_host, EventFn fn);
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+  SimTime NextTime() const;
+
+  // Pops the earliest non-cancelled event (MOVING the callback out of the slab).
+  // Returns false when only cancelled events remained.
+  bool PopNext(SimTime* at, uint32_t* exec_host, EventFn* fn);
+
+  void Reserve(size_t n);
+
+  uint64_t cancelled_total() const { return slab_->cancelled_total; }
+
+ private:
+  struct HeapEntry {
+    SimTime at;
+    uint64_t key;
+    uint32_t slot;
+    uint32_t exec_host;
+  };
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.at < b.at || (a.at == b.at && a.key < b.key);
+  }
+
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t slot);
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+
+  std::shared_ptr<internal::EventSlab> slab_;
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace totoro

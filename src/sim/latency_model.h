@@ -16,12 +16,17 @@ class LatencyModel {
   // One-way propagation delay in virtual ms between two hosts. Must be symmetric and
   // deterministic for a given pair so repeated sends see a stable base latency.
   virtual double LatencyMs(HostId a, HostId b) const = 0;
+  // Lower bound over all pairs, used as the sharded simulator's conservative-barrier
+  // lookahead. 0 (the safe default) forces the sharded engine to reject K > 1 rather
+  // than risk a causality violation; models that know their floor override this.
+  virtual double MinLatencyMs() const { return 0.0; }
 };
 
 class ConstantLatency : public LatencyModel {
  public:
   explicit ConstantLatency(double ms) : ms_(ms) {}
   double LatencyMs(HostId, HostId) const override { return ms_; }
+  double MinLatencyMs() const override { return ms_; }
 
  private:
   double ms_;
@@ -34,6 +39,7 @@ class PairwiseUniformLatency : public LatencyModel {
   PairwiseUniformLatency(double lo_ms, double hi_ms, uint64_t seed)
       : lo_(lo_ms), hi_(hi_ms), seed_(seed) {}
   double LatencyMs(HostId a, HostId b) const override;
+  double MinLatencyMs() const override { return lo_; }
 
  private:
   double lo_;

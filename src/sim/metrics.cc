@@ -1,10 +1,17 @@
 #include "src/sim/metrics.h"
 
 #include "src/common/check.h"
+#include "src/sim/shard_slot.h"
 
 namespace totoro {
 
 void NetworkMetrics::Reserve(size_t n) { hosts_.reserve(n); }
+
+void NetworkMetrics::ShardGlobalTotals(size_t num_slots) {
+  CHECK_GE(num_slots, size_t{1});
+  CHECK_EQ(total_messages_ + total_bytes_ + dropped_messages_, uint64_t{0});
+  lanes_.assign(num_slots, TotalsLane{});
+}
 
 void NetworkMetrics::EnsureHosts(size_t n) {
   if (hosts_.size() < n) {
@@ -23,8 +30,14 @@ void NetworkMetrics::RecordSend(const Message& msg) {
     t.bytes_sent_udp += msg.size_bytes;
   }
   t.bytes_sent_by_class[static_cast<size_t>(msg.traffic)] += msg.size_bytes;
-  ++total_messages_;
-  total_bytes_ += msg.size_bytes;
+  if (lanes_.empty()) {
+    ++total_messages_;
+    total_bytes_ += msg.size_bytes;
+  } else {
+    TotalsLane& lane = lanes_[internal::ThreadShardSlot()];
+    ++lane.total_messages;
+    lane.total_bytes += msg.size_bytes;
+  }
 }
 
 void NetworkMetrics::RecordDelivery(const Message& msg) {
@@ -37,8 +50,46 @@ void NetworkMetrics::RecordDelivery(const Message& msg) {
 void NetworkMetrics::RecordDrop(HostId host, TrafficClass traffic) {
   CHECK_LT(host, hosts_.size());
   ++hosts_[host].traffic.msgs_dropped;
-  ++drops_by_class_[static_cast<size_t>(traffic)];
-  ++dropped_messages_;
+  if (lanes_.empty()) {
+    ++drops_by_class_[static_cast<size_t>(traffic)];
+    ++dropped_messages_;
+  } else {
+    TotalsLane& lane = lanes_[internal::ThreadShardSlot()];
+    ++lane.drops_by_class[static_cast<size_t>(traffic)];
+    ++lane.dropped_messages;
+  }
+}
+
+uint64_t NetworkMetrics::total_messages() const {
+  uint64_t total = total_messages_;
+  for (const TotalsLane& lane : lanes_) {
+    total += lane.total_messages;
+  }
+  return total;
+}
+
+uint64_t NetworkMetrics::total_bytes() const {
+  uint64_t total = total_bytes_;
+  for (const TotalsLane& lane : lanes_) {
+    total += lane.total_bytes;
+  }
+  return total;
+}
+
+uint64_t NetworkMetrics::dropped_messages() const {
+  uint64_t total = dropped_messages_;
+  for (const TotalsLane& lane : lanes_) {
+    total += lane.dropped_messages;
+  }
+  return total;
+}
+
+uint64_t NetworkMetrics::DroppedByClass(TrafficClass c) const {
+  uint64_t total = drops_by_class_[static_cast<size_t>(c)];
+  for (const TotalsLane& lane : lanes_) {
+    total += lane.drops_by_class[static_cast<size_t>(c)];
+  }
+  return total;
 }
 
 void NetworkMetrics::ChargeWork(HostId host, WorkKind kind, double units) {
@@ -104,9 +155,9 @@ void NetworkMetrics::PublishTo(MetricsRegistry& registry) const {
     hosts_with_drops += t.msgs_dropped > 0 ? 1 : 0;
   }
   registry.GetGauge("net.msgs.sent").Set(static_cast<double>(msgs_sent));
-  registry.GetGauge("net.msgs.dropped").Set(static_cast<double>(dropped_messages_));
+  registry.GetGauge("net.msgs.dropped").Set(static_cast<double>(dropped_messages()));
   registry.GetGauge("net.hosts.with_drops").Set(static_cast<double>(hosts_with_drops));
-  registry.GetGauge("net.bytes.sent").Set(static_cast<double>(total_bytes_));
+  registry.GetGauge("net.bytes.sent").Set(static_cast<double>(total_bytes()));
   registry.GetGauge("net.bytes.tcp").Set(static_cast<double>(TotalBytesTcp()));
   registry.GetGauge("net.bytes.udp").Set(static_cast<double>(TotalBytesUdp()));
   for (int c = 0; c < kNumTrafficClasses; ++c) {
@@ -130,6 +181,9 @@ void NetworkMetrics::Reset() {
   total_bytes_ = 0;
   dropped_messages_ = 0;
   drops_by_class_.fill(0);
+  for (TotalsLane& lane : lanes_) {
+    lane = TotalsLane{};
+  }
 }
 
 }  // namespace totoro

@@ -48,6 +48,13 @@ class NetworkMetrics {
   // Pre-sizes per-host accounting for a known-size topology.
   void Reserve(size_t n);
 
+  // Sharded-simulation mode: gives each of `num_slots` threads (coordinator + shard
+  // workers, indexed by internal::ThreadShardSlot()) a private cache-line-aligned lane
+  // for the global totals, so concurrent Record* calls never contend. Getters fold all
+  // lanes; totals are sums of per-thread sums, so folds are order-independent. Per-host
+  // entries need no lanes — a host is only ever touched by the thread owning its shard.
+  void ShardGlobalTotals(size_t num_slots);
+
   void RecordSend(const Message& msg);
   void RecordDelivery(const Message& msg);
   // Hints that `host`'s accounting entry is about to be touched (see prefetch.h). The
@@ -68,18 +75,16 @@ class NetworkMetrics {
   const HostWork& work(HostId host) const { return hosts_.at(host).work; }
   size_t num_hosts() const { return hosts_.size(); }
 
-  uint64_t total_messages() const { return total_messages_; }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t total_messages() const;
+  uint64_t total_bytes() const;
+  uint64_t dropped_messages() const;
 
   // Records a drop attributed to `host` (the host where the message died: the sender
   // when it was down or the link lost the packet, the receiver when it was down, the
   // filtering node for egress rejections), split by traffic class so churn experiments
   // can see which layer loses messages.
   void RecordDrop(HostId host, TrafficClass traffic);
-  uint64_t DroppedByClass(TrafficClass c) const {
-    return drops_by_class_[static_cast<size_t>(c)];
-  }
+  uint64_t DroppedByClass(TrafficClass c) const;
 
   // Aggregates across hosts.
   uint64_t TotalBytesTcp() const;
@@ -106,11 +111,21 @@ class NetworkMetrics {
     HostTraffic traffic;
   };
 
+  // One thread's lane of the global totals (sharded mode only). Cache-line aligned so
+  // neighbouring lanes never false-share on the hot send path.
+  struct alignas(64) TotalsLane {
+    uint64_t total_messages = 0;
+    uint64_t total_bytes = 0;
+    uint64_t dropped_messages = 0;
+    std::array<uint64_t, kNumTrafficClasses> drops_by_class{};
+  };
+
   std::vector<HostAccounting> hosts_;
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t dropped_messages_ = 0;
   std::array<uint64_t, kNumTrafficClasses> drops_by_class_{};
+  std::vector<TotalsLane> lanes_;  // Empty in single-threaded mode (scalar path).
 };
 
 }  // namespace totoro

@@ -14,6 +14,10 @@ Network::Network(Simulator* sim, std::unique_ptr<LatencyModel> latency, NetworkC
     : sim_(sim), latency_(std::move(latency)), config_(config) {
   CHECK(sim_ != nullptr);
   CHECK(latency_ != nullptr);
+  sharded_ = sim_->sharded();
+  if (sharded_) {
+    metrics_.ShardGlobalTotals(1 + sim_->num_shards());
+  }
 }
 
 HostId Network::AddHost(Host* host) {
@@ -23,7 +27,9 @@ HostId Network::AddHost(Host* host) {
   state.bandwidth_bytes_per_ms = config_.default_bandwidth_bytes_per_ms;
   hosts_.push_back(state);
   metrics_.EnsureHosts(hosts_.size());
-  return static_cast<HostId>(hosts_.size() - 1);
+  const HostId id = static_cast<HostId>(hosts_.size() - 1);
+  sim_->OnHostAdded(id);
+  return id;
 }
 
 void Network::SetHostUp(HostId id, bool up) {
@@ -45,6 +51,10 @@ void Network::SetHostBandwidth(HostId id, double bytes_per_ms) {
 void Network::Send(Message msg) {
   CHECK_LT(msg.src, hosts_.size());
   CHECK_LT(msg.dst, hosts_.size());
+  if (sharded_) {
+    SendSharded(std::move(msg));
+    return;
+  }
   auto& src = hosts_[msg.src];
   if (!src.up) {
     metrics_.RecordDrop(msg.src, msg.traffic);
@@ -145,6 +155,93 @@ void Network::Send(Message msg) {
   static_assert(sizeof(deliver) <= EventFn::kInlineSize,
                 "Message grew: delivery closure no longer fits EventFn inline storage");
   sim_->ScheduleAt(delivery, std::move(deliver));
+}
+
+void Network::SendSharded(Message msg) {
+  // Src phase — everything here reads/writes only sender-shard state, the (frozen
+  // during windows) loss/fault config, and this thread's metrics lane.
+  auto& src = hosts_[msg.src];
+  if (!src.up) {
+    metrics_.RecordDrop(msg.src, msg.traffic);
+    return;
+  }
+  metrics_.RecordSend(msg);
+  if (loss_fn_ && loss_fn_(msg)) {
+    metrics_.RecordDrop(msg.src, msg.traffic);
+    return;
+  }
+  FaultAction fault;
+  if (fault_fn_ && fault_fn_(msg, &fault) && fault.drop) {
+    metrics_.RecordDrop(msg.src, msg.traffic);
+    return;
+  }
+
+  const SimTime now = sim_->Now();
+  SimTime departure = now;
+  if (config_.model_bandwidth) {
+    const double tx_time = static_cast<double>(msg.size_bytes) / src.bandwidth_bytes_per_ms;
+    src.tx_free_at = std::max(src.tx_free_at, now) + tx_time;
+    departure = src.tx_free_at;
+  }
+  const double prop = latency_->LatencyMs(msg.src, msg.dst) + fault.extra_delay_ms;
+  const SimTime arrival = departure + prop;
+
+  Tracer& tracer = GlobalTracer();
+  if (tracer.enabled()) {
+    // Sharded transmission span covers tx + propagation; rx serialization is the
+    // destination's business and can't be known sender-side without crossing shards.
+    const TraceContext parent = msg.trace.valid() ? msg.trace : tracer.current();
+    msg.trace = tracer.RecordComplete(
+        "net.msg", "net", msg.src, now, arrival, parent,
+        {{"dst", std::to_string(msg.dst)},
+         {"bytes", std::to_string(msg.size_bytes)},
+         {"class", TrafficClassName(msg.traffic)}});
+  }
+
+  for (int c = 0; c < fault.extra_copies; ++c) {
+    metrics_.RecordSend(msg);
+    SimTime dup_departure = now;
+    if (config_.model_bandwidth) {
+      const double tx_time = static_cast<double>(msg.size_bytes) / src.bandwidth_bytes_per_ms;
+      src.tx_free_at = std::max(src.tx_free_at, now) + tx_time;
+      dup_departure = src.tx_free_at;
+    }
+    ScheduleArrival(msg, dup_departure + prop);
+  }
+  ScheduleArrival(msg, arrival);
+}
+
+void Network::ScheduleArrival(const Message& msg, SimTime arrival) {
+  auto arrive = [this, msg]() { Arrive(msg); };
+  static_assert(sizeof(arrive) <= EventFn::kInlineSize,
+                "Message grew: arrival closure no longer fits EventFn inline storage");
+  sim_->ScheduleMessageArrival(msg.src, msg.dst, arrival, std::move(arrive));
+}
+
+void Network::Arrive(const Message& msg) {
+  auto& dst = hosts_[msg.dst];
+  if (config_.model_bandwidth) {
+    const SimTime now = sim_->Now();
+    const double rx_time = static_cast<double>(msg.size_bytes) / dst.bandwidth_bytes_per_ms;
+    dst.rx_free_at = std::max(dst.rx_free_at, now) + rx_time;
+    // rx serialization happens in the destination's canonical event order (not at the
+    // K-dependent send instant), so NIC backlog evolution is shard-layout-blind.
+    if (dst.rx_free_at > now) {
+      sim_->Schedule(dst.rx_free_at - now, [this, msg]() { Deliver(msg); });
+      return;
+    }
+  }
+  Deliver(msg);
+}
+
+void Network::Deliver(const Message& msg) {
+  auto& dst_state = hosts_[msg.dst];
+  if (!dst_state.up) {
+    metrics_.RecordDrop(msg.dst, msg.traffic);
+    return;
+  }
+  metrics_.RecordDelivery(msg);
+  dst_state.host->HandleMessage(msg);
 }
 
 void Network::ReserveHosts(size_t n) {

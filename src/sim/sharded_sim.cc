@@ -1,0 +1,454 @@
+#include "src/sim/sharded_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/env.h"
+#include "src/common/logging.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace.h"
+#include "src/sim/shard_slot.h"
+
+namespace totoro {
+
+namespace {
+
+constexpr SimTime kInfTime = std::numeric_limits<SimTime>::infinity();
+// Each origin owns 1 << kKeyOriginShift keys; overflowing would collide with the next
+// origin's range and silently break the canonical order, so it is always CHECKed.
+constexpr uint64_t kMaxOpsPerOrigin = uint64_t{1} << 28;
+
+// Who is executing on this thread right now. The default-initialized state means
+// "plain driver code": schedules route to the control stream, Now() reads the base
+// clock. Workers install themselves at thread start; RunAsHost/RunControlAt swap the
+// context in and out on the coordinator thread.
+struct ExecContext {
+  ShardedSimulator* sim = nullptr;
+  uint32_t host = UINT32_MAX;  // kControlExec when not acting as a host.
+  size_t shard = SIZE_MAX;
+  bool worker = false;
+  SimTime* now = nullptr;
+};
+
+thread_local ExecContext tls_exec;
+
+}  // namespace
+
+std::unique_ptr<Simulator> MakeSimulatorFromEnv() {
+  const size_t k = EnvThreadCount("TOTORO_SIM_SHARDS", 1);
+  if (k <= 1) {
+    return std::make_unique<Simulator>();
+  }
+  return std::make_unique<ShardedSimulator>(k);
+}
+
+ShardedSimulator::ShardedSimulator(size_t num_shards) {
+  CHECK_GE(num_shards, size_t{1});
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->outbox.resize(num_shards);
+    shards_.push_back(std::move(shard));
+  }
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_[i]->thread = std::thread(&ShardedSimulator::WorkerMain, this, i);
+  }
+  // Wait until every worker has published its thread-local sink pointers, so folds and
+  // flag propagation never read a null Shard::tracer.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return workers_ready_ == shards_.size(); });
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  SyncShardCancelled();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_workers_.notify_all();
+  for (auto& shard : shards_) {
+    shard->thread.join();
+  }
+}
+
+void ShardedSimulator::OnHostAdded(HostId id) {
+  CHECK(!sealed_);  // Sharded runs need the full topology before the first event.
+  num_hosts_ = std::max(num_hosts_, static_cast<size_t>(id) + 1);
+}
+
+void ShardedSimulator::SealPartition() {
+  if (sealed_) {
+    return;
+  }
+  sealed_ = true;
+  const uint64_t k = shards_.size();
+  ops_.assign(num_hosts_, 0);
+  shard_of_.resize(num_hosts_);
+  for (size_t h = 0; h < num_hosts_; ++h) {
+    // Contiguous ranges: shard workers sweep adjacent host state, and the split
+    // depends only on (num_hosts, K) — never on insertion order.
+    shard_of_[h] = static_cast<uint32_t>(static_cast<uint64_t>(h) * k / num_hosts_);
+  }
+}
+
+size_t ShardedSimulator::ShardOf(HostId id) const {
+  CHECK(sealed_);
+  CHECK_LT(id, shard_of_.size());
+  return shard_of_[id];
+}
+
+void ShardedSimulator::SetLookaheadMs(double ms) {
+  CHECK_GE(ms, 0.0);
+  lookahead_ms_ = ms;
+}
+
+SimTime ShardedSimulator::Now() const {
+  const ExecContext& ctx = tls_exec;
+  if (ctx.sim == this && ctx.now != nullptr) {
+    return *ctx.now;
+  }
+  return now_;
+}
+
+EventHandle ShardedSimulator::Schedule(SimTime delay, EventFn fn) {
+  CHECK_GE(delay, 0.0);
+  return ScheduleAt(Now() + delay, std::move(fn));
+}
+
+EventHandle ShardedSimulator::ScheduleAt(SimTime at, EventFn fn) {
+  CHECK_GE(at, Now());
+  ExecContext& ctx = tls_exec;
+  if (ctx.sim == this && ctx.host != kControlExec) {
+    // Acting as a host (worker event or parked RunAsHost): a self-schedule joins the
+    // host's canonical stream on its own shard.
+    CHECK_LT(ops_[ctx.host], kMaxOpsPerOrigin);
+    const uint64_t key = NextHostKey(ctx.host);
+    return shards_[shard_of_[ctx.host]]->queue.Push(at, key, ctx.host, std::move(fn));
+  }
+  // Driver/harness code on the coordinator thread: the control stream.
+  CHECK_LT(control_ops_, kMaxOpsPerOrigin);
+  return control_.Push(at, NextControlKey(), kControlExec, std::move(fn));
+}
+
+EventHandle ShardedSimulator::ScheduleRejoin(SimTime delay, EventFn fn) {
+  ExecContext& ctx = tls_exec;
+  if (ctx.sim == this && ctx.worker) {
+    ++shards_[ctx.shard]->rejoins;  // Folded into rejoins_scheduled_ at run end.
+  } else {
+    ++rejoins_scheduled_;
+  }
+  return Schedule(delay, std::move(fn));
+}
+
+EventHandle ShardedSimulator::ScheduleMessageArrival(HostId src, HostId dst, SimTime at,
+                                                     EventFn fn) {
+  ExecContext& ctx = tls_exec;
+  CHECK(ctx.sim == this);
+  CHECK_LT(dst, shard_of_.size());
+  CHECK_LT(ops_[src], kMaxOpsPerOrigin);
+  const uint64_t key = NextHostKey(src);
+  const size_t dst_shard = shard_of_[dst];
+  if (!ctx.worker || dst_shard == ctx.shard) {
+    // Same shard, or the coordinator with all workers parked: push directly.
+    return shards_[dst_shard]->queue.Push(at, key, dst, std::move(fn));
+  }
+  // Cross-shard from a worker: the src's counter is only safe because the send runs in
+  // src's execution context, and the arrival can't land inside the open window because
+  // propagation >= lookahead. The barrier drains it before the next window opens.
+  CHECK_EQ(ctx.host, src);
+  CHECK_GE(at, window_end_);
+  shards_[ctx.shard]->outbox[dst_shard].push_back(
+      PendingCrossShard{at, key, dst, std::move(fn)});
+  return EventHandle();
+}
+
+void ShardedSimulator::RunAsHost(HostId host, const std::function<void()>& fn) {
+  SealPartition();
+  CHECK_LT(host, num_hosts_);
+  ExecContext& ctx = tls_exec;
+  if (ctx.worker) {
+    // Re-entrant call from inside a host event (node methods self-wrap so harness code
+    // can call them too): legal only for hosts on the calling worker's own shard, where
+    // single-threaded shard execution makes the identity swap safe.
+    CHECK_EQ(shard_of_[host], ctx.shard);
+    const uint32_t saved_host = ctx.host;
+    ctx.host = host;
+    Tracer& tracer = GlobalTracer();
+    tracer.SetIdSource(HostKeyBase(host), &ops_[host]);
+    fn();
+    ctx.host = saved_host;
+    tracer.SetIdSource(HostKeyBase(saved_host), &ops_[saved_host]);
+    return;
+  }
+  const ExecContext saved = ctx;
+  ctx = ExecContext{this, host, shard_of_[host], /*worker=*/false, &now_};
+  Tracer& tracer = GlobalTracer();
+  tracer.SetIdSource(HostKeyBase(host), &ops_[host]);
+  fn();
+  if (saved.sim == this && saved.host != kControlExec) {
+    tracer.SetIdSource(HostKeyBase(saved.host), &ops_[saved.host]);  // Nested call.
+  } else {
+    tracer.ClearIdSource();
+  }
+  ctx = saved;
+}
+
+size_t ShardedSimulator::Run(size_t max_events) {
+  return RunShardedLoop(max_events, kInfTime);
+}
+
+size_t ShardedSimulator::RunUntil(SimTime t) {
+  CHECK_GE(t, now_);
+  // Events at exactly t must run: the exclusive bound is the next representable time.
+  const size_t fired = RunShardedLoop(SIZE_MAX, std::nextafter(t, kInfTime));
+  now_ = t;
+  return fired;
+}
+
+size_t ShardedSimulator::RunShardedLoop(size_t max_events, SimTime end_exclusive) {
+  SealPartition();
+  if (shards_.size() > 1) {
+    // Zero lookahead would let a window-open shard receive a same-window arrival,
+    // violating the conservative bound. Call SetLookaheadMs (min link latency) first.
+    CHECK_GT(lookahead_ms_, 0.0);
+  }
+  first_run_done_ = true;
+  ProfileScope profile_scope("sim_run");
+  const double wall_start = WallClockSeconds();
+  // Propagate observability switches to the parked workers' thread-local sinks.
+  const bool trace_on = GlobalTracer().enabled();
+  const bool profile_on = GlobalProfiler().enabled();
+  for (auto& shard : shards_) {
+    shard->tracer->SetEnabled(trace_on);
+    shard->profiler->SetEnabled(profile_on);
+  }
+  size_t fired_total = 0;
+  while (fired_total < max_events) {
+    DrainOutboxes();
+    SimTime t_first = kInfTime;
+    for (auto& shard : shards_) {
+      if (!shard->queue.Empty()) {
+        t_first = std::min(t_first, shard->queue.NextTime());
+      }
+    }
+    const SimTime control_next = control_.Empty() ? kInfTime : control_.NextTime();
+    t_first = std::min(t_first, control_next);
+    if (t_first >= end_exclusive) {
+      break;
+    }
+    if (control_next == t_first) {
+      // Control-before-shard at equal times, with every worker parked: control events
+      // may touch any shard's state (churn scripts, engine rounds) race-free.
+      now_ = control_next;
+      fired_total += RunControlAt(control_next);
+      continue;
+    }
+    SimTime window_end = shards_.size() == 1 ? end_exclusive : t_first + lookahead_ms_;
+    window_end = std::min(window_end, std::min(control_next, end_exclusive));
+    now_ = t_first;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      window_end_ = window_end;
+      workers_running_ = shards_.size();
+      ++window_gen_;
+    }
+    cv_workers_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [this] { return workers_running_ == 0; });
+    }
+    SimTime last_at = now_;
+    for (auto& shard : shards_) {
+      fired_total += shard->window_fired;
+      if (shard->window_fired != 0) {
+        last_at = std::max(last_at, shard->window_last_at);
+      }
+    }
+    now_ = last_at;  // K-independent: the max fire time over a K-independent event set.
+  }
+  run_wall_seconds_ += WallClockSeconds() - wall_start;
+  events_fired_ += fired_total;
+  fired_counter_->Increment(fired_total);
+  SyncShardCancelled();
+  FoldObservability();
+  return fired_total;
+}
+
+size_t ShardedSimulator::RunControlAt(SimTime at) {
+  ExecContext& ctx = tls_exec;
+  const ExecContext saved = ctx;
+  ctx = ExecContext{this, kControlExec, SIZE_MAX, /*worker=*/false, &now_};
+  size_t fired = 0;
+  SimTime t = at;
+  uint32_t exec = 0;
+  EventFn fn;
+  // A control event may schedule another at the same instant; drain until the stream
+  // moves past `at` so same-time control stays ahead of same-time shard events.
+  while (!control_.Empty() && control_.NextTime() <= at) {
+    if (!control_.PopNext(&t, &exec, &fn)) {
+      break;
+    }
+    fn();
+    ++fired;
+  }
+  fn.Reset();
+  ctx = saved;
+  return fired;
+}
+
+void ShardedSimulator::DrainOutboxes() {
+  for (auto& src : shards_) {
+    for (size_t d = 0; d < src->outbox.size(); ++d) {
+      for (PendingCrossShard& p : src->outbox[d]) {
+        shards_[d]->queue.Push(p.at, p.key, p.exec_host, std::move(p.fn));
+      }
+      src->outbox[d].clear();
+    }
+  }
+}
+
+void ShardedSimulator::FoldObservability() {
+  // Spans: canonical span-id order. Both the set and the ids are K-independent, so the
+  // sorted fold is byte-stable; ids are unique (disjoint per-origin ranges), so the
+  // sort is a strict order with nothing left to tie-break.
+  std::vector<SpanRecord> all;
+  for (auto& shard : shards_) {
+    std::vector<SpanRecord> spans = shard->tracer->TakeSpans();
+    all.insert(all.end(), std::make_move_iterator(spans.begin()),
+               std::make_move_iterator(spans.end()));
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end(),
+              [](const SpanRecord& a, const SpanRecord& b) { return a.span_id < b.span_id; });
+    GlobalTracer().AppendSpans(std::move(all));
+  }
+  MetricsRegistry& main_registry = GlobalMetrics();
+  Profiler& main_profiler = GlobalProfiler();
+  for (auto& shard : shards_) {
+    main_registry.MergeFrom(*shard->metrics);
+    shard->metrics->ResetValues();
+    if (main_profiler.enabled()) {
+      main_profiler.MergeFrom(*shard->profiler);
+      shard->profiler->Reset();
+    }
+    rejoins_scheduled_ += shard->rejoins;
+    shard->rejoins = 0;
+  }
+}
+
+void ShardedSimulator::SyncShardCancelled() {
+  uint64_t total = control_.cancelled_total();
+  for (const auto& shard : shards_) {
+    total += shard->queue.cancelled_total();
+  }
+  cancelled_counter_->Increment(total - cancelled_synced_);
+  cancelled_synced_ = total;
+}
+
+uint64_t ShardedSimulator::events_cancelled() const {
+  uint64_t total = control_.cancelled_total();
+  for (const auto& shard : shards_) {
+    total += shard->queue.cancelled_total();
+  }
+  return total;
+}
+
+bool ShardedSimulator::Idle() const {
+  if (!control_.Empty()) {
+    return false;
+  }
+  for (const auto& shard : shards_) {
+    if (!shard->queue.Empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t ShardedSimulator::PendingEvents() const {
+  size_t total = control_.Size();
+  for (const auto& shard : shards_) {
+    total += shard->queue.Size();
+  }
+  return total;
+}
+
+void ShardedSimulator::ReserveEvents(size_t n) {
+  const size_t per_shard = n / shards_.size() + 1;
+  for (auto& shard : shards_) {
+    shard->queue.Reserve(per_shard);
+  }
+}
+
+void ShardedSimulator::WorkerMain(size_t shard_index) {
+  internal::ThreadShardSlot() = 1 + shard_index;
+  Shard& shard = *shards_[shard_index];
+  ExecContext& ctx = tls_exec;
+  ctx = ExecContext{this, kControlExec, shard_index, /*worker=*/true, &shard.now};
+  shard.tracer = &GlobalTracer();
+  shard.metrics = &GlobalMetrics();
+  shard.profiler = &GlobalProfiler();
+  shard.tracer->SetClockSource(&shard.now);
+  shard.profiler->SetClockSource(&shard.now);
+  SetLogTimeSource(&shard.now);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++workers_ready_;
+  }
+  cv_done_.notify_all();
+  uint64_t seen_gen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_workers_.wait(lock, [&] { return stopping_ || window_gen_ != seen_gen; });
+      if (stopping_) {
+        return;
+      }
+      seen_gen = window_gen_;
+    }
+    RunWindow(shard, shard_index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_running_;
+      if (workers_running_ == 0) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void ShardedSimulator::RunWindow(Shard& shard, size_t shard_index) {
+  (void)shard_index;
+  ExecContext& ctx = tls_exec;
+  Tracer& tracer = *shard.tracer;
+  // window_end_ was published before this window's generation bump; the coordinator
+  // blocks until every worker reports done, so the read is barrier-ordered.
+  const SimTime end = window_end_;
+  uint64_t fired = 0;
+  SimTime at = shard.now;
+  uint32_t exec = 0;
+  EventFn fn;
+  while (!shard.queue.Empty() && shard.queue.NextTime() < end) {
+    if (!shard.queue.PopNext(&at, &exec, &fn)) {
+      break;
+    }
+    shard.now = at;
+    ctx.host = exec;
+    // Every id (event key, trace id, span id) the event allocates comes from its
+    // host's canonical counter, so downstream behaviour is shard-layout-blind.
+    tracer.SetIdSource(HostKeyBase(exec), &ops_[exec]);
+    fn();
+    ++fired;
+  }
+  fn.Reset();
+  tracer.ClearIdSource();
+  ctx.host = kControlExec;
+  shard.window_fired = fired;
+  shard.window_last_at = at;
+}
+
+}  // namespace totoro

@@ -18,6 +18,11 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+double Simulator::WallClockSeconds() {
+  static const std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  return SecondsSince(epoch);
+}
+
 Simulator::Simulator() {
   GlobalTracer().SetClockSource(&now_);
   SetLogTimeSource(&now_);

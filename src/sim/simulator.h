@@ -24,6 +24,7 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "src/sim/event_queue.h"
 
@@ -32,21 +33,28 @@ namespace totoro {
 class Counter;
 class Gauge;
 
+using HostId = uint32_t;
+
+// The scheduling seam is virtual: the default implementation below is the proven
+// single-threaded engine (one queue, one thread, byte-identical to every committed
+// baseline), and ShardedSimulator (sharded_sim.h) overrides it with K per-shard queues
+// behind a conservative time-windowed barrier. Protocol layers only ever hold a
+// Simulator*, so they run unchanged on either engine.
 class Simulator {
  public:
   // Registers this simulator's clock as the thread-wide virtual-time source for the
   // tracer and the logger; the destructor deregisters it (only if still the active
   // source, so nested/successive simulators behave sanely).
   Simulator();
-  ~Simulator();
+  virtual ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime Now() const { return now_; }
+  virtual SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` virtual ms from now. delay must be >= 0.
-  EventHandle Schedule(SimTime delay, EventFn fn);
-  EventHandle ScheduleAt(SimTime at, EventFn fn);
+  virtual EventHandle Schedule(SimTime delay, EventFn fn);
+  virtual EventHandle ScheduleAt(SimTime at, EventFn fn);
 
   // Schedules a completion-stamp rejoin: an event whose callback is allowed to BLOCK
   // the wall clock waiting for work running off the simulator thread (e.g. a
@@ -55,25 +63,55 @@ class Simulator {
   // and keeps a deterministic count so tests can assert the offload actually engaged.
   // The rejoin's position in the queue — and hence everything downstream — must not
   // depend on the off-thread result, only on `delay` and the call site's order.
-  EventHandle ScheduleRejoin(SimTime delay, EventFn fn);
+  virtual EventHandle ScheduleRejoin(SimTime delay, EventFn fn);
   uint64_t rejoins_scheduled() const { return rejoins_scheduled_; }
 
   // Runs events until the queue drains or `max_events` fire. Returns events fired.
-  size_t Run(size_t max_events = SIZE_MAX);
+  // (The sharded engine treats `max_events` as a window-granular bound.)
+  virtual size_t Run(size_t max_events = SIZE_MAX);
 
   // Runs events with firing time <= t, then advances the clock to exactly t.
-  size_t RunUntil(SimTime t);
-  size_t RunFor(SimTime duration) { return RunUntil(now_ + duration); }
+  virtual size_t RunUntil(SimTime t);
+  size_t RunFor(SimTime duration) { return RunUntil(Now() + duration); }
 
-  bool Idle() const { return queue_.Empty(); }
-  size_t PendingEvents() const { return queue_.Size(); }
+  virtual bool Idle() const { return queue_.Empty(); }
+  virtual size_t PendingEvents() const { return queue_.Size(); }
 
   // Pre-sizes the event queue for `n` concurrently pending events.
-  void ReserveEvents(size_t n) { queue_.Reserve(n); }
+  virtual void ReserveEvents(size_t n) { queue_.Reserve(n); }
+
+  // --- Sharded-execution seam (inert single-queue defaults) ---
+  // True when this simulator partitions hosts across shard queues.
+  virtual bool sharded() const { return false; }
+  virtual size_t num_shards() const { return 1; }
+  // Runs `fn` immediately with `host` established as the executing identity, so
+  // schedules and sends issued inside land in the host's shard with canonical ids.
+  // Harness/driver code wraps per-node setup calls (Subscribe, StartKeepAlive, ...) in
+  // this; the default engine just invokes `fn`.
+  virtual void RunAsHost(HostId host, const std::function<void()>& fn) {
+    (void)host;
+    fn();
+  }
+  // Schedules a message-arrival event that executes as `dst` (possibly on another
+  // shard), keyed by `src`'s canonical sequence. The default engine has one queue, so
+  // this is exactly ScheduleAt.
+  virtual EventHandle ScheduleMessageArrival(HostId src, HostId dst, SimTime at,
+                                             EventFn fn) {
+    (void)src;
+    (void)dst;
+    return ScheduleAt(at, std::move(fn));
+  }
+  // Host-registration hook (Network::AddHost calls it); the sharded engine uses it to
+  // size its host->shard map before the first run.
+  virtual void OnHostAdded(HostId id) { (void)id; }
+  // Conservative-barrier lookahead (min link propagation latency, virtual ms). No-op
+  // on the single-queue engine; harnesses call it unconditionally after wiring the
+  // network.
+  virtual void SetLookaheadMs(double ms) { (void)ms; }
 
   // --- Throughput introspection ---
   uint64_t events_fired() const { return events_fired_; }
-  uint64_t events_cancelled() const { return queue_.cancelled_total(); }
+  virtual uint64_t events_cancelled() const { return queue_.cancelled_total(); }
   // Wall-clock seconds spent inside Run/RunUntil event loops.
   double run_wall_seconds() const { return run_wall_seconds_; }
   // Fired events per wall-clock second (0 before any event ran).
@@ -94,6 +132,23 @@ class Simulator {
   // Rate over the most recent completed sampling window (0 before the first sample).
   double live_events_per_sec() const { return live_events_per_sec_; }
 
+ protected:
+  // Wall-clock seconds since an arbitrary fixed epoch. The single audited wall-time
+  // source (lint R1 allows steady_clock in simulator.cc only); it feeds nothing but
+  // events/s accounting, never scheduling.
+  static double WallClockSeconds();
+
+  // Shared accounting state the sharded engine drives from its coordinator loop. The
+  // base constructor registers &now_ as the thread's virtual-time source, so a subclass
+  // advancing now_ keeps main-thread tracer/log/profiler stamps correct for free.
+  SimTime now_ = 0.0;
+  uint64_t events_fired_ = 0;
+  uint64_t rejoins_scheduled_ = 0;
+  uint64_t cancelled_synced_ = 0;
+  double run_wall_seconds_ = 0.0;
+  Counter* fired_counter_ = nullptr;      // Cached thread-local registry series.
+  Counter* cancelled_counter_ = nullptr;
+
  private:
   template <typename StopCondition>
   size_t RunLoop(size_t max_events, StopCondition keep_going);
@@ -106,18 +161,11 @@ class Simulator {
   void SamplePeriodic(uint64_t total_fired, double wall_now);
 
   EventQueue queue_;
-  SimTime now_ = 0.0;
-  uint64_t events_fired_ = 0;
-  uint64_t rejoins_scheduled_ = 0;
-  uint64_t cancelled_synced_ = 0;
-  double run_wall_seconds_ = 0.0;
   uint64_t sample_every_ = 0;            // 0 = periodic sampling off.
   uint64_t events_since_sample_ = 0;
   uint64_t window_start_fired_ = 0;
   double window_start_wall_ = 0.0;
   double live_events_per_sec_ = 0.0;
-  Counter* fired_counter_ = nullptr;      // Cached thread-local registry series.
-  Counter* cancelled_counter_ = nullptr;
   Gauge* throughput_gauge_ = nullptr;     // Lazily cached by ThroughputGauge().
 };
 

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/engine.h"
@@ -35,6 +36,41 @@ TEST(ComputePoolTest, InlineModeRunsOnSubmitWithoutThreads) {
   EXPECT_TRUE(ran.load());
   EXPECT_EQ(ticket.Take().weights[0], 7.0f);
   EXPECT_EQ(pool.tasks_submitted(), 1u);
+}
+
+// Regression for the orphan-tree bug: ProfileScopes inside offloaded tasks accumulate
+// into the WORKER's thread-local profiler, which used to die with the thread — a
+// profiled run under TOTORO_COMPUTE_THREADS>1 silently lost every task phase. The pool
+// now drains each worker's tree into the owner's profiler at destruction, so worker
+// phases appear in the export.
+TEST(ComputePoolTest, WorkerProfilerPhasesDrainIntoOwnersTree) {
+  // The env var must be visible before the pool's worker threads first touch their
+  // thread-local profilers; a fresh owner thread gives this test a clean tree too.
+  ::setenv("TOTORO_PROFILE", "1", 1);
+  uint64_t calls = 0;
+  std::string json;
+  std::thread owner([&calls, &json] {
+    GlobalProfiler().SetEnabled(true);
+    {
+      ComputePool pool(4);
+      std::vector<ComputePool::Ticket> tickets;
+      for (int i = 0; i < 16; ++i) {
+        tickets.push_back(pool.Submit([i] { return MakeUpdate(static_cast<float>(i)); }));
+      }
+      for (ComputePool::Ticket& ticket : tickets) {
+        ticket.Wait();
+      }
+    }  // Pool destruction joins the workers and folds their trees, worker-index order.
+    const Profiler::PhaseNode* node = GlobalProfiler().Find("compute_task");
+    if (node != nullptr) {
+      calls = node->stats.calls;
+    }
+    json = GlobalProfiler().ToJson();
+  });
+  owner.join();
+  ::unsetenv("TOTORO_PROFILE");
+  EXPECT_EQ(calls, 16u);
+  EXPECT_NE(json.find("compute_task"), std::string::npos);
 }
 
 TEST(ComputePoolTest, ThreadedPoolCompletesAllTasksWithCorrectResults) {

@@ -78,6 +78,36 @@ TEST(VirtualNodeCountTest, MatchesPaperMapping) {
   EXPECT_EQ(VirtualNodeCount(16), 4);
 }
 
+// Regression for the former function-scope `static thread_local` metric caches in
+// engine.cc: those bound each series to whichever engine first executed the site on
+// this thread. Per-engine caching must (a) keep attributing into the registry's series
+// after ResetValues() zeroes them, and (b) give a later engine on the same thread its
+// own correctly-counted deltas.
+TEST(TotoroEngineTest, MetricSeriesSurviveRegistryValueReset) {
+  std::vector<size_t> workers{1, 2, 3, 4, 5, 6};
+  const Counter& tasks = GlobalMetrics().GetCounter("engine.compute.train_tasks");
+  const uint64_t before = tasks.value();
+  {
+    EngineWorld world(12);
+    world.Launch(SmallApp("reset-a", 2.0, 2), workers, 7);
+    world.engine->StartAll();
+    ASSERT_TRUE(world.engine->RunToCompletion());
+  }
+  const uint64_t delta = tasks.value() - before;
+  EXPECT_GT(delta, 0u);
+  GlobalMetrics().ResetValues();
+  EXPECT_EQ(tasks.value(), 0u);
+  {
+    // Identical workload on a fresh engine: the new engine's cached pointers must hit
+    // the same zeroed series, reproducing the first run's delta exactly.
+    EngineWorld world(12);
+    world.Launch(SmallApp("reset-a", 2.0, 2), workers, 7);
+    world.engine->StartAll();
+    ASSERT_TRUE(world.engine->RunToCompletion());
+  }
+  EXPECT_EQ(tasks.value(), delta);
+}
+
 TEST(TotoroEngineTest, SingleAppCompletesAllRounds) {
   EngineWorld world(60);
   std::vector<size_t> workers;

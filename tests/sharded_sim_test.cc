@@ -1,0 +1,180 @@
+// Unit tests for the sharded simulator: control-stream ordering, window/barrier
+// semantics over a real Network, and the headline contract — bit-identical metric and
+// trace exports for any shard count K.
+#include "src/sim/sharded_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/export.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
+#include "src/sim/network.h"
+
+namespace totoro {
+namespace {
+
+TEST(ShardedSimulator, ControlEventsRunInTimeOrder) {
+  ShardedSimulator sim(2);
+  sim.SetLookaheadMs(1.0);
+  std::vector<int> order;
+  sim.Schedule(5.0, [&order] { order.push_back(2); });
+  sim.Schedule(1.0, [&order] { order.push_back(1); });
+  sim.Schedule(9.0, [&order] { order.push_back(3); });
+  EXPECT_EQ(sim.PendingEvents(), 3u);
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 9.0);
+  EXPECT_TRUE(sim.Idle());
+  EXPECT_EQ(sim.events_fired(), 3u);
+}
+
+TEST(ShardedSimulator, RunUntilIsInclusiveAndAdvancesClock) {
+  ShardedSimulator sim(4);
+  sim.SetLookaheadMs(0.5);
+  int fired = 0;
+  sim.ScheduleAt(10.0, [&fired] { ++fired; });
+  sim.ScheduleAt(10.5, [&fired] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(10.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+  EXPECT_EQ(sim.RunUntil(20.0), 1u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 20.0);
+}
+
+TEST(ShardedSimulator, CancelledHostEventsDoNotFire) {
+  ShardedSimulator sim(2);
+  sim.SetLookaheadMs(1.0);
+
+  class Silent : public Host {
+   public:
+    void HandleMessage(const Message&) override {}
+  };
+  Silent a;
+  Silent b;
+  Network net(&sim, std::make_unique<ConstantLatency>(1.0), NetworkConfig{});
+  net.AddHost(&a);
+  net.AddHost(&b);
+
+  int fired = 0;
+  EventHandle handle;
+  sim.RunAsHost(1, [&] { handle = sim.Schedule(3.0, [&fired] { ++fired; }); });
+  EXPECT_TRUE(handle.Cancel());
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+}
+
+// A host that replies to every ping until the hop budget runs out, so traffic bounces
+// across shard boundaries many times.
+class PingHost : public Host {
+ public:
+  Network* net = nullptr;
+  HostId id = 0;
+  int received = 0;
+
+  void HandleMessage(const Message& msg) override {
+    ++received;
+    if (msg.hops < 6) {
+      Message reply;
+      reply.src = id;
+      reply.dst = msg.src;
+      reply.hops = static_cast<uint8_t>(msg.hops + 1);
+      reply.size_bytes = 200;
+      net->Send(reply);
+    }
+  }
+};
+
+struct ScenarioResult {
+  std::vector<int> received;
+  uint64_t events = 0;
+  std::string metrics_json;
+  std::string trace_json;
+};
+
+// Runs the ping-pong scenario (16 hosts, all-to-all-ish pings, one mid-run churn event
+// through the control stream) on a FRESH thread so every run gets pristine
+// thread-local tracer/metrics sinks.
+ScenarioResult RunPingScenario(size_t shards, bool model_bandwidth) {
+  ScenarioResult out;
+  std::thread runner([&out, shards, model_bandwidth] {
+    GlobalTracer().SetEnabled(true);
+    ShardedSimulator sim(shards);
+    NetworkConfig cfg;
+    cfg.model_bandwidth = model_bandwidth;
+    Network net(&sim, std::make_unique<PairwiseUniformLatency>(2.0, 20.0, 1234), cfg);
+    constexpr size_t kHosts = 16;
+    std::vector<PingHost> hosts(kHosts);
+    for (size_t i = 0; i < kHosts; ++i) {
+      hosts[i].net = &net;
+      hosts[i].id = net.AddHost(&hosts[i]);
+    }
+    sim.SetLookaheadMs(net.latency_model().MinLatencyMs());
+    for (size_t i = 0; i < kHosts; ++i) {
+      sim.RunAsHost(static_cast<HostId>(i), [&net, i] {
+        Message m;
+        m.src = static_cast<HostId>(i);
+        m.dst = static_cast<HostId>((i * 5 + 3) % kHosts);
+        m.size_bytes = 120;
+        net.Send(m);
+      });
+    }
+    // Mid-run churn through the control stream: host 3 dies, later heals. Control runs
+    // at window boundaries with every worker parked, so the flip is race-free and
+    // lands at the same virtual instant for every K.
+    sim.Schedule(60.0, [&net] { net.SetHostUp(3, false); });
+    sim.Schedule(180.0, [&net] { net.SetHostUp(3, true); });
+    sim.RunUntil(400.0);
+    for (const PingHost& h : hosts) {
+      out.received.push_back(h.received);
+    }
+    out.events = sim.events_fired();
+    net.metrics().PublishTo(GlobalMetrics());
+    out.metrics_json = MetricsToJson(GlobalMetrics());
+    out.trace_json = TraceToChromeJson(GlobalTracer());
+  });
+  runner.join();
+  return out;
+}
+
+TEST(ShardedSimulator, BitIdenticalExportsAcrossShardCounts) {
+  const ScenarioResult base = RunPingScenario(1, /*model_bandwidth=*/true);
+  EXPECT_GT(base.events, 0u);
+  int delivered = 0;
+  for (int r : base.received) {
+    delivered += r;
+  }
+  EXPECT_GT(delivered, 16);  // Replies actually bounced.
+  for (const size_t k : {size_t{2}, size_t{4}, size_t{8}}) {
+    const ScenarioResult run = RunPingScenario(k, /*model_bandwidth=*/true);
+    EXPECT_EQ(run.received, base.received) << "K=" << k;
+    EXPECT_EQ(run.events, base.events) << "K=" << k;
+    EXPECT_EQ(run.metrics_json, base.metrics_json) << "K=" << k;
+    EXPECT_EQ(run.trace_json, base.trace_json) << "K=" << k;
+  }
+}
+
+TEST(ShardedSimulator, BitIdenticalWithoutBandwidthModel) {
+  const ScenarioResult base = RunPingScenario(1, /*model_bandwidth=*/false);
+  const ScenarioResult run = RunPingScenario(4, /*model_bandwidth=*/false);
+  EXPECT_EQ(run.received, base.received);
+  EXPECT_EQ(run.events, base.events);
+  EXPECT_EQ(run.metrics_json, base.metrics_json);
+  EXPECT_EQ(run.trace_json, base.trace_json);
+}
+
+TEST(MakeSimulatorFromEnv, DefaultsToSingleThreadedEngine) {
+  // TOTORO_SIM_SHARDS is unset in the test environment.
+  std::unique_ptr<Simulator> sim = MakeSimulatorFromEnv();
+  EXPECT_FALSE(sim->sharded());
+  EXPECT_EQ(sim->num_shards(), 1u);
+}
+
+}  // namespace
+}  // namespace totoro

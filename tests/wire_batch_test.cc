@@ -205,19 +205,83 @@ TEST(WireBatcherTest, SenderCrashMidWindowDropsPendingBatch) {
                              [&](const NodeId&, const Message&, int) { ++delivered; });
 
   const uint64_t envelopes_before = CounterValue("pubsub.batch.envelopes");
+  const uint64_t saved_before = CounterValue("pubsub.batch.bytes_saved");
+  const uint64_t dead_batches_before = CounterValue("pubsub.batch.dead_batches");
+  const uint64_t dead_msgs_before = CounterValue("pubsub.batch.dead_batch_msgs");
   const uint64_t bytes_before = world.net->metrics().total_bytes();
   world.sim.Schedule(0.0, [&] {
     batcher.Send(receiver.host(), MakeControlMsg(48));
     batcher.Send(receiver.host(), MakeControlMsg(48));
   });
   // The sender dies inside the window; the armed flush finds it dead and the batch
-  // dies with it — nothing reaches the wire, no counters move.
+  // dies with it — nothing reaches the wire, but the batch's would-have-been bytes
+  // (size + framing each, what the unbatched arm already charged) are booked as saved
+  // so the reconciliation law survives the crash.
   world.sim.Schedule(5.0, [&] { world.net->SetHostUp(sender.host(), false); });
   world.sim.Run();
 
   EXPECT_EQ(delivered, 0u);
   EXPECT_EQ(world.net->metrics().total_bytes(), bytes_before);
   EXPECT_EQ(CounterValue("pubsub.batch.envelopes"), envelopes_before);
+  const WireBatchConfig defaults;
+  EXPECT_EQ(CounterValue("pubsub.batch.bytes_saved") - saved_before,
+            2 * (48 + defaults.framing_bytes));
+  EXPECT_EQ(CounterValue("pubsub.batch.dead_batches") - dead_batches_before, 1u);
+  EXPECT_EQ(CounterValue("pubsub.batch.dead_batch_msgs") - dead_msgs_before, 2u);
+}
+
+// faultsim scenario: the reconciliation law must stay exact when the flush target died
+// mid-window. Both arms run the identical schedule — a 3-message burst, a crash inside
+// the open window, then a post-crash send attempt — and the law
+// bytes(kCoalesce) == bytes(kAccountOnly) - bytes_saved is asserted across the crash.
+TEST(WireBatcherTest, SenderCrashReconciliationLawHolds) {
+  struct ArmResult {
+    uint64_t wire_bytes = 0;
+    uint64_t saved = 0;
+    uint64_t src_drops = 0;
+  };
+  auto run_arm = [](WireBatchConfig::Mode mode) {
+    WireBatchConfig config;
+    config.mode = mode;
+    config.window_ms = 10.0;
+    World world(10);
+    PastryNode& sender = world.pastry->node(0);
+    PastryNode& receiver = world.pastry->node(1);
+    FaultInjector injector(world.pastry.get(), nullptr, /*seed=*/7);
+    WireBatcher batcher(&sender, config);
+    receiver.SetDeliverHandler(kScribeParentHeartbeat,
+                               [](const NodeId&, const Message&, int) {});
+    receiver.SetDeliverHandler(kScribeBatch, [](const NodeId&, const Message&, int) {});
+    FaultScript script;
+    script.CrashAt(5.0, sender.host());
+    injector.Schedule(script);
+
+    const uint64_t bytes_before = world.net->metrics().total_bytes();
+    const uint64_t saved_before = CounterValue("pubsub.batch.bytes_saved");
+    const uint64_t drops_before = world.net->metrics().dropped_messages();
+    world.sim.Schedule(0.0, [&] {
+      for (int i = 0; i < 3; ++i) {
+        batcher.Send(receiver.host(), MakeControlMsg(48));
+      }
+    });
+    // Post-crash send attempt: must take the same path (and record the same src-down
+    // drop) in both arms instead of opening a fresh window on a dead node.
+    world.sim.Schedule(7.0, [&] { batcher.Send(receiver.host(), MakeControlMsg(32)); });
+    world.sim.Run();
+
+    ArmResult result;
+    result.wire_bytes = world.net->metrics().total_bytes() - bytes_before;
+    result.saved = CounterValue("pubsub.batch.bytes_saved") - saved_before;
+    result.src_drops = world.net->metrics().dropped_messages() - drops_before;
+    return result;
+  };
+
+  const ArmResult account = run_arm(WireBatchConfig::Mode::kAccountOnly);
+  const ArmResult coalesce = run_arm(WireBatchConfig::Mode::kCoalesce);
+  EXPECT_EQ(account.saved, 0u);
+  EXPECT_GT(coalesce.saved, 0u);
+  EXPECT_EQ(coalesce.wire_bytes, account.wire_bytes - coalesce.saved);
+  EXPECT_EQ(coalesce.src_drops, account.src_drops);  // The post-crash send, once each.
 }
 
 TEST(WireBatcherTest, PartitionMidWindowDropsEnvelopeOnceNotPerInnerMessage) {
