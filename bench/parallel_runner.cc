@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 #include "src/common/env.h"
+#include "src/common/thread_annotations.h"
 
 namespace totoro {
 namespace bench {
@@ -33,8 +33,8 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn, size_t threads
   }
 
   std::atomic<size_t> next{0};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
+  Mutex error_mu;
+  std::exception_ptr first_error;  // Guarded by error_mu until the pool joins.
   auto worker = [&]() {
     for (;;) {
       const size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -44,7 +44,7 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn, size_t threads
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mu);
+        MutexLock lock(&error_mu);
         if (!first_error) {
           first_error = std::current_exception();
         }

@@ -60,8 +60,12 @@ std::vector<uint8_t> BuildMembership(const std::vector<HostId>& hosts, size_t nu
 }  // namespace
 
 FaultInjector::FaultInjector(PastryNetwork* pastry, Forest* forest, uint64_t seed)
-    : pastry_(pastry), forest_(forest), rng_(seed), attack_seed_(MixSeed(seed)) {
+    : pastry_(pastry),
+      forest_(forest),
+      attack_seed_(MixSeed(seed)),
+      perturb_seed_(MixSeed(seed ^ 0xA5A5A5A5A5A5A5A5ull)) {
   CHECK(pastry_ != nullptr);
+  send_seq_.resize(pastry_->network()->num_hosts(), 0);
   pastry_->network()->SetFaultFn(
       [this](const Message& msg, FaultAction* action) { return OnMessage(msg, action); });
 }
@@ -100,6 +104,11 @@ HostId FaultInjector::BootstrapFor(HostId host) const {
 
 void FaultInjector::ApplyNow(const FaultEvent& ev) {
   Network* net = pastry_->network();
+  // Scripted events run with every shard parked, so growing the per-sender sequence
+  // table here (hosts added since construction) cannot race the message path.
+  if (send_seq_.size() < net->num_hosts()) {
+    send_seq_.resize(net->num_hosts(), 0);
+  }
   last_fault_ms_ = net->sim()->Now();
   FaultsAppliedCounter().Increment();
   TLOG_DEBUG("faultsim: applying %s at t=%.1fms", FaultKindName(ev.kind), last_fault_ms_);
@@ -220,6 +229,17 @@ Rng FaultInjector::AttackRng(HostId host, uint64_t round) const {
                                     round * 0xFF51AFD7ED558CCDull));
 }
 
+Rng FaultInjector::PerturbRng(HostId src, HostId dst) {
+  // The sequence makes repeated sends over the same link draw independently; it is a
+  // pure function of src's canonical send stream, so the derived stream — unlike a
+  // shared Rng consumed in global message order — is identical at any shard count.
+  const uint64_t seq = src < send_seq_.size() ? send_seq_[src]++ : 0;
+  return Rng(perturb_seed_ ^
+             MixSeed(static_cast<uint64_t>(src) * 0x632BE59BD9B4E019ull ^
+                     static_cast<uint64_t>(dst) * 0x9E3779B97F4A7C15ull ^
+                     seq * 0xFF51AFD7ED558CCDull));
+}
+
 void FaultInjector::ApplyAttack(const AttackParams& params,
                                 std::span<const float> reference,
                                 std::vector<float>& weights, double& sample_weight,
@@ -334,21 +354,31 @@ bool FaultInjector::OnMessage(const Message& msg, FaultAction* action) {
     return true;
   }
   bool affected = false;
+  // One derived Rng per perturbable message, created on first rule match. Rules draw
+  // from it in perturbs_ order (mutated only by parked scripted events), so the whole
+  // decision sequence is a function of (seed, src, dst, seq) — never of how messages
+  // from different senders happened to interleave.
+  Rng msg_rng(0);
+  bool have_rng = false;
   for (const ActivePerturb& p : perturbs_) {
     if (!PerturbMatches(p, msg)) {
       continue;
     }
-    if (p.rule.drop_prob > 0.0 && rng_.Bernoulli(p.rule.drop_prob)) {
+    if (!have_rng) {
+      have_rng = true;
+      msg_rng = PerturbRng(msg.src, msg.dst);
+    }
+    if (p.rule.drop_prob > 0.0 && msg_rng.Bernoulli(p.rule.drop_prob)) {
       action->drop = true;
       perturb_drops_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
-    if (p.rule.duplicate_prob > 0.0 && rng_.Bernoulli(p.rule.duplicate_prob)) {
+    if (p.rule.duplicate_prob > 0.0 && msg_rng.Bernoulli(p.rule.duplicate_prob)) {
       action->extra_copies += 1;
       duplicates_.fetch_add(1, std::memory_order_relaxed);
       affected = true;
     }
-    if (p.rule.delay_spike_prob > 0.0 && rng_.Bernoulli(p.rule.delay_spike_prob)) {
+    if (p.rule.delay_spike_prob > 0.0 && msg_rng.Bernoulli(p.rule.delay_spike_prob)) {
       action->extra_delay_ms += p.rule.delay_spike_ms;
       delay_spikes_.fetch_add(1, std::memory_order_relaxed);
       affected = true;

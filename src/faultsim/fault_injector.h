@@ -3,7 +3,10 @@
 // The injector installs itself as the Network's fault hook (partitions and link
 // perturbations act on messages in flight) and schedules each scripted event through
 // the event queue (crashes, leaves, rejoins act on host state). All probabilistic
-// decisions come from one seeded Rng, so a scripted run replays bit-identically.
+// decisions come from Rngs derived from the script seed — per (host, round) for
+// attacks, per (src, dst, send-sequence) for link perturbations — so a scripted run
+// replays bit-identically at any shard count: no draw ever depends on the global
+// interleaving of messages, only on each sender's own canonical stream.
 //
 // The injector also exposes the ground truth the InvariantChecker needs: whether a
 // partition is active (eventual invariants are only meaningful once reachability is
@@ -117,6 +120,10 @@ class FaultInjector {
                    std::vector<float>& weights, double& sample_weight, Rng& rng);
   // Derived generator for one (host, round) poisoning decision.
   Rng AttackRng(HostId host, uint64_t round) const;
+  // Derived generator for one message's perturbation draws, keyed by
+  // (src, dst, src's send sequence). Bumps the sequence; call at most once per
+  // message, from the sender's execution context.
+  Rng PerturbRng(HostId src, HostId dst);
 
   bool OnMessage(const Message& msg, FaultAction* action);
   bool PerturbMatches(const ActivePerturb& p, const Message& msg) const;
@@ -126,10 +133,16 @@ class FaultInjector {
 
   PastryNetwork* pastry_;
   Forest* forest_;  // Nullable.
-  Rng rng_;
-  // Fixed at construction (before rng_ serves message faults) so attack noise derives
-  // from the seed alone, never from how many messages the run happened to perturb.
+  // Independent stream keys mixed from the script seed at construction; every
+  // probabilistic decision derives a fresh Rng from one of these plus its own
+  // identity, so no decision consumes another's draws.
   uint64_t attack_seed_ = 0;
+  uint64_t perturb_seed_ = 0;
+  // Per-sender message sequence for PerturbRng. A host's send stream is canonical
+  // (the same at any shard count), so the counter is K-independent; the fault hook
+  // runs in the SENDER's execution context, so each element is only ever touched by
+  // the thread owning that host's shard. Sized by ApplyNow with workers parked.
+  std::vector<uint64_t> send_seq_;
   std::vector<ActivePartition> partitions_;
   std::vector<ActivePerturb> perturbs_;
   std::vector<ActiveAttack> attacks_;

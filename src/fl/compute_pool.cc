@@ -13,11 +13,11 @@ namespace totoro {
 struct ComputePool::Ticket::State {
   TrainFn fn;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  bool done = false;
-  LocalUpdate result;
-  std::exception_ptr error;
+  Mutex mu;
+  CondVar cv;
+  bool done TOTORO_GUARDED_BY(mu) = false;
+  LocalUpdate result TOTORO_GUARDED_BY(mu);
+  std::exception_ptr error TOTORO_GUARDED_BY(mu);
 
   void Run() {
     LocalUpdate update;
@@ -33,19 +33,21 @@ struct ComputePool::Ticket::State {
     }
     fn = nullptr;  // Release captured payloads promptly.
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       result = std::move(update);
       error = err;
       done = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
 void ComputePool::Ticket::Wait() const {
   CHECK(state_ != nullptr);
-  std::unique_lock<std::mutex> lock(state_->mu);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  MutexLock lock(&state_->mu);
+  while (!state_->done) {
+    state_->cv.Wait(state_->mu);
+  }
   if (state_->error) {
     std::rethrow_exception(state_->error);
   }
@@ -53,7 +55,7 @@ void ComputePool::Ticket::Wait() const {
 
 LocalUpdate ComputePool::Ticket::Take() {
   Wait();
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(&state_->mu);
   return std::move(state_->result);
 }
 
@@ -73,10 +75,10 @@ ComputePool::ComputePool(size_t threads) {
 ComputePool::~ComputePool() {
   if (!workers_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (auto& worker : workers_) {
       worker.join();
     }
@@ -88,11 +90,16 @@ ComputePool::~ComputePool() {
     }
   }
   // Queued-but-unstarted tasks still owe their tickets a result (a rejoin event may
-  // outlive the pool); run them inline.
-  for (auto& state : queue_) {
+  // outlive the pool); run them inline. All workers are joined (or never existed), but
+  // the lock keeps the guarded access provable and costs nothing uncontended.
+  std::deque<std::shared_ptr<Ticket::State>> leftovers;
+  {
+    MutexLock lock(&mu_);
+    leftovers.swap(queue_);
+  }
+  for (auto& state : leftovers) {
     state->Run();
   }
-  queue_.clear();
 }
 
 ComputePool::Ticket ComputePool::Submit(TrainFn fn) {
@@ -105,10 +112,10 @@ ComputePool::Ticket ComputePool::Submit(TrainFn fn) {
     return Ticket(std::move(state));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(state);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Ticket(std::move(state));
 }
 
@@ -116,8 +123,10 @@ void ComputePool::WorkerLoop(size_t index) {
   for (;;) {
     std::shared_ptr<Ticket::State> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         break;  // stopping_ with a drained queue.
       }

@@ -20,14 +20,13 @@
 #ifndef SRC_FL_COMPUTE_POOL_H_
 #define SRC_FL_COMPUTE_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/fl/client.h"
 #include "src/obs/profiler.h"
 
@@ -87,10 +86,10 @@ class ComputePool {
   std::vector<Profiler> worker_profilers_;
   uint64_t tasks_submitted_ = 0;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Ticket::State>> queue_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::shared_ptr<Ticket::State>> queue_ TOTORO_GUARDED_BY(mu_);
+  bool stopping_ TOTORO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace totoro

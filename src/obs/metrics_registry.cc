@@ -171,6 +171,7 @@ MetricsRegistry& GlobalMetrics() {
   // One registry per THREAD (see GlobalTracer): parallel bench trials record into
   // their worker thread's registry, keeping hot-path recording lock-free. Hot-path
   // caches of series pointers must therefore be thread_local too.
+  // LINT: thread-confined this IS the per-thread sink; folds run with workers parked.
   static thread_local MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

@@ -281,6 +281,7 @@ void Profiler::MergeFrom(const Profiler& other) {
 }
 
 Profiler& GlobalProfiler() {
+  // LINT: thread-confined this IS the per-thread sink; folds run with workers parked.
   static thread_local Profiler profiler;
   return profiler;
 }

@@ -135,6 +135,7 @@ Tracer& GlobalTracer() {
   // bench runner fans independent Simulators across worker threads, and each must see
   // its own isolated span sink for trials to stay bit-identical to sequential runs.
   // Intentionally leaked so destruction order never races thread teardown.
+  // LINT: thread-confined this IS the per-thread sink; folds run with workers parked.
   static thread_local Tracer* tracer = new Tracer();
   return *tracer;
 }

@@ -16,6 +16,7 @@ namespace totoro {
 namespace internal {
 
 inline size_t& ThreadShardSlot() {
+  // LINT: thread-confined the slot index IS the thread->lane binding; never shared.
   static thread_local size_t slot = 0;
   return slot;
 }

@@ -34,6 +34,9 @@ struct ExecContext {
   SimTime* now = nullptr;
 };
 
+// Swapped only by the owning thread: workers at start, the coordinator around
+// RunAsHost / RunControlAt.
+// LINT: thread-confined execution identity is by design one per thread
 thread_local ExecContext tls_exec;
 
 }  // namespace
@@ -59,17 +62,19 @@ ShardedSimulator::ShardedSimulator(size_t num_shards) {
   }
   // Wait until every worker has published its thread-local sink pointers, so folds and
   // flag propagation never read a null Shard::tracer.
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_done_.wait(lock, [this] { return workers_ready_ == shards_.size(); });
+  MutexLock lock(&mu_);
+  while (workers_ready_ != shards_.size()) {
+    cv_done_.Wait(mu_);
+  }
 }
 
 ShardedSimulator::~ShardedSimulator() {
   SyncShardCancelled();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
-  cv_workers_.notify_all();
+  cv_workers_.NotifyAll();
   for (auto& shard : shards_) {
     shard->thread.join();
   }
@@ -158,9 +163,10 @@ EventHandle ShardedSimulator::ScheduleMessageArrival(HostId src, HostId dst, Sim
   }
   // Cross-shard from a worker: the src's counter is only safe because the send runs in
   // src's execution context, and the arrival can't land inside the open window because
-  // propagation >= lookahead. The barrier drains it before the next window opens.
+  // propagation >= lookahead. The barrier drains it before the next window opens. The
+  // conservative bound is checked against the worker's own window_end copy.
   CHECK_EQ(ctx.host, src);
-  CHECK_GE(at, window_end_);
+  CHECK_GE(at, shards_[ctx.shard]->window_end);
   shards_[ctx.shard]->outbox[dst_shard].push_back(
       PendingCrossShard{at, key, dst, std::move(fn)});
   return EventHandle();
@@ -244,31 +250,49 @@ size_t ShardedSimulator::RunShardedLoop(size_t max_events, SimTime end_exclusive
       // Control-before-shard at equal times, with every worker parked: control events
       // may touch any shard's state (churn scripts, engine rounds) race-free.
       now_ = control_next;
-      fired_total += RunControlAt(control_next);
+      const size_t control_fired = RunControlAt(control_next);
+      fired_total += control_fired;
+      if (sample_every() != 0) {
+        AccumulatePeriodicSample(control_fired, events_fired_ + fired_total,
+                                 run_wall_seconds_ + (WallClockSeconds() - wall_start),
+                                 PendingEvents());
+      }
       continue;
     }
     SimTime window_end = shards_.size() == 1 ? end_exclusive : t_first + lookahead_ms_;
     window_end = std::min(window_end, std::min(control_next, end_exclusive));
     now_ = t_first;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       window_end_ = window_end;
       workers_running_ = shards_.size();
       ++window_gen_;
     }
-    cv_workers_.notify_all();
+    cv_workers_.NotifyAll();
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_done_.wait(lock, [this] { return workers_running_ == 0; });
+      MutexLock lock(&mu_);
+      while (workers_running_ != 0) {
+        cv_done_.Wait(mu_);
+      }
     }
     SimTime last_at = now_;
+    size_t window_fired = 0;
     for (auto& shard : shards_) {
-      fired_total += shard->window_fired;
+      window_fired += shard->window_fired;
       if (shard->window_fired != 0) {
         last_at = std::max(last_at, shard->window_last_at);
       }
     }
+    fired_total += window_fired;
     now_ = last_at;  // K-independent: the max fire time over a K-independent event set.
+    if (sample_every() != 0) {
+      // Barrier-granular periodic sampling: every worker is parked, so the gauge and
+      // the profiler samples land in the coordinator's thread-local sinks, exactly
+      // like the single-queue engine's in-loop samples.
+      AccumulatePeriodicSample(window_fired, events_fired_ + fired_total,
+                               run_wall_seconds_ + (WallClockSeconds() - wall_start),
+                               PendingEvents());
+    }
   }
   run_wall_seconds_ += WallClockSeconds() - wall_start;
   events_fired_ += fired_total;
@@ -396,38 +420,41 @@ void ShardedSimulator::WorkerMain(size_t shard_index) {
   shard.profiler->SetClockSource(&shard.now);
   SetLogTimeSource(&shard.now);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++workers_ready_;
   }
-  cv_done_.notify_all();
+  cv_done_.NotifyAll();
   uint64_t seen_gen = 0;
   while (true) {
+    SimTime end = 0.0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_workers_.wait(lock, [&] { return stopping_ || window_gen_ != seen_gen; });
+      MutexLock lock(&mu_);
+      while (!stopping_ && window_gen_ == seen_gen) {
+        cv_workers_.Wait(mu_);
+      }
       if (stopping_) {
         return;
       }
       seen_gen = window_gen_;
+      // Copy the window bound out under the lock; the worker (and any conservative
+      // CHECK it hits mid-window) reads only its own copy from here on.
+      end = window_end_;
     }
-    RunWindow(shard, shard_index);
+    shard.window_end = end;
+    RunWindow(shard, end);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --workers_running_;
       if (workers_running_ == 0) {
-        cv_done_.notify_one();
+        cv_done_.NotifyOne();
       }
     }
   }
 }
 
-void ShardedSimulator::RunWindow(Shard& shard, size_t shard_index) {
-  (void)shard_index;
+void ShardedSimulator::RunWindow(Shard& shard, SimTime end) {
   ExecContext& ctx = tls_exec;
   Tracer& tracer = *shard.tracer;
-  // window_end_ was published before this window's generation bump; the coordinator
-  // blocks until every worker reports done, so the read is barrier-ordered.
-  const SimTime end = window_end_;
   uint64_t fired = 0;
   SimTime at = shard.now;
   uint32_t exec = 0;

@@ -30,22 +30,25 @@
 //    acts on behalf of a node (Subscribe, StartKeepAlive) wraps the call in
 //    RunAsHost(host, fn) so its schedules and ids join the host's canonical stream.
 //
+// Supported at any K: fault scripts, including probabilistic link perturbations —
+// FaultInjector derives one Rng per (src, dst, send-sequence) from the sender's
+// canonical stream, so no draw depends on worker interleaving; and periodic in-run
+// sampling (EnablePeriodicSampling) — the coordinator advances the sampling countdown
+// by each window's fired total at the barrier, with all workers parked (the live-rate
+// SAMPLE COUNT is window-granular, so it varies with K; the event stream does not).
+//
 // Not supported in sharded mode (CHECK or documented): K > 1 requires lookahead > 0;
-// periodic in-run sampling (EnablePeriodicSampling) is ignored; random per-message
-// perturbations that draw from one shared RNG on the message path are only
-// deterministic at K = 1 (partition/heal-style fault scripts, which are pure set
-// lookups, are fine at any K); TOTORO_PROFILE merges per-shard virtual-ms sums in
-// shard order, so profile gauges may differ across K in the last ulp.
+// TOTORO_PROFILE merges per-shard virtual-ms sums in shard order, so profile gauges
+// may differ across K in the last ulp.
 #ifndef SRC_SIM_SHARDED_SIM_H_
 #define SRC_SIM_SHARDED_SIM_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/thread_annotations.h"
 #include "src/sim/simulator.h"
 
 namespace totoro {
@@ -98,6 +101,10 @@ class ShardedSimulator : public Simulator {
   struct Shard {
     KeyedEventQueue queue;
     SimTime now = 0.0;
+    // Worker-owned copy of the current window's exclusive end, taken from window_end_
+    // under mu_ before the window opens; lets worker-side conservative-bound CHECKs
+    // read it without touching the guarded coordinator field mid-window.
+    SimTime window_end = 0.0;
     uint64_t window_fired = 0;     // Events run in the most recent window.
     SimTime window_last_at = 0.0;  // Fire time of the last event in that window.
     uint64_t rejoins = 0;          // Folded into rejoins_scheduled_ at run end.
@@ -134,8 +141,9 @@ class ShardedSimulator : public Simulator {
   void SyncShardCancelled();
 
   void WorkerMain(size_t shard_index);
-  // Runs shard events with at < window_end_; called on the worker thread.
-  void RunWindow(Shard& shard, size_t shard_index);
+  // Runs shard events with at < end (the worker's copy of window_end_, read under mu_
+  // in WorkerMain before the window opened); called on the worker thread.
+  void RunWindow(Shard& shard, SimTime end);
 
   static constexpr int kKeyOriginShift = 28;
   static constexpr uint32_t kControlExec = UINT32_MAX;
@@ -151,15 +159,16 @@ class ShardedSimulator : public Simulator {
   bool first_run_done_ = false;
 
   // Window barrier state. The coordinator publishes window_end_ and a generation
-  // bump under mu_; workers run their window lock-free and report back under mu_.
-  std::mutex mu_;
-  std::condition_variable cv_workers_;
-  std::condition_variable cv_done_;
-  uint64_t window_gen_ = 0;
-  size_t workers_ready_ = 0;   // Startup handshake: sink pointers published.
-  size_t workers_running_ = 0;
-  SimTime window_end_ = 0.0;
-  bool stopping_ = false;
+  // bump under mu_; workers copy window_end_ out under mu_, run their window
+  // lock-free on shard-owned state, and report back under mu_.
+  Mutex mu_;
+  CondVar cv_workers_;
+  CondVar cv_done_;
+  uint64_t window_gen_ TOTORO_GUARDED_BY(mu_) = 0;
+  size_t workers_ready_ TOTORO_GUARDED_BY(mu_) = 0;  // Startup: sink pointers published.
+  size_t workers_running_ TOTORO_GUARDED_BY(mu_) = 0;
+  SimTime window_end_ TOTORO_GUARDED_BY(mu_) = 0.0;
+  bool stopping_ TOTORO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace totoro

@@ -84,7 +84,8 @@ size_t Simulator::RunLoop(size_t max_events, StopCondition keep_going) {
     ++fired;
     if (sample_every_ != 0 && ++events_since_sample_ >= sample_every_) {
       events_since_sample_ = 0;
-      SamplePeriodic(events_fired_ + fired, run_wall_seconds_ + SecondsSince(start));
+      SamplePeriodic(events_fired_ + fired, run_wall_seconds_ + SecondsSince(start),
+                     queue_.Size());
     }
   }
   fn.Reset();  // Destroy the last callback before the timer stops.
@@ -128,7 +129,21 @@ Gauge& Simulator::ThroughputGauge() {
 
 void Simulator::PublishThroughputMetrics() { ThroughputGauge().Set(EventsPerSecond()); }
 
-void Simulator::SamplePeriodic(uint64_t total_fired, double wall_now) {
+void Simulator::AccumulatePeriodicSample(uint64_t fired_delta, uint64_t total_fired,
+                                         double wall_now, size_t queue_depth) {
+  if (sample_every_ == 0 || fired_delta == 0) {
+    return;
+  }
+  events_since_sample_ += fired_delta;
+  if (events_since_sample_ < sample_every_) {
+    return;
+  }
+  events_since_sample_ %= sample_every_;
+  SamplePeriodic(total_fired, wall_now, queue_depth);
+}
+
+void Simulator::SamplePeriodic(uint64_t total_fired, double wall_now,
+                               size_t queue_depth) {
   const double dt = wall_now - window_start_wall_;
   if (dt > 0.0) {
     live_events_per_sec_ =
@@ -138,7 +153,7 @@ void Simulator::SamplePeriodic(uint64_t total_fired, double wall_now) {
   window_start_fired_ = total_fired;
   window_start_wall_ = wall_now;
   Profiler& profiler = GlobalProfiler();
-  profiler.RecordSample("sim_queue_depth", static_cast<double>(queue_.Size()));
+  profiler.RecordSample("sim_queue_depth", static_cast<double>(queue_depth));
   profiler.Sample();
 }
 

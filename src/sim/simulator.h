@@ -127,6 +127,10 @@ class Simulator {
   // hooks (event-queue depth as `sim_queue_depth`, plus all registered samplers).
   // 0 disables. Opting in makes the metrics registry wall-clock dependent — scale
   // benches that fingerprint metrics must exclude the gauge from their probe.
+  // The sharded engine samples too, at barrier granularity: its coordinator advances
+  // the countdown by each window's fired total with every worker parked, so samples
+  // land in the main thread's gauge/profiler exactly as in the single-queue engine
+  // (sample COUNT depends on K, since a window can cross the threshold only once).
   void EnablePeriodicSampling(uint64_t every_events) { sample_every_ = every_events; }
   uint64_t sample_every() const { return sample_every_; }
   // Rate over the most recent completed sampling window (0 before the first sample).
@@ -137,6 +141,15 @@ class Simulator {
   // source (lint R1 allows steady_clock in simulator.cc only); it feeds nothing but
   // events/s accounting, never scheduling.
   static double WallClockSeconds();
+
+  // Advances the periodic-sampling countdown by `fired_delta` events and, when the
+  // threshold is crossed, closes the window at (`total_fired`, `wall_now`) recording
+  // `queue_depth` as `sim_queue_depth`. The sharded coordinator calls this once per
+  // barrier with the window's fired total and all workers parked; a crossing samples
+  // once and carries the remainder, so a coarse window never bursts samples. No-op
+  // while sampling is disabled.
+  void AccumulatePeriodicSample(uint64_t fired_delta, uint64_t total_fired,
+                                double wall_now, size_t queue_depth);
 
   // Shared accounting state the sharded engine drives from its coordinator loop. The
   // base constructor registers &now_ as the thread's virtual-time source, so a subclass
@@ -158,7 +171,7 @@ class Simulator {
   Gauge& ThroughputGauge();
   // Closes the current sampling window at (cumulative fired, cumulative wall seconds)
   // and publishes the window rate. Chrono-free signature keeps <chrono> out of here.
-  void SamplePeriodic(uint64_t total_fired, double wall_now);
+  void SamplePeriodic(uint64_t total_fired, double wall_now, size_t queue_depth);
 
   EventQueue queue_;
   uint64_t sample_every_ = 0;            // 0 = periodic sampling off.

@@ -22,10 +22,20 @@ namespace {
 
 constexpr size_t kNodes = 48;
 
+// Which fault script (if any) the workload runs against.
+enum class Fault {
+  kNone,
+  kPartition,  // Group cut + heal: deterministic set lookups on the message path.
+  kPerturb,    // Probabilistic drop/duplicate/delay-spike: per-(src,dst,seq) Rng draws.
+};
+
 struct RunOutput {
   uint64_t events = 0;
   uint64_t total_bytes = 0;
   uint64_t partition_drops = 0;
+  uint64_t perturb_drops = 0;
+  uint64_t duplicates = 0;
+  uint64_t delay_spikes = 0;
   uint64_t connected_topics = 0;
   std::string metrics_json;
   std::string trace_json;
@@ -35,9 +45,9 @@ struct RunOutput {
 
 // Runs the workload on a FRESH thread so each configuration sees pristine
 // thread-local tracer/metrics sinks, exactly like independent processes would.
-RunOutput RunWorkload(size_t shards, bool with_partition) {
+RunOutput RunWorkload(size_t shards, Fault fault) {
   RunOutput out;
-  std::thread runner([&out, shards, with_partition] {
+  std::thread runner([&out, shards, fault] {
     GlobalTracer().SetEnabled(true);
     ShardedSimulator sim(shards);
     NetworkConfig net_config;
@@ -80,7 +90,7 @@ RunOutput RunWorkload(size_t shards, bool with_partition) {
       topics.push_back(topic);
     }
 
-    if (with_partition) {
+    if (fault == Fault::kPartition) {
       // Split the host space down the middle, let keep-alives burn against the cut for
       // a while, then heal and give the repair machinery time to reconverge.
       std::vector<HostId> left;
@@ -91,13 +101,30 @@ RunOutput RunWorkload(size_t shards, bool with_partition) {
       FaultScript script;
       script.PartitionAt(400.0, left, right).HealAt(1100.0);
       injector.Schedule(script);
+    } else if (fault == Fault::kPerturb) {
+      // Wildcard probabilistic rule: every message in the window draws drop/duplicate/
+      // delay-spike Bernoullis from an Rng keyed by (src, dst, src's send sequence).
+      // The spikes reorder traffic, so this exercises the derived-Rng path hard: any
+      // draw consumed from a shared stream would diverge the moment K changes.
+      LinkPerturbation rule;
+      rule.drop_prob = 0.04;
+      rule.duplicate_prob = 0.06;
+      rule.delay_spike_prob = 0.05;
+      rule.delay_spike_ms = 40.0;
+      FaultScript script;
+      script.PerturbLinksAt(300.0, /*duration_ms=*/1500.0, rule);
+      injector.Schedule(script);
     }
 
     sim.RunUntil(2500.0);
 
     out.events = sim.events_fired();
     out.total_bytes = net.metrics().total_bytes();
-    out.partition_drops = injector.stats().partition_drops;
+    const FaultInjector::Stats stats = injector.stats();
+    out.partition_drops = stats.partition_drops;
+    out.perturb_drops = stats.perturb_drops;
+    out.duplicates = stats.duplicates;
+    out.delay_spikes = stats.delay_spikes;
     for (const NodeId& topic : topics) {
       if (forest.IsFullyConnected(topic)) {
         ++out.connected_topics;
@@ -117,6 +144,9 @@ void ExpectIdentical(const RunOutput& base, const RunOutput& run, size_t k) {
   EXPECT_EQ(run.events, base.events) << "K=" << k;
   EXPECT_EQ(run.total_bytes, base.total_bytes) << "K=" << k;
   EXPECT_EQ(run.partition_drops, base.partition_drops) << "K=" << k;
+  EXPECT_EQ(run.perturb_drops, base.perturb_drops) << "K=" << k;
+  EXPECT_EQ(run.duplicates, base.duplicates) << "K=" << k;
+  EXPECT_EQ(run.delay_spikes, base.delay_spikes) << "K=" << k;
   EXPECT_EQ(run.connected_topics, base.connected_topics) << "K=" << k;
   EXPECT_EQ(run.metrics_fp, base.metrics_fp) << "K=" << k;
   EXPECT_EQ(run.trace_fp, base.trace_fp) << "K=" << k;
@@ -127,20 +157,32 @@ void ExpectIdentical(const RunOutput& base, const RunOutput& run, size_t k) {
 }
 
 TEST(ShardDeterminism, Fig7WorkloadBitIdenticalAtK148) {
-  const RunOutput base = RunWorkload(1, /*with_partition=*/false);
+  const RunOutput base = RunWorkload(1, Fault::kNone);
   EXPECT_GT(base.events, 1000u);
   EXPECT_GT(base.total_bytes, 0u);
   EXPECT_EQ(base.connected_topics, 3u);
   for (const size_t k : {size_t{4}, size_t{8}}) {
-    ExpectIdentical(base, RunWorkload(k, /*with_partition=*/false), k);
+    ExpectIdentical(base, RunWorkload(k, Fault::kNone), k);
   }
 }
 
 TEST(ShardDeterminism, PartitionHealScriptBitIdenticalAtK148) {
-  const RunOutput base = RunWorkload(1, /*with_partition=*/true);
+  const RunOutput base = RunWorkload(1, Fault::kPartition);
   EXPECT_GT(base.partition_drops, 0u) << "the partition never cut anything";
   for (const size_t k : {size_t{4}, size_t{8}}) {
-    ExpectIdentical(base, RunWorkload(k, /*with_partition=*/true), k);
+    ExpectIdentical(base, RunWorkload(k, Fault::kPartition), k);
+  }
+}
+
+TEST(ShardDeterminism, LinkPerturbationScriptBitIdenticalAtK148) {
+  const RunOutput base = RunWorkload(1, Fault::kPerturb);
+  // The rule must have actually fired on all three probabilistic paths, or the
+  // byte-equality below proves nothing about the derived-Rng message path.
+  EXPECT_GT(base.perturb_drops, 0u) << "the rule never dropped anything";
+  EXPECT_GT(base.duplicates, 0u) << "the rule never duplicated anything";
+  EXPECT_GT(base.delay_spikes, 0u) << "the rule never spiked anything";
+  for (const size_t k : {size_t{4}, size_t{8}}) {
+    ExpectIdentical(base, RunWorkload(k, Fault::kPerturb), k);
   }
 }
 

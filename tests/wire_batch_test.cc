@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/faultsim/fault_injector.h"
 #include "src/obs/export.h"
 #include "src/pubsub/forest.h"
 #include "src/pubsub/wire_batcher.h"
+#include "src/sim/sharded_sim.h"
 
 namespace totoro {
 namespace {
@@ -424,6 +426,81 @@ TEST(WireBatchForestTest, EndToEndReconciliationAndNoDoubleCount) {
   EXPECT_GT(c.bytes_saved, 0u);
   EXPECT_EQ(c.total_bytes, a.total_bytes - c.bytes_saved);
   EXPECT_LT(c.total_messages, a.total_messages);
+}
+
+struct ShardedForestResult {
+  uint64_t total_bytes = 0;
+  uint64_t total_messages = 0;
+  uint64_t envelopes = 0;
+  uint64_t bytes_saved = 0;
+  std::string metrics_json;
+};
+
+// Coalescing heartbeat traffic on the sharded engine: batchers execute on shard
+// worker threads (their flush timers join each host's canonical stream), so this is
+// the batching path the TSan job watches — and K must stay a pure performance knob.
+// Runs on a fresh thread so each K sees pristine thread-local metric sinks.
+ShardedForestResult RunShardedForestScenario(size_t shards) {
+  ShardedForestResult out;
+  std::thread runner([&out, shards] {
+    ShardedSimulator sim(shards);
+    NetworkConfig net_config;
+    net_config.model_bandwidth = false;
+    Network net(&sim, std::make_unique<PairwiseUniformLatency>(1.0, 10.0, 3),
+                net_config);
+    PastryNetwork pastry(&net, PastryConfig{});
+    Rng rng(777);
+    constexpr size_t kNodes = 60;
+    pastry.Reserve(kNodes);
+    for (size_t i = 0; i < kNodes; ++i) {
+      pastry.AddRandomNode(rng);
+    }
+    pastry.BuildOracle(rng);
+    ScribeConfig scribe;
+    scribe.enable_tree_repair = true;
+    scribe.parent_heartbeat_ms = 100.0;
+    scribe.batch.mode = WireBatchConfig::Mode::kCoalesce;
+    scribe.batch.window_ms = 0.0;
+    Forest forest(&pastry, scribe);
+    sim.SetLookaheadMs(net.latency_model().MinLatencyMs());
+
+    std::vector<size_t> members(pastry.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      members[i] = i;
+    }
+    // No settle stagger: same-membership topics subscribe at the same instant, so
+    // their heartbeat phases align and the zero-width window has edges to merge
+    // (6 trees over 60 hosts overlap enough (parent, child) edges to coalesce).
+    for (int t = 0; t < 6; ++t) {
+      forest.SubscribeAll(forest.CreateTopic("batch-shard-" + std::to_string(t)),
+                          members);
+    }
+    forest.StartMaintenance();
+    sim.RunUntil(800.0);
+
+    out.total_bytes = net.metrics().total_bytes();
+    out.total_messages = net.metrics().total_messages();
+    out.envelopes = CounterValue("pubsub.batch.envelopes");
+    out.bytes_saved = CounterValue("pubsub.batch.bytes_saved");
+    net.metrics().PublishTo(GlobalMetrics());
+    out.metrics_json = MetricsToJson(GlobalMetrics());
+  });
+  runner.join();
+  return out;
+}
+
+TEST(WireBatchForestTest, CoalescedRunBitIdenticalAcrossShardCounts) {
+  const ShardedForestResult base = RunShardedForestScenario(1);
+  EXPECT_GT(base.envelopes, 0u) << "scenario must actually exercise coalescing";
+  EXPECT_GT(base.bytes_saved, 0u);
+  for (const size_t k : {size_t{2}, size_t{4}}) {
+    const ShardedForestResult run = RunShardedForestScenario(k);
+    EXPECT_EQ(run.total_bytes, base.total_bytes) << "K=" << k;
+    EXPECT_EQ(run.total_messages, base.total_messages) << "K=" << k;
+    EXPECT_EQ(run.envelopes, base.envelopes) << "K=" << k;
+    EXPECT_EQ(run.bytes_saved, base.bytes_saved) << "K=" << k;
+    EXPECT_EQ(run.metrics_json, base.metrics_json) << "K=" << k;
+  }
 }
 
 TEST(WireBatchForestTest, OffModeTouchesNothing) {

@@ -25,9 +25,13 @@ bool UnderDir(const std::string& path, const std::string& dir) {
   return StartsWith(path, dir + "/") || path == dir;
 }
 
-bool InDeterminismDirs(const std::string& path, const LintOptions& options) {
-  return std::any_of(options.determinism_dirs.begin(), options.determinism_dirs.end(),
+bool InDirs(const std::string& path, const std::vector<std::string>& dirs) {
+  return std::any_of(dirs.begin(), dirs.end(),
                      [&](const std::string& d) { return UnderDir(path, d); });
+}
+
+bool InDeterminismDirs(const std::string& path, const LintOptions& options) {
+  return InDirs(path, options.determinism_dirs);
 }
 
 bool IsIdent(const Token& t, const char* text) {
@@ -524,6 +528,321 @@ void CheckR6(const LintOptions& options, std::vector<Finding>* findings) {
   }
 }
 
+// --- R7: mutable static / thread_local state ---------------------------------------
+
+// True when the declaration's initializer (tokens from `from` to the next `;`) resolves
+// through a per-thread observability sink. `static thread_local Counter* c =
+// &GlobalMetrics().GetCounter(...)` is the documented cache idiom: each thread re-runs
+// the initializer against its OWN registry, so the cached pointer never crosses
+// threads and the coordinator fold stays exact. Anything else static is suspect.
+bool InitializerIsSinkCache(const std::vector<Token>& toks, size_t from) {
+  for (size_t j = from; j < toks.size(); ++j) {
+    if (toks[j].kind == TokenKind::kPunct && toks[j].text == ";") {
+      break;
+    }
+    if (IsIdent(toks[j], "GlobalMetrics") || IsIdent(toks[j], "GlobalTracer") ||
+        IsIdent(toks[j], "GlobalProfiler")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// R7: the PR 9 bug class. A mutable `static` in a shard-deterministic directory is
+// shared across worker threads (a race); a `static thread_local` silently forks one
+// copy per worker, so its value depends on the shard layout and K=4 diverges from
+// K=1. Both are invisible at the call site, which is why review kept missing them.
+void CheckR7(const std::string& path, const LexedFile& lexed, const LintOptions& options,
+             std::vector<Finding>* findings) {
+  if (!InDirs(path, options.mutable_static_dirs)) {
+    return;
+  }
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!(IsIdent(toks[i], "static") || IsIdent(toks[i], "thread_local"))) {
+      continue;
+    }
+    bool thread_local_seen = IsIdent(toks[i], "thread_local");
+    size_t j = i + 1;
+    while (j < toks.size() &&
+           (IsIdent(toks[j], "static") || IsIdent(toks[j], "thread_local"))) {
+      thread_local_seen = thread_local_seen || IsIdent(toks[j], "thread_local");
+      ++j;
+    }
+    // Walk the declaration to its first structural terminator. `(` first means a
+    // function declaration/definition (static member helpers) — not state at all.
+    bool is_const = false;
+    std::string name;
+    char term = 0;
+    size_t term_index = toks.size();
+    for (size_t k = j; k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokenKind::kIdentifier) {
+        if (t.text == "const" || t.text == "constexpr" || t.text == "constinit") {
+          is_const = true;
+        } else {
+          name = t.text;
+        }
+        continue;
+      }
+      if (t.kind == TokenKind::kPunct &&
+          (t.text == ";" || t.text == "=" || t.text == "{" || t.text == "(" ||
+           t.text == "}")) {
+        term = t.text[0];
+        term_index = k;
+        break;
+      }
+    }
+    i = j - 1;  // Never re-match the same storage-class run.
+    if (term == 0 || term == '(' || term == '}' || name.empty() || is_const) {
+      continue;
+    }
+    if ((term == '=' || term == '{') && InitializerIsSinkCache(toks, term_index)) {
+      continue;
+    }
+    if (HasAnnotation(lexed, toks[i].line, "thread-confined")) {
+      continue;
+    }
+    findings->push_back(
+        {"R7", path, toks[i].line, name,
+         thread_local_seen
+             ? "mutable `thread_local` state `" + name +
+                   "` in a shard-deterministic directory: each worker forks its own "
+                   "copy, so values depend on the shard layout (K=4 diverges from "
+                   "K=1) — move the state onto the owning object, or annotate "
+                   "`// LINT: thread-confined <why>`"
+             : "mutable `static` state `" + name +
+                   "` in a shard-deterministic directory: shared across shard "
+                   "workers, so access races and the result depends on thread "
+                   "interleaving — move the state onto the owning object, or "
+                   "annotate `// LINT: thread-confined <why>`"});
+  }
+}
+
+// --- R8: host-protocol entry points must schedule in host context -------------------
+
+// `Start…` methods (StartKeepAlive, StartMaintenance, …) are called from harness /
+// driver code, OUTSIDE any host event. A bare Schedule there lands the timer chain on
+// the sharded engine's control stream: its event keys are allocated in harness call
+// order, not the host's canonical order, and the whole replay stops being
+// shard-layout-blind. Wrapping in RunAsHost(host, …) joins the host's stream. Ticks
+// that reschedule from INSIDE their own event already run in host context, and live
+// in plain (non-Start) methods, so the rule only bites the entry points.
+void CheckR8(const std::string& path, const LexedFile& lexed, const LintOptions& options,
+             std::vector<Finding>* findings) {
+  if (!InDirs(path, options.host_protocol_dirs)) {
+    return;
+  }
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 1; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier || t.text.size() < 6 ||
+        t.text.compare(0, 5, "Start") != 0 || t.text[5] < 'A' || t.text[5] > 'Z' ||
+        !NextIs(toks, i, "(")) {
+      continue;
+    }
+    // Definitions only: preceded by a return type or `Class::` qualifier. Call sites
+    // sit after statement punctuation (`;`, `{`) or inside expressions (`(`, `.`).
+    const Token& prev = toks[i - 1];
+    const bool def_shape =
+        prev.kind == TokenKind::kIdentifier ||
+        (prev.kind == TokenKind::kPunct &&
+         (prev.text == "::" || prev.text == "*" || prev.text == "&" || prev.text == ">"));
+    if (!def_shape) {
+      continue;
+    }
+    // Parameter list, then trailing qualifiers, then `{` (a `;` is a declaration).
+    int depth = 0;
+    size_t k = i + 1;
+    for (; k < toks.size(); ++k) {
+      if (toks[k].kind != TokenKind::kPunct) {
+        continue;
+      }
+      if (toks[k].text == "(") {
+        ++depth;
+      } else if (toks[k].text == ")" && --depth == 0) {
+        ++k;
+        break;
+      }
+    }
+    size_t body = 0;
+    for (; k < toks.size(); ++k) {
+      if (toks[k].kind != TokenKind::kPunct) {
+        continue;  // const / noexcept / override.
+      }
+      if (toks[k].text == "{") {
+        body = k;
+      }
+      break;
+    }
+    if (body == 0) {
+      continue;  // Declaration, or something the heuristic cannot shape-match.
+    }
+    bool schedules = false;
+    bool runs_as_host = false;
+    depth = 0;
+    for (k = body; k < toks.size(); ++k) {
+      if (toks[k].kind == TokenKind::kPunct) {
+        if (toks[k].text == "{") {
+          ++depth;
+        } else if (toks[k].text == "}" && --depth == 0) {
+          break;
+        }
+        continue;
+      }
+      if (toks[k].kind != TokenKind::kIdentifier || !NextIs(toks, k, "(")) {
+        continue;
+      }
+      if (toks[k].text == "Schedule" || toks[k].text == "ScheduleAt") {
+        schedules = true;
+      } else if (toks[k].text == "RunAsHost") {
+        runs_as_host = true;
+      }
+    }
+    if (schedules && !runs_as_host && !HasAnnotation(lexed, t.line, "host-context")) {
+      findings->push_back(
+          {"R8", path, t.line, t.text,
+           "host-protocol entry point `" + t.text +
+               "` schedules events without RunAsHost: called from harness code, the "
+               "timer chain lands on the sharded engine's control stream and its "
+               "event keys depend on driver call order — wrap the scheduling in "
+               "sim->RunAsHost(host, …) (or annotate `// LINT: host-context <why>` "
+               "if the method is only ever called from inside a host event)"});
+    }
+  }
+}
+
+// --- R9: explicit atomic access, one ordering discipline per member -----------------
+
+// Declared `std::atomic<…> name` member/variable names in one file.
+void CollectAtomicNames(const LexedFile& lexed, std::set<std::string>* out) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "atomic") || !NextIs(toks, i, "<")) {
+      continue;
+    }
+    const size_t after = SkipAngles(toks, i + 1);
+    if (after < toks.size() && toks[after].kind == TokenKind::kIdentifier) {
+      out->insert(toks[after].text);
+    }
+  }
+}
+
+struct AtomicOrderSite {
+  std::string file;
+  int line = 0;
+};
+
+// First-seen site per (member, memory order); "seq_cst" covers both explicit
+// memory_order_seq_cst and order-less calls (the default).
+using AtomicOrderMap = std::map<std::string, std::map<std::string, AtomicOrderSite>>;
+
+// R9: atomics are only honest when every access says what it is. An implicit
+// conversion read (`uint64_t n = dropped_;`) or `=` store is a hidden seq_cst access:
+// it dodges the snapshot discipline (explicit load() into a by-value stats struct)
+// and silently mixes with the relaxed fetch_adds on the hot path. The cross-file
+// mixed-order check catches the second half of that bug even when each site is
+// individually explicit.
+void CheckR9(const std::string& path, const LexedFile& lexed,
+             const std::set<std::string>& atomic_names, const LintOptions& options,
+             std::vector<Finding>* findings, AtomicOrderMap* orders) {
+  if (atomic_names.empty() || !StartsWith(path, options.atomic_scope_prefix)) {
+    return;
+  }
+  static const std::set<std::string> kOrderedOps = {
+      "load",          "store",         "exchange",
+      "fetch_add",     "fetch_sub",     "fetch_and",
+      "fetch_or",      "fetch_xor",     "compare_exchange_weak",
+      "compare_exchange_strong",        "wait"};
+  static const std::set<std::string> kOrderlessOps = {"notify_one", "notify_all",
+                                                      "is_lock_free"};
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier || !atomic_names.count(t.text)) {
+      continue;
+    }
+    if (i > 0 && toks[i - 1].kind == TokenKind::kPunct) {
+      const std::string& p = toks[i - 1].text;
+      if (p == ">") {
+        continue;  // The declaration itself: `std::atomic<T> name…`.
+      }
+      if (p == "." || p == "->" || p == "::" || p == "&") {
+        // Qualified access on some other object (likely a same-named non-atomic
+        // field of a by-value snapshot struct), or address-of; out of scope.
+        continue;
+      }
+    }
+    if (HasAnnotation(lexed, t.line, "atomic-access-ok")) {
+      continue;
+    }
+    const bool member_call =
+        i + 2 < toks.size() && toks[i + 1].kind == TokenKind::kPunct &&
+        toks[i + 1].text == "." && toks[i + 2].kind == TokenKind::kIdentifier &&
+        NextIs(toks, i + 2, "(");
+    if (!member_call) {
+      findings->push_back(
+          {"R9", path, t.line, t.text,
+           "implicit access to atomic member `" + t.text +
+               "`: conversion reads and `=` stores hide a seq_cst operation — use "
+               "explicit .load()/.store() (snapshot paths load into a by-value "
+               "stats struct)"});
+      continue;
+    }
+    const std::string& op = toks[i + 2].text;
+    if (kOrderlessOps.count(op)) {
+      continue;
+    }
+    if (!kOrderedOps.count(op)) {
+      findings->push_back({"R9", path, t.line, t.text,
+                           "unrecognized member access `." + op +
+                               "` on atomic member `" + t.text +
+                               "`; use the explicit std::atomic API"});
+      continue;
+    }
+    // Memory orders in the call's argument list; none means the seq_cst default.
+    bool any_order = false;
+    int depth = 0;
+    for (size_t k = i + 3; k < toks.size(); ++k) {
+      if (toks[k].kind == TokenKind::kPunct) {
+        if (toks[k].text == "(") {
+          ++depth;
+        } else if (toks[k].text == ")" && --depth == 0) {
+          break;
+        }
+        continue;
+      }
+      if (toks[k].kind == TokenKind::kIdentifier &&
+          StartsWith(toks[k].text, "memory_order_")) {
+        any_order = true;
+        (*orders)[t.text].emplace(toks[k].text.substr(13),
+                                  AtomicOrderSite{path, t.line});
+      }
+    }
+    if (!any_order) {
+      (*orders)[t.text].emplace("seq_cst", AtomicOrderSite{path, t.line});
+    }
+  }
+}
+
+// Emitted once after every file was scanned: a member whose call sites mix relaxed
+// with (explicit or defaulted) seq_cst has no coherent ordering story.
+void FlagMixedAtomicOrders(const AtomicOrderMap& orders,
+                           std::vector<Finding>* findings) {
+  for (const auto& [name, by_order] : orders) {
+    auto relaxed = by_order.find("relaxed");
+    auto seq_cst = by_order.find("seq_cst");
+    if (relaxed == by_order.end() || seq_cst == by_order.end()) {
+      continue;
+    }
+    findings->push_back(
+        {"R9", seq_cst->second.file, seq_cst->second.line, name,
+         "atomic member `" + name + "` mixes memory_order_relaxed (" +
+             relaxed->second.file + ":" + std::to_string(relaxed->second.line) +
+             ") with seq_cst at this site; pick one ordering discipline per member"});
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
@@ -541,10 +860,13 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
     lexed_list.emplace_back(path, &lf);
   }
 
+  AtomicOrderMap atomic_orders;
   for (const auto& [path, lf] : lexed) {
     CheckR1(path, lf, options, &findings);
     CheckR3(path, lf, options, &findings);
     CheckR5(path, lf, options, &findings);
+    CheckR7(path, lf, options, &findings);
+    CheckR8(path, lf, options, &findings);
 
     // R2 needs the unordered names of this file plus its transitive project includes.
     std::set<std::string> visited;
@@ -579,10 +901,19 @@ std::vector<Finding> RunLint(const std::vector<SourceFile>& files,
       names.variables.erase(name);
     }
     CheckR2(path, lf, names, options, &findings);
+
+    // R9 resolves atomic members through the same include closure (declared in the
+    // header, used in the .cc), accumulating per-member orders across all files.
+    std::set<std::string> atomic_names;
+    for (const LexedFile* f : closure) {
+      CollectAtomicNames(*f, &atomic_names);
+    }
+    CheckR9(path, lf, atomic_names, options, &findings, &atomic_orders);
   }
 
   CheckR4(lexed_list, options, &findings);
   CheckR6(options, &findings);
+  FlagMixedAtomicOrders(atomic_orders, &findings);
 
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) {

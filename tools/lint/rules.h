@@ -26,6 +26,26 @@
 //       job of .github/workflows/ci.yml. A baseline CI never regenerates either goes
 //       stale forever or hard-fails benchdiff with "current run produced no ..." —
 //       both mean the gate is not gating.
+//   R7  No mutable `static` / `thread_local` state in the shard-deterministic
+//       directories (src/{sim,core,pubsub,dht,fl,obs}): a static shared across
+//       worker threads races, and a static thread_local silently forks per-shard
+//       copies whose values depend on the shard layout (the PR 9 bug class).
+//       const/constexpr statics and function declarations are fine; so is the one
+//       documented idiom — `static thread_local Counter* c = &GlobalMetrics().Get…`
+//       caches re-resolved per thread against that thread's own sink. Anything else
+//       needs `// LINT: thread-confined <why>` or an allowlist entry.
+//   R8  Host-protocol entry points (methods named `Start…` in src/{dht,pubsub})
+//       that schedule timer/self-rescheduling events (`Schedule`/`ScheduleAt`) must
+//       wrap the scheduling in `RunAsHost`, so keep-alive/maintenance loops join the
+//       host's canonical event stream instead of the control stream (where their
+//       keys — and therefore the whole replay — would depend on call order from the
+//       harness thread). Escape: `// LINT: host-context <why>`.
+//   R9  Every use of a `std::atomic` member under src/ must be an explicit member
+//       call (`load/store/fetch_*/exchange/compare_exchange…`): implicit-conversion
+//       reads and `=` stores hide a seq_cst access that both obscures the intended
+//       ordering and silently mixes with relaxed accesses elsewhere. Additionally,
+//       one member must not mix relaxed with (explicit or implied) seq_cst orders
+//       across its call sites. Escape: `// LINT: atomic-access-ok <why>`.
 //
 // The engine is lexer-level by design: no LLVM/clang dependency, so it builds with the
 // project toolchain and runs in a few hundred milliseconds over the whole tree. The
@@ -45,7 +65,7 @@ struct SourceFile {
 };
 
 struct Finding {
-  std::string rule;    // "R1".."R6".
+  std::string rule;    // "R1".."R9".
   std::string file;    // Repo-relative path.
   int line = 0;        // 1-based.
   std::string symbol;  // Offending identifier / metric name; allowlist match key.
@@ -70,6 +90,15 @@ struct LintOptions {
   std::string ci_workflow_text;
   std::string ci_workflow_path = ".github/workflows/ci.yml";
   std::string baselines_dir = "bench/baselines";
+  // R7 scans these directories for mutable static / thread_local state. Wider than
+  // determinism_dirs: src/fl and src/obs host worker-thread code (compute pool,
+  // per-thread sinks) where ambient statics are exactly as dangerous.
+  std::vector<std::string> mutable_static_dirs = {"src/sim", "src/core", "src/pubsub",
+                                                  "src/dht", "src/fl",   "src/obs"};
+  // R8 scans these directories for Start… entry points that self-schedule.
+  std::vector<std::string> host_protocol_dirs = {"src/dht", "src/pubsub"};
+  // R9 checks atomic-member access discipline in files under this prefix.
+  std::string atomic_scope_prefix = "src/";
 };
 
 // Runs all rules over `files` (every file is both a lint target and an include-
